@@ -1,0 +1,66 @@
+// Command mrbench runs the Figure 1 reproduction experiments and the
+// ablations, and renders their result tables as markdown (the contents of
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	mrbench [-quick] [-seed N] [-run F1.Match,F1.VC] [-list]
+//
+// With no -run flag, all experiments run in registry order. -quick shrinks
+// the parameter sweeps (used by CI); the recorded EXPERIMENTS.md numbers
+// come from a full run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced parameter sweeps")
+	seed := flag.Uint64("seed", 20180617, "root random seed (default: the paper's arXiv date)")
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []bench.Experiment
+	if *run == "" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := bench.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "mrbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	fmt.Printf("# Experiment results (seed=%d, quick=%v)\n\n", *seed, *quick)
+	for _, e := range selected {
+		start := time.Now()
+		tab, err := e.Run(*seed, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrbench: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if err := tab.WriteMarkdown(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mrbench: write: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("_%s completed in %v._\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

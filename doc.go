@@ -1,0 +1,22 @@
+// Package repro is a full reproduction of "Greedy and Local Ratio
+// Algorithms in the MapReduce Model" (Harvey, Liaw, Liu — SPAA 2018,
+// arXiv:1806.06421) as a Go library.
+//
+// The library lives in internal packages:
+//
+//   - internal/mpc      — the MapReduce/MPC cluster simulator (rounds,
+//     per-machine space accounting, broadcast trees);
+//   - internal/core     — the paper's eight MapReduce algorithms plus the
+//     Luby and filtering baselines;
+//   - internal/seq      — sequential local ratio / greedy algorithms and
+//     exact test oracles;
+//   - internal/graph    — graph types, generators, and solution validators;
+//   - internal/setcover — weighted set cover instances and generators;
+//   - internal/bench    — the Figure 1 reproduction experiments;
+//   - internal/rng      — deterministic splittable randomness.
+//
+// Entry points: cmd/mrbench (regenerate every Figure 1 row), cmd/mrrun (run
+// one algorithm), examples/ (runnable scenarios), and the root-level
+// benchmarks in bench_test.go (one per Figure 1 row). See README.md,
+// DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,121 @@
+// Package bench is the experiment harness that regenerates the paper's
+// Figure 1 — its single results exhibit — empirically. One Experiment exists
+// per Figure 1 row (and per appendix theorem); each runs the corresponding
+// MapReduce algorithm on generated workloads across a parameter sweep and
+// reports, per configuration:
+//
+//   - the measured approximation quality against a baseline or certificate,
+//   - the measured number of MapReduce rounds against the theorem's bound
+//     shape,
+//   - the measured per-machine space high-water mark against the cap, and
+//   - the communication volume.
+//
+// The cmd/mrbench binary drives these experiments and renders the tables
+// recorded in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Row is one measured configuration of an experiment.
+type Row struct {
+	// Config describes the parameter point, e.g. "n=1000 c=0.3 mu=0.2".
+	Config string
+	// Cells are the measured values keyed by column name.
+	Cells map[string]string
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the experiment id from DESIGN.md (e.g. "F1.Match").
+	ID string
+	// Title is the Figure 1 row being reproduced.
+	Title string
+	// PaperClaim is the bound the paper states for this row.
+	PaperClaim string
+	// Columns is the column order.
+	Columns []string
+	// Rows are the measurements.
+	Rows []Row
+	// Notes carries caveats (failure rates, substitutions).
+	Notes []string
+}
+
+// Experiment produces a Table given a seed.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(seed uint64, quick bool) (*Table, error)
+}
+
+// registry of all experiments, populated by the fig1_*.go files.
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the registered experiments sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns the experiment with the given ID, or false.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// WriteMarkdown renders t as a GitHub-flavoured markdown table.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if t.PaperClaim != "" {
+		if _, err := fmt.Fprintf(w, "Paper claim: %s\n\n", t.PaperClaim); err != nil {
+			return err
+		}
+	}
+	header := append([]string{"config"}, t.Columns...)
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(header, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		cells := make([]string, 0, len(header))
+		cells = append(cells, row.Config)
+		for _, col := range t.Columns {
+			cells = append(cells, row.Cells[col])
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+			return err
+		}
+	}
+	for _, note := range t.Notes {
+		if _, err := fmt.Fprintf(w, "\n%s\n", note); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func f2(v float64) string                           { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string                           { return fmt.Sprintf("%.3f", v) }
+func d(v int) string                                { return fmt.Sprintf("%d", v) }
+func d64(v int64) string                            { return fmt.Sprintf("%d", v) }
+func cfg(format string, args ...interface{}) string { return fmt.Sprintf(format, args...) }

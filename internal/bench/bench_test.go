@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"A1.SampleSize", "A2.GroupSize", "A3.EpsAdjust", "A4.Broadcast", "A5.Bucketing",
+		"F1.BMatch", "F1.Clique", "F1.ECol", "F1.MIS", "F1.Match", "F1.MatchLin",
+		"F1.SCf", "F1.SClnD", "F1.VC", "F1.VCol", "F2.Workloads", "F3.Decay", "R1.Variance",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Fatalf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("F1.Match"); !ok {
+		t.Fatal("F1.Match missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("bogus id found")
+	}
+}
+
+func TestAllExperimentsQuickMode(t *testing.T) {
+	// Every experiment must run end to end in quick mode and render a
+	// non-empty markdown table.
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(12345, true)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s: no rows", e.ID)
+			}
+			for _, row := range tab.Rows {
+				for _, col := range tab.Columns {
+					if row.Cells[col] == "" {
+						t.Fatalf("%s: empty cell %q in row %q", e.ID, col, row.Config)
+					}
+				}
+			}
+			var buf bytes.Buffer
+			if err := tab.WriteMarkdown(&buf); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, tab.ID) || !strings.Contains(out, "| config |") {
+				t.Fatalf("%s: malformed markdown:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestMarkdownEscaping(t *testing.T) {
+	tab := &Table{
+		ID:      "X",
+		Title:   "t",
+		Columns: []string{"a"},
+		Rows:    []Row{{Config: "c", Cells: map[string]string{"a": "1"}}},
+		Notes:   []string{"note"},
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"### X", "| config | a |", "| c | 1 |", "note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/seq"
+	"repro/internal/setcover"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "F1.VC",
+		Title: "Weighted vertex cover: 2-approx, O(c/µ) rounds, O(n^{1+µ}) space (Theorem 2.4, f=2)",
+		Run:   runFig1VertexCover,
+	})
+	register(Experiment{
+		ID:    "F1.SCf",
+		Title: "Weighted set cover: f-approx, O((c/µ)²) rounds, O(f·n^{1+µ}) space (Theorem 2.4)",
+		Run:   runFig1SetCoverF,
+	})
+	register(Experiment{
+		ID:    "F1.SClnD",
+		Title: "Weighted set cover: (1+ε)·ln∆-approx (Theorem 4.6)",
+		Run:   runFig1SetCoverLnDelta,
+	})
+}
+
+func runFig1VertexCover(seed uint64, quick bool) (*Table, error) {
+	t := &Table{
+		ID:         "F1.VC",
+		Title:      "Weighted vertex cover (Algorithm 1 with the f=2 fast path)",
+		PaperClaim: "approximation 2, rounds O(c/µ), space per machine O(n^{1+µ})",
+		Columns: []string{"m", "machines", "iters", "rounds", "w(ALG)", "LP lower bound",
+			"ratio vs LB", "maxSpace/cap", "violations"},
+	}
+	ns := []int{1000, 3000}
+	cs := []float64{0.15, 0.3, 0.45}
+	mus := []float64{0.1, 0.2, 0.3}
+	if quick {
+		ns, cs, mus = []int{300}, []float64{0.3}, []float64{0.2}
+	}
+	r := rng.New(seed)
+	for _, n := range ns {
+		for _, c := range cs {
+			for _, mu := range mus {
+				g := graph.Density(n, c, r.Split())
+				w := make([]float64, g.N)
+				wr := r.Split()
+				for i := range w {
+					w[i] = wr.UniformWeight(1, 10)
+				}
+				inst := setcover.FromVertexCover(g, w)
+				res, err := core.RLRSetCover(inst, core.Params{Mu: mu, Seed: r.Uint64()},
+					core.CoverOptions{VertexCoverMode: true})
+				if err != nil {
+					return nil, err
+				}
+				cap := 2 * math.Pow(float64(n), 1+mu) // f·n^{1+µ}, f=2
+				t.Rows = append(t.Rows, Row{
+					Config: cfg("n=%d c=%.2f µ=%.2f", n, c, mu),
+					Cells: map[string]string{
+						"m":              d(g.M()),
+						"machines":       d(res.Metrics.Machines),
+						"iters":          d(res.Iterations),
+						"rounds":         d(res.Metrics.Rounds),
+						"w(ALG)":         f2(res.Weight),
+						"LP lower bound": f2(res.LowerBound),
+						"ratio vs LB":    f3(res.Weight / res.LowerBound),
+						"maxSpace/cap":   f2(float64(res.Metrics.MaxSpace) / cap),
+						"violations":     d(res.Metrics.Violations),
+					},
+				})
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"'LP lower bound' is the local ratio certificate Σε_j ≤ OPT, so 'ratio vs LB' ≤ 2 certifies the "+
+			"2-approximation end to end; iterations grow ~linearly in c/µ.")
+	return t, nil
+}
+
+func runFig1SetCoverF(seed uint64, quick bool) (*Table, error) {
+	t := &Table{
+		ID:         "F1.SCf",
+		Title:      "Weighted set cover, f-approximation (Algorithm 1, general f)",
+		PaperClaim: "approximation f, rounds O((c/µ)²), space per machine O(f·n^{1+µ})",
+		Columns: []string{"f", "m", "iters", "rounds", "rounds/iter", "w(ALG)",
+			"f·LB", "ratio vs LB", "violations"},
+	}
+	n := 400
+	mu := 0.2
+	fs := []int{2, 3, 4, 6}
+	if quick {
+		n, fs = 100, []int{2, 3}
+	}
+	r := rng.New(seed)
+	for _, f := range fs {
+		m := int(math.Pow(float64(n), 1.4))
+		inst := setcover.RandomFrequency(n, m, f, 10, r.Split())
+		res, err := core.RLRSetCover(inst, core.Params{Mu: mu, Seed: r.Uint64()}, core.CoverOptions{})
+		if err != nil {
+			return nil, err
+		}
+		ff := float64(inst.MaxFrequency())
+		t.Rows = append(t.Rows, Row{
+			Config: cfg("n=%d m=%d µ=%.2f f=%d", n, m, mu, f),
+			Cells: map[string]string{
+				"f":           d(inst.MaxFrequency()),
+				"m":           d(m),
+				"iters":       d(res.Iterations),
+				"rounds":      d(res.Metrics.Rounds),
+				"rounds/iter": f2(float64(res.Metrics.Rounds) / float64(res.Iterations)),
+				"w(ALG)":      f2(res.Weight),
+				"f·LB":        f2(ff * res.LowerBound),
+				"ratio vs LB": f3(res.Weight / res.LowerBound),
+				"violations":  d(res.Metrics.Violations),
+			},
+		})
+	}
+	t.Notes = append(t.Notes,
+		"'ratio vs LB' ≤ f certifies the f-approximation; the general path pays tree-broadcast rounds per "+
+			"iteration (the (c/µ)² of Theorem 2.4) — compare 'rounds/iter' here against F1.VC's fast path.")
+	return t, nil
+}
+
+func runFig1SetCoverLnDelta(seed uint64, quick bool) (*Table, error) {
+	t := &Table{
+		ID:         "F1.SClnD",
+		Title:      "Weighted set cover, (1+ε)·H_∆ approximation (Algorithm 3)",
+		PaperClaim: "approximation (1+ε)·ln∆, rounds O(log(Φ)·log(∆·wmax/wmin)/(µ²·log²m)), space O(m^{1+µ})",
+		Columns: []string{"n", "m", "∆", "iters", "rounds", "w(ALG)", "w(greedy-seq)",
+			"ratio vs greedy", "(1+ε)H_∆", "violations"},
+	}
+	eps := 0.2
+	confs := []struct{ n, m, delta int }{
+		{2000, 150, 10},
+		{4000, 300, 16},
+		{8000, 400, 25},
+	}
+	if quick {
+		confs = confs[:1]
+		confs[0] = struct{ n, m, delta int }{500, 80, 8}
+	}
+	r := rng.New(seed)
+	for _, cf := range confs {
+		inst := setcover.RandomSized(cf.n, cf.m, cf.delta, 8, r.Split())
+		res, err := core.HGSetCover(inst, core.Params{Mu: 0.3, Seed: r.Uint64()}, core.HGCoverOptions{Eps: eps})
+		if err != nil {
+			return nil, err
+		}
+		greedy := inst.Weight(seq.GreedySetCover(inst, 0))
+		hd := 0.0
+		for i := 1; i <= inst.MaxSetSize(); i++ {
+			hd += 1 / float64(i)
+		}
+		t.Rows = append(t.Rows, Row{
+			Config: cfg("n=%d m=%d ∆≈%d ε=%.2f µ=0.3", cf.n, cf.m, cf.delta, eps),
+			Cells: map[string]string{
+				"n":               d(cf.n),
+				"m":               d(cf.m),
+				"∆":               d(inst.MaxSetSize()),
+				"iters":           d(res.Iterations),
+				"rounds":          d(res.Metrics.Rounds),
+				"w(ALG)":          f2(res.Weight),
+				"w(greedy-seq)":   f2(greedy),
+				"ratio vs greedy": f3(res.Weight / greedy),
+				"(1+ε)H_∆":        f2((1 + eps) * hd),
+				"violations":      d(res.Metrics.Violations),
+			},
+		})
+	}
+	t.Notes = append(t.Notes,
+		"Sequential greedy is an H_∆-approximation; 'ratio vs greedy' near 1 (and certainly ≤ (1+ε)·"+
+			"H_∆/1) shows the MapReduce ε-greedy matches the greedy benchmark in the m ≪ n regime.")
+	return t, nil
+}

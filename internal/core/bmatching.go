@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/mpc"
+	"repro/internal/rng"
+	"repro/internal/seq"
+)
+
+// BMatchingOptions tunes BMatching.
+type BMatchingOptions struct {
+	// B gives each vertex's capacity; nil means b(v) = 2 everywhere.
+	B func(v int) int
+	// Eps is the ε of the ε-adjusted reductions (default 0.25): edges die
+	// once reduced below a 1/(1+ε) fraction of their weight, giving the
+	// (3 − 2/b + 2ε) approximation.
+	Eps float64
+	// Eta overrides the per-vertex sampling scale n^µ factor base (default
+	// n^{1+µ} total budget as in Algorithm 7).
+	Eta int
+}
+
+// BMatching is Algorithm 7: the ε-adjusted randomized local ratio
+// (3 − 2/max{2,b} + 2ε)-approximation for maximum weight b-matching
+// (Appendix D, Theorem D.3).
+//
+// Unlike the matching algorithm (which samples every edge i.i.d.), each
+// vertex here samples a fixed number b(v)·ln(1/δ)·n^µ of its alive incident
+// edges, δ = ε/(1+ε), and the central machine pushes up to b(v)·ln(1/δ)
+// heaviest sampled edges per vertex, applying ε-adjusted reductions. This is
+// what makes all non-heavy edges at the vertex die despite the 1/b(v)
+// dilution of each reduction.
+func BMatching(g *graph.Graph, p Params, opt BMatchingOptions) (*MatchingResult, error) {
+	n, m := g.N, g.M()
+	b := opt.B
+	if b == nil {
+		b = func(int) int { return 2 }
+	}
+	eps := opt.Eps
+	if eps <= 0 {
+		eps = 0.25
+	}
+	if m == 0 {
+		return &MatchingResult{}, nil
+	}
+	delta := eps / (1 + eps)
+	lnInvDelta := math.Log(1 / delta)
+	if lnInvDelta < 1 {
+		lnInvDelta = 1
+	}
+	etaWords := opt.Eta
+	if etaWords <= 0 {
+		etaWords = eta(n, p.Mu, 8)
+	}
+	nMu := math.Pow(float64(n), p.Mu)
+	if nMu < 1 {
+		nMu = 1
+	}
+
+	// Vertex-partitioned layout (Appendix D samples per vertex): owners
+	// hold each vertex's incident edge ids with weights and alive bits.
+	M := dataMachines(3*n+3*m, 4*etaWords)
+	cluster := newCluster(M, etaWords*maxB(g, b), p.Strict, capSlack)
+	tree := mpc.NewTree(cluster, 0, treeDegree(n, p.Mu))
+	r := rng.New(p.Seed)
+	vertexOwner := func(v int) int { return 1 + v%(M-1) }
+
+	g.Build()
+	resident := make([]int, M)
+	for v := 0; v < n; v++ {
+		resident[vertexOwner(v)] += 2 + 2*g.Degree(v)
+	}
+	for machine := 1; machine < M; machine++ {
+		cluster.SetResident(machine, resident[machine])
+	}
+	cluster.SetResident(0, 2*n)
+
+	lr := seq.NewBMatchingLocalRatio(g, b, eps)
+	alive := make([]bool, m)
+	aliveCount := int64(0)
+	for id := range alive {
+		if g.Edges[id].W > 0 {
+			alive[id] = true
+			aliveCount++
+		}
+	}
+
+	res := &MatchingResult{}
+	for aliveCount > 0 {
+		if res.Iterations >= p.maxIter() {
+			return nil, fmt.Errorf("core: BMatching exceeded %d iterations", p.maxIter())
+		}
+		res.Iterations++
+
+		// Sampling round: vertex v samples b(v)·ln(1/δ)·n^µ alive incident
+		// edges without replacement (all of them when |E_i| is small,
+		// Line 7) and ships (edge id, weight) pairs to the central machine.
+		smallGraph := float64(aliveCount) < 2*float64(maxB(g, b))*lnInvDelta*float64(etaWords)/nMu
+		perVertex := make(map[int][]int)
+		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+			for v := 0; v < n; v++ {
+				if vertexOwner(v) != machine {
+					continue
+				}
+				var aliveIDs []int
+				for _, id := range g.IncidentEdges(v) {
+					if alive[id] {
+						aliveIDs = append(aliveIDs, id)
+					}
+				}
+				if len(aliveIDs) == 0 {
+					continue
+				}
+				want := int(math.Ceil(float64(b(v)) * lnInvDelta * nMu))
+				var chosen []int
+				if smallGraph || want >= len(aliveIDs) {
+					chosen = aliveIDs
+				} else {
+					for _, idx := range r.SampleWithoutReplacement(len(aliveIDs), want) {
+						chosen = append(chosen, aliveIDs[idx])
+					}
+				}
+				payload := make([]int64, 0, len(chosen)+1)
+				payload = append(payload, int64(v))
+				for _, id := range chosen {
+					payload = append(payload, int64(id))
+				}
+				out.Send(0, payload, nil)
+				perVertex[v] = chosen
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Central machine (Lines 11-17): per vertex, push up to
+		// b(v)·ln(1/δ) heaviest sampled alive edges with ε-adjusted
+		// reductions.
+		vertices := make([]int, 0, len(perVertex))
+		for v := range perVertex {
+			vertices = append(vertices, v)
+		}
+		sort.Ints(vertices)
+		changed := make(map[int]bool)
+		for _, v := range vertices {
+			budget := int(math.Ceil(float64(b(v)) * lnInvDelta))
+			ids := append([]int(nil), perVertex[v]...)
+			sort.Slice(ids, func(a, c int) bool {
+				wa, wc := lr.Reduced(ids[a]), lr.Reduced(ids[c])
+				if wa != wc {
+					return wa > wc
+				}
+				return ids[a] < ids[c]
+			})
+			for j := 0; j < budget && j < len(ids); j++ {
+				// Re-pick the heaviest alive each time: reductions at v
+				// subtract the same amount from every incident edge, so the
+				// order within δ(v) is stable and a sorted scan suffices.
+				if _, ok := lr.Push(ids[j]); ok {
+					e := g.Edges[ids[j]]
+					changed[e.U] = true
+					changed[e.V] = true
+				}
+			}
+		}
+		cluster.SetResident(0, 2*n+2*lr.StackSize())
+
+		// Dissemination: central routes the changed potentials ϕ(v) to the
+		// vertex owners; owners re-evaluate the ε-adjusted kill rule for
+		// their incident edges.
+		changedList := make([]int, 0, len(changed))
+		for v := range changed {
+			changedList = append(changedList, v)
+		}
+		sort.Ints(changedList)
+		err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+			if machine != 0 {
+				return
+			}
+			for _, v := range changedList {
+				out.Send(vertexOwner(v), []int64{int64(v)}, []float64{lr.Phi(v)})
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Owners receive the new potentials and forward them along their
+		// alive incident edges to the other endpoint's owner.
+		err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+			for _, msg := range in {
+				v := int(msg.Ints[0])
+				for _, id := range g.IncidentEdges(v) {
+					if alive[id] {
+						u := g.Edges[id].Other(v)
+						out.Send(vertexOwner(u), []int64{int64(id)}, []float64{msg.Floats[0]})
+					}
+				}
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Delivery round; then refresh aliveness from the kill rule.
+		if err := cluster.Quiet(); err != nil {
+			return nil, err
+		}
+		counts := make([]int64, M)
+		for id := 0; id < m; id++ {
+			if alive[id] && !lr.Alive(id) {
+				alive[id] = false
+			}
+			if alive[id] {
+				e := g.Edges[id]
+				counts[vertexOwner(e.U)]++ // counted once, by U's owner
+			}
+		}
+		total, err := tree.AllReduceSum(cluster, 1, func(machine int) []int64 {
+			return []int64{counts[machine]}
+		})
+		if err != nil {
+			return nil, err
+		}
+		aliveCount = total[0]
+	}
+
+	res.Edges = lr.Unwind()
+	res.Weight = graph.MatchingWeight(g, res.Edges)
+	res.StackSize = lr.StackSize()
+	res.Metrics = cluster.Metrics()
+	return res, nil
+}
+
+// maxB returns max_v b(v), used for space budgeting.
+func maxB(g *graph.Graph, b func(int) int) int {
+	mb := 1
+	for v := 0; v < g.N; v++ {
+		if bv := b(v); bv > mb {
+			mb = bv
+		}
+	}
+	return mb
+}

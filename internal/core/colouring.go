@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/mpc"
+	"repro/internal/rng"
+	"repro/internal/seq"
+)
+
+// ColouringResult is the output of VertexColouring and EdgeColouring.
+type ColouringResult struct {
+	// Colours assigns a colour to every vertex (VertexColouring) or edge
+	// (EdgeColouring). Colours are globally distinct across groups: colour
+	// = group * (maxGroupColours) + local colour.
+	Colours []int
+	// NumColours is the number of distinct colours used.
+	NumColours int
+	// Groups is κ, the number of random groups.
+	Groups int
+	// MaxGroupDegree is the largest maximum degree of any group subgraph.
+	MaxGroupDegree int
+	// Metrics are the measured MapReduce costs.
+	Metrics mpc.Metrics
+}
+
+// colouringGroups returns κ = n^{(c−µ)/2} clamped to [1, n], with c
+// estimated from the instance (m = n^{1+c}).
+func colouringGroups(n, m int, mu float64) int {
+	if n < 2 || m == 0 {
+		return 1
+	}
+	c := math.Log(float64(m))/math.Log(float64(n)) - 1
+	if c < mu {
+		return 1
+	}
+	k := int(math.Round(math.Pow(float64(n), (c-mu)/2)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// VertexColouring is Algorithm 5: (1+o(1))∆ vertex colouring in O(1) rounds
+// (Theorem 6.4). Vertices are randomly partitioned into κ = n^{(c−µ)/2}
+// groups; each group's induced subgraph is routed to its own machine, which
+// colours it greedily with ∆_i + 1 colours; the global colour of v is the
+// pair (group, local colour). Lemma 6.1 bounds ∆_i ≤ (1+o(1))∆/κ and
+// Lemma 6.2 bounds each group's edge count by 13·n^{1+µ} w.h.p., so the
+// total colour count is (1+o(1))∆.
+func VertexColouring(g *graph.Graph, p Params) (*ColouringResult, error) {
+	n, m := g.N, g.M()
+	if n == 0 {
+		return &ColouringResult{Colours: []int{}}, nil
+	}
+	etaWords := eta(n, p.Mu, 8)
+	kappa := colouringGroups(n, m, p.Mu)
+	// Machine 0 coordinates; group i is coloured on machine 1+i; edges are
+	// initially spread over all machines.
+	M := 1 + kappa
+	if dm := dataMachines(3*m, 4*etaWords); dm > M {
+		M = dm
+	}
+	cluster := newCluster(M, etaWords, p.Strict, capSlack)
+	r := rng.New(p.Seed)
+	edgeOwner := func(id int) int { return 1 + id%(M-1) }
+	groupMachine := func(grp int) int { return 1 + grp%(M-1) }
+
+	resident := make([]int, M)
+	for id := 0; id < m; id++ {
+		resident[edgeOwner(id)] += 3
+	}
+	for machine := 1; machine < M; machine++ {
+		cluster.SetResident(machine, resident[machine])
+	}
+
+	// Group assignment is a shared hash (every machine can evaluate it), so
+	// no communication is needed to learn a vertex's group.
+	group := make([]int, n)
+	for v := 0; v < n; v++ {
+		group[v] = r.Intn(kappa)
+	}
+
+	// Route round: every monochromatic edge goes to its group's machine.
+	groupEdges := make([][]graph.Edge, kappa)
+	err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		for id := 0; id < m; id++ {
+			if edgeOwner(id) != machine {
+				continue
+			}
+			e := g.Edges[id]
+			if group[e.U] == group[e.V] {
+				out.SendInts(groupMachine(group[e.U]), int64(e.U), int64(e.V))
+				groupEdges[group[e.U]] = append(groupEdges[group[e.U]], e)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Failure check (Line 4): any group with more than 13·n^{1+µ} edges
+	// fails the algorithm (a w.h.p.-never event).
+	capEdges := int(math.Ceil(13 * math.Pow(float64(n), 1+p.Mu)))
+	for i, ge := range groupEdges {
+		if len(ge) > capEdges {
+			return nil, fmt.Errorf("core: VertexColouring group %d has %d > 13n^{1+µ} = %d edges", i, len(ge), capEdges)
+		}
+	}
+
+	// Each group machine colours its induced subgraph greedily; one round
+	// of local computation plus one output round.
+	colours := make([]int, n)
+	maxGroupDeg := 0
+	maxLocal := 0
+	localColour := make([]int, n)
+	for i := 0; i < kappa; i++ {
+		sub, toLocal := induced(g.N, groupEdges[i], func(v int) bool { return group[v] == i })
+		col := seq.GreedyVertexColouring(sub, nil)
+		if d := sub.MaxDegree(); d > maxGroupDeg {
+			maxGroupDeg = d
+		}
+		for v := 0; v < n; v++ {
+			if group[v] == i {
+				localColour[v] = col[toLocal[v]]
+				if localColour[v] > maxLocal {
+					maxLocal = localColour[v]
+				}
+			}
+		}
+	}
+	// Output round: group machines emit (v, group, local colour).
+	err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		for v := 0; v < n; v++ {
+			if groupMachine(group[v]) == machine {
+				out.SendInts(0, int64(v), int64(group[v]), int64(localColour[v]))
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	stride := maxLocal + 1
+	for v := 0; v < n; v++ {
+		colours[v] = group[v]*stride + localColour[v]
+	}
+
+	return &ColouringResult{
+		Colours:        colours,
+		NumColours:     graph.NumColours(colours),
+		Groups:         kappa,
+		MaxGroupDegree: maxGroupDeg,
+		Metrics:        cluster.Metrics(),
+	}, nil
+}
+
+// EdgeColouring is the edge-colouring variant of Algorithm 5 (Remark 6.5,
+// Theorem 6.6): edges are randomly partitioned into κ groups, each group is
+// edge-coloured with ∆_i + 1 colours by the Misra–Gries algorithm, and the
+// global colour of an edge is the pair (group, local colour).
+func EdgeColouring(g *graph.Graph, p Params) (*ColouringResult, error) {
+	n, m := g.N, g.M()
+	if m == 0 {
+		return &ColouringResult{Colours: []int{}}, nil
+	}
+	etaWords := eta(n, p.Mu, 8)
+	kappa := colouringGroups(n, m, p.Mu)
+	M := 1 + kappa
+	if dm := dataMachines(3*m, 4*etaWords); dm > M {
+		M = dm
+	}
+	cluster := newCluster(M, etaWords, p.Strict, capSlack)
+	r := rng.New(p.Seed)
+	edgeOwner := func(id int) int { return 1 + id%(M-1) }
+	groupMachine := func(grp int) int { return 1 + grp%(M-1) }
+
+	resident := make([]int, M)
+	for id := 0; id < m; id++ {
+		resident[edgeOwner(id)] += 3
+	}
+	for machine := 1; machine < M; machine++ {
+		cluster.SetResident(machine, resident[machine])
+	}
+
+	group := make([]int, m)
+	for id := 0; id < m; id++ {
+		group[id] = r.Intn(kappa)
+	}
+
+	// Route round: each edge goes to its group's machine.
+	groupIDs := make([][]int, kappa)
+	err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		for id := 0; id < m; id++ {
+			if edgeOwner(id) != machine {
+				continue
+			}
+			e := g.Edges[id]
+			out.SendInts(groupMachine(group[id]), int64(e.U), int64(e.V))
+			groupIDs[group[id]] = append(groupIDs[group[id]], id)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	capEdges := int(math.Ceil(13 * math.Pow(float64(n), 1+p.Mu)))
+	for i, ids := range groupIDs {
+		if len(ids) > capEdges {
+			return nil, fmt.Errorf("core: EdgeColouring group %d has %d > %d edges", i, len(ids), capEdges)
+		}
+	}
+
+	colours := make([]int, m)
+	localColour := make([]int, m)
+	maxGroupDeg := 0
+	maxLocal := 0
+	for i := 0; i < kappa; i++ {
+		// Build the group subgraph on the same vertex ids (compacted).
+		sub := graph.New(n)
+		for _, id := range groupIDs[i] {
+			e := g.Edges[id]
+			sub.AddEdge(e.U, e.V, 1)
+		}
+		col := seq.MisraGries(sub)
+		if d := sub.MaxDegree(); d > maxGroupDeg {
+			maxGroupDeg = d
+		}
+		for k, id := range groupIDs[i] {
+			localColour[id] = col[k]
+			if col[k] > maxLocal {
+				maxLocal = col[k]
+			}
+		}
+	}
+	// Output round.
+	err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		for id := 0; id < m; id++ {
+			if groupMachine(group[id]) == machine {
+				out.SendInts(0, int64(id), int64(group[id]), int64(localColour[id]))
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	stride := maxLocal + 1
+	for id := 0; id < m; id++ {
+		colours[id] = group[id]*stride + localColour[id]
+	}
+
+	return &ColouringResult{
+		Colours:        colours,
+		NumColours:     graph.NumColours(colours),
+		Groups:         kappa,
+		MaxGroupDegree: maxGroupDeg,
+		Metrics:        cluster.Metrics(),
+	}, nil
+}
+
+// induced builds the subgraph induced by the vertices selected by keep,
+// using the provided edge list, with compacted vertex ids. It returns the
+// subgraph and the old→new vertex id map.
+func induced(n int, edges []graph.Edge, keep func(v int) bool) (*graph.Graph, map[int]int) {
+	toLocal := make(map[int]int)
+	for v := 0; v < n; v++ {
+		if keep(v) {
+			toLocal[v] = len(toLocal)
+		}
+	}
+	sub := graph.New(len(toLocal))
+	for _, e := range edges {
+		sub.AddEdge(toLocal[e.U], toLocal[e.V], e.W)
+	}
+	return sub, toLocal
+}

@@ -1,0 +1,175 @@
+package core
+
+// Every algorithm must be exactly reproducible from its seed (the property
+// the experiment harness depends on) and must handle degenerate inputs.
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/setcover"
+)
+
+func TestDeterminismAllAlgorithms(t *testing.T) {
+	r := rng.New(160)
+	g := graph.Density(150, 0.35, r)
+	g.AssignUniformWeights(r, 1, 10)
+	w := make([]float64, g.N)
+	for i := range w {
+		w[i] = r.UniformWeight(1, 10)
+	}
+	vcInst := setcover.FromVertexCover(g, w)
+	scInst := setcover.RandomSized(300, 60, 8, 5, r)
+	p := Params{Mu: 0.25, Seed: 77}
+
+	type run struct {
+		name string
+		f    func() (int, float64, int, error) // size, weight, rounds
+	}
+	runs := []run{
+		{"RLRMatching", func() (int, float64, int, error) {
+			res, err := RLRMatching(g, p, MatchingOptions{})
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return len(res.Edges), res.Weight, res.Metrics.Rounds, nil
+		}},
+		{"BMatching", func() (int, float64, int, error) {
+			res, err := BMatching(g, p, BMatchingOptions{Eps: 0.2})
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return len(res.Edges), res.Weight, res.Metrics.Rounds, nil
+		}},
+		{"RLRSetCover", func() (int, float64, int, error) {
+			res, err := RLRSetCover(vcInst, p, CoverOptions{VertexCoverMode: true})
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return len(res.Cover), res.Weight, res.Metrics.Rounds, nil
+		}},
+		{"HGSetCover", func() (int, float64, int, error) {
+			res, err := HGSetCover(scInst, p, HGCoverOptions{Eps: 0.2})
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return len(res.Cover), res.Weight, res.Metrics.Rounds, nil
+		}},
+		{"MIS", func() (int, float64, int, error) {
+			res, err := MIS(g, p)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return len(res.Set), 0, res.Metrics.Rounds, nil
+		}},
+		{"MISFast", func() (int, float64, int, error) {
+			res, err := MISFast(g, p)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return len(res.Set), 0, res.Metrics.Rounds, nil
+		}},
+		{"LubyMIS", func() (int, float64, int, error) {
+			res, err := LubyMIS(g, p)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return len(res.Set), 0, res.Metrics.Rounds, nil
+		}},
+		{"MaximalClique", func() (int, float64, int, error) {
+			res, err := MaximalClique(g, p)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return len(res.Clique), 0, res.Metrics.Rounds, nil
+		}},
+		{"VertexColouring", func() (int, float64, int, error) {
+			res, err := VertexColouring(g, p)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return res.NumColours, 0, res.Metrics.Rounds, nil
+		}},
+		{"EdgeColouring", func() (int, float64, int, error) {
+			res, err := EdgeColouring(g, p)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return res.NumColours, 0, res.Metrics.Rounds, nil
+		}},
+		{"FilteringMatching", func() (int, float64, int, error) {
+			res, err := FilteringMatching(g, p)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return len(res.Edges), 0, res.Metrics.Rounds, nil
+		}},
+		{"FilteringWeighted", func() (int, float64, int, error) {
+			res, err := FilteringWeightedMatching(g, p)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return len(res.Edges), res.Weight, res.Metrics.Rounds, nil
+		}},
+		{"LayeredParallel", func() (int, float64, int, error) {
+			res, err := LayeredParallelMatching(g, p, 0.5)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return len(res.Edges), res.Weight, res.Metrics.Rounds, nil
+		}},
+	}
+	for _, rn := range runs {
+		s1, w1, r1, err := rn.f()
+		if err != nil {
+			t.Fatalf("%s first run: %v", rn.name, err)
+		}
+		s2, w2, r2, err := rn.f()
+		if err != nil {
+			t.Fatalf("%s second run: %v", rn.name, err)
+		}
+		if s1 != s2 || w1 != w2 || r1 != r2 {
+			t.Fatalf("%s not deterministic: (%d,%v,%d) vs (%d,%v,%d)",
+				rn.name, s1, w1, r1, s2, w2, r2)
+		}
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	empty := graph.New(0)
+	one := graph.New(1)
+	p := Params{Mu: 0.2, Seed: 1}
+
+	if res, err := RLRMatching(empty, p, MatchingOptions{}); err != nil || len(res.Edges) != 0 {
+		t.Fatal("matching on empty graph")
+	}
+	if res, err := BMatching(empty, p, BMatchingOptions{}); err != nil || len(res.Edges) != 0 {
+		t.Fatal("b-matching on empty graph")
+	}
+	if res, err := MISFast(one, p); err != nil || len(res.Set) != 1 {
+		t.Fatal("MIS of a single vertex must be that vertex")
+	}
+	if res, err := MIS(one, p); err != nil || len(res.Set) != 1 {
+		t.Fatal("Alg2 MIS of a single vertex")
+	}
+	if res, err := LubyMIS(one, p); err != nil || len(res.Set) != 1 {
+		t.Fatal("Luby MIS of a single vertex")
+	}
+	if res, err := MaximalClique(one, p); err != nil || len(res.Clique) != 1 {
+		t.Fatal("clique of a single vertex")
+	}
+	if res, err := VertexColouring(one, p); err != nil || len(res.Colours) != 1 {
+		t.Fatal("colouring a single vertex")
+	}
+	if res, err := FilteringMatching(empty, p); err != nil || len(res.Edges) != 0 {
+		t.Fatal("filtering on empty graph")
+	}
+	inst := &setcover.Instance{NumElements: 0}
+	if res, err := RLRSetCover(inst, p, CoverOptions{}); err != nil || len(res.Cover) != 0 {
+		t.Fatal("set cover with no elements")
+	}
+	if res, err := HGSetCover(inst, p, HGCoverOptions{}); err != nil || len(res.Cover) != 0 {
+		t.Fatal("hg set cover with no elements")
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/mpc"
+	"repro/internal/rng"
+)
+
+// FilteringResult is the output of the Lattanzi et al. filtering baselines.
+type FilteringResult struct {
+	// Edges are the selected matching edges.
+	Edges []int
+	// VertexCover is the 2-approximate unweighted vertex cover induced by
+	// the maximal matching (both endpoints of every matched edge).
+	VertexCover map[int]bool
+	// Iterations is the number of filtering iterations.
+	Iterations int
+	// Metrics are the measured MapReduce costs.
+	Metrics mpc.Metrics
+}
+
+// FilteringMatching is the filtering technique of Lattanzi, Moseley, Suri
+// and Vassilvitskii (SPAA 2011) for unweighted maximal matching, the
+// prior-work baseline in Figure 1 (2-approximation for matching; its matched
+// vertices give a 2-approximation for unweighted vertex cover).
+//
+// Each iteration samples edges with probability η/|E|, computes a maximal
+// matching of the sample on the central machine, and keeps only edges with
+// both endpoints unmatched; when the residue fits on one machine it is
+// finished there.
+func FilteringMatching(g *graph.Graph, p Params) (*FilteringResult, error) {
+	n, m := g.N, g.M()
+	if m == 0 {
+		return &FilteringResult{VertexCover: map[int]bool{}}, nil
+	}
+	etaWords := eta(n, p.Mu, 8)
+	M := dataMachines(3*m, 3*etaWords)
+	cluster := newCluster(M, etaWords, p.Strict, capSlack)
+	tree := mpc.NewTree(cluster, 0, treeDegree(n, p.Mu))
+	r := rng.New(p.Seed)
+	edgeOwner := func(id int) int { return 1 + id%(M-1) }
+
+	resident := make([]int, M)
+	for id := 0; id < m; id++ {
+		resident[edgeOwner(id)] += 3
+	}
+	for machine := 1; machine < M; machine++ {
+		cluster.SetResident(machine, resident[machine])
+	}
+	cluster.SetResident(0, n) // matched-vertex bitmap
+
+	matched := make([]bool, n)
+	alive := make([]bool, m)
+	aliveCount := int64(m)
+	for id := range alive {
+		alive[id] = true
+	}
+	var matching []int
+	iterations := 0
+
+	// centralMaximal adds a maximal matching over the given edge ids
+	// (respecting already-matched vertices) and returns the newly matched
+	// vertices.
+	centralMaximal := func(ids []int) []int {
+		sort.Ints(ids)
+		var newly []int
+		for _, id := range ids {
+			e := g.Edges[id]
+			if !matched[e.U] && !matched[e.V] {
+				matched[e.U] = true
+				matched[e.V] = true
+				matching = append(matching, id)
+				newly = append(newly, e.U, e.V)
+			}
+		}
+		return newly
+	}
+
+	for aliveCount > 0 {
+		if iterations >= p.maxIter() {
+			return nil, fmt.Errorf("core: FilteringMatching exceeded %d iterations", p.maxIter())
+		}
+		iterations++
+		final := aliveCount <= int64(etaWords)
+		prob := 1.0
+		if !final {
+			prob = math.Min(1, float64(etaWords)/float64(aliveCount))
+		}
+		var sampled []int
+		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+			for id := 0; id < m; id++ {
+				if edgeOwner(id) != machine || !alive[id] {
+					continue
+				}
+				if final || r.Bernoulli(prob) {
+					out.SendInts(0, int64(id))
+					sampled = append(sampled, id)
+				}
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		newly := centralMaximal(sampled)
+
+		// Broadcast the newly matched vertices down the tree; owners kill
+		// incident edges.
+		payload := make([]int64, len(newly))
+		for i, v := range newly {
+			payload[i] = int64(v)
+		}
+		if err := tree.Broadcast(cluster, payload, nil); err != nil {
+			return nil, err
+		}
+		counts := make([]int64, M)
+		for id := 0; id < m; id++ {
+			if alive[id] {
+				e := g.Edges[id]
+				if matched[e.U] || matched[e.V] || final {
+					alive[id] = false
+				}
+			}
+			if alive[id] {
+				counts[edgeOwner(id)]++
+			}
+		}
+		total, err := tree.AllReduceSum(cluster, 1, func(machine int) []int64 {
+			return []int64{counts[machine]}
+		})
+		if err != nil {
+			return nil, err
+		}
+		aliveCount = total[0]
+	}
+
+	cover := make(map[int]bool)
+	for _, id := range matching {
+		cover[g.Edges[id].U] = true
+		cover[g.Edges[id].V] = true
+	}
+	return &FilteringResult{
+		Edges:       matching,
+		VertexCover: cover,
+		Iterations:  iterations,
+		Metrics:     cluster.Metrics(),
+	}, nil
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/seq"
+)
+
+func TestFilteringWeightedMatchingSmallExact(t *testing.T) {
+	r := rng.New(80)
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + r.Intn(5)
+		m := 1 + r.Intn(15)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := graph.GNM(n, m, r)
+		g.AssignUniformWeights(r, 1, 50)
+		res, err := FilteringWeightedMatching(g, Params{Mu: 0.3, Seed: uint64(trial)})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !graph.IsMatching(g, res.Edges) {
+			t.Fatalf("trial %d: invalid matching", trial)
+		}
+		opt := seq.BruteForceMatching(g)
+		if 8*res.Weight < opt-1e-9 {
+			t.Fatalf("trial %d: weight %v < OPT/8 (OPT=%v)", trial, res.Weight, opt)
+		}
+	}
+}
+
+func TestFilteringWeightedMatchingRejectsNonPositive(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 0)
+	if _, err := FilteringWeightedMatching(g, Params{Mu: 0.2, Seed: 1}); err == nil {
+		t.Fatal("expected error for zero weight")
+	}
+}
+
+func TestRLRBeatsLayeredFiltering(t *testing.T) {
+	// The Figure 1 "who wins" shape: the paper's 2-approximation should
+	// usually beat the prior 8-approximation on weight. Demand it on
+	// average over several graphs (any single instance can tie).
+	r := rng.New(81)
+	winsRLR, total := 0.0, 0.0
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Density(250, 0.3, r)
+		g.AssignUniformWeights(r, 1, 1000) // wide spread stresses layering
+		rlr, err := RLRMatching(g, Params{Mu: 0.25, Seed: uint64(trial)}, MatchingOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lay, err := FilteringWeightedMatching(g, Params{Mu: 0.25, Seed: uint64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		winsRLR += rlr.Weight / lay.Weight
+		total++
+	}
+	if avg := winsRLR / total; avg < 1.0 {
+		t.Fatalf("RLR/layered average weight ratio %v < 1: the 2-approx should win", avg)
+	}
+}
+
+func TestFilteringWeightedMatchingUniformWeights(t *testing.T) {
+	// With all weights in one class the algorithm degenerates to plain
+	// filtering and the result must be a maximal matching.
+	r := rng.New(82)
+	g := graph.GNM(60, 200, r)
+	g.AssignUnitWeights()
+	res, err := FilteringWeightedMatching(g, Params{Mu: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsMaximalMatching(g, res.Edges) {
+		t.Fatal("uniform-weight layered filtering must give a maximal matching")
+	}
+}
+
+func TestLayeredParallelMatchingValid(t *testing.T) {
+	r := rng.New(85)
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + r.Intn(8)
+		m := 1 + r.Intn(16)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := graph.GNM(n, m, r)
+		g.AssignUniformWeights(r, 1, 100)
+		res, err := LayeredParallelMatching(g, Params{Mu: 0.3, Seed: uint64(trial)}, 0.5)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !graph.IsMatching(g, res.Edges) {
+			t.Fatalf("trial %d: invalid matching", trial)
+		}
+		// Conservative sanity bound: the merged matching keeps at least the
+		// heaviest class's contribution, so it cannot be arbitrarily bad.
+		opt := seq.BruteForceMatching(g)
+		if 8*res.Weight < opt-1e-9 {
+			t.Fatalf("trial %d: weight %v below OPT/8", trial, res.Weight)
+		}
+	}
+}
+
+func TestLayeredParallelFewerIterationsThanSequentialLayers(t *testing.T) {
+	// The point of the parallel variant: classes filter simultaneously, so
+	// the iteration count does not scale with the number of weight classes.
+	r := rng.New(86)
+	g := graph.Density(300, 0.4, r)
+	g.AssignUniformWeights(r, 1, 10000) // many weight classes
+	par, err := LayeredParallelMatching(g, Params{Mu: 0.15, Seed: 2}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sequ, err := FilteringWeightedMatching(g, Params{Mu: 0.15, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Iterations > sequ.Iterations {
+		t.Fatalf("parallel layers used %d iterations vs sequential %d", par.Iterations, sequ.Iterations)
+	}
+	if !graph.IsMatching(g, par.Edges) || !graph.IsMatching(g, sequ.Edges) {
+		t.Fatal("invalid matching")
+	}
+}

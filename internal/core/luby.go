@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/mpc"
+	"repro/internal/rng"
+)
+
+// LubyMIS is Luby's classic randomized maximal independent set algorithm
+// executed in the MapReduce model, the O(log n)-round baseline the paper's
+// hungry-greedy algorithms are measured against (§6 notes its clean
+// MapReduce implementation via one machine per PRAM processor; here vertices
+// are block-partitioned instead, which only helps).
+//
+// Each round every alive vertex draws a uniform priority and exchanges it
+// with its alive neighbours; local minima join the independent set, and
+// their neighbourhoods are removed. Expected rounds: O(log n).
+func LubyMIS(g *graph.Graph, p Params) (*MISResult, error) {
+	n := g.N
+	if n == 0 {
+		return &MISResult{Set: map[int]bool{}}, nil
+	}
+	g.Build()
+	etaWords := eta(n, p.Mu, 8)
+	M := dataMachines(3*n+2*g.M(), 4*etaWords)
+	cluster := newCluster(M, etaWords, p.Strict, capSlack)
+	tree := mpc.NewTree(cluster, 0, treeDegree(n, p.Mu))
+	r := rng.New(p.Seed)
+	vertexOwner := func(v int) int { return 1 + v%(M-1) }
+
+	inI := make([]bool, n)
+	dominated := make([]bool, n)
+	aliveVertex := func(v int) bool { return !inI[v] && !dominated[v] }
+
+	resident := make([]int, M)
+	for v := 0; v < n; v++ {
+		resident[vertexOwner(v)] += 3 + g.Degree(v)
+	}
+	for machine := 1; machine < M; machine++ {
+		cluster.SetResident(machine, resident[machine])
+	}
+
+	aliveCount := int64(n)
+	iterations := 0
+	for aliveCount > 0 {
+		if iterations >= p.maxIter() {
+			return nil, fmt.Errorf("core: LubyMIS exceeded %d iterations", p.maxIter())
+		}
+		iterations++
+
+		// Draw priorities and exchange them along alive edges. Ties are
+		// broken by vertex id; priorities are 53-bit uniform, so ties are
+		// essentially impossible anyway.
+		priority := make([]float64, n)
+		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+			for v := 0; v < n; v++ {
+				if vertexOwner(v) != machine || !aliveVertex(v) {
+					continue
+				}
+				priority[v] = r.Float64()
+			}
+			for v := 0; v < n; v++ {
+				if vertexOwner(v) != machine || !aliveVertex(v) {
+					continue
+				}
+				for _, id := range g.IncidentEdges(v) {
+					u := g.Edges[id].Other(v)
+					if aliveVertex(u) {
+						out.Send(vertexOwner(u), []int64{int64(u), int64(v)}, []float64{priority[v]})
+					}
+				}
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Local minima join I and announce it to their neighbours' owners.
+		better := func(pu float64, u int, pv float64, v int) bool {
+			if pu != pv {
+				return pu < pv
+			}
+			return u < v
+		}
+		localMin := make([]bool, n)
+		err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+			lowest := make(map[int]bool) // v -> seen a better neighbour
+			for _, msg := range in {
+				u := int(msg.Ints[0]) // recipient vertex
+				v := int(msg.Ints[1]) // sending neighbour
+				if better(msg.Floats[0], v, priority[u], u) {
+					lowest[u] = true
+				}
+			}
+			for v := 0; v < n; v++ {
+				if vertexOwner(v) != machine || !aliveVertex(v) {
+					continue
+				}
+				if !lowest[v] {
+					localMin[v] = true
+					for _, id := range g.IncidentEdges(v) {
+						u := g.Edges[id].Other(v)
+						if aliveVertex(u) {
+							out.SendInts(vertexOwner(u), int64(u), int64(v))
+						}
+					}
+				}
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Apply: local minima enter I, their alive neighbours become
+		// dominated. (Two adjacent local minima cannot both exist because
+		// the priority order is strict.)
+		err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+			for _, msg := range in {
+				u := int(msg.Ints[0])
+				if aliveVertex(u) && !localMin[u] {
+					dominated[u] = true
+				}
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		for v := 0; v < n; v++ {
+			if localMin[v] && aliveVertex(v) {
+				inI[v] = true
+			}
+		}
+
+		counts := make([]int64, M)
+		for v := 0; v < n; v++ {
+			if aliveVertex(v) {
+				counts[vertexOwner(v)]++
+			}
+		}
+		total, err := tree.AllReduceSum(cluster, 1, func(machine int) []int64 {
+			return []int64{counts[machine]}
+		})
+		if err != nil {
+			return nil, err
+		}
+		aliveCount = total[0]
+	}
+
+	set := make(map[int]bool)
+	for v, in := range inI {
+		if in {
+			set[v] = true
+		}
+	}
+	return &MISResult{Set: set, Iterations: iterations, Metrics: cluster.Metrics()}, nil
+}

@@ -1,0 +1,545 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/mpc"
+	"repro/internal/rng"
+)
+
+// MISResult is the output of the maximal independent set algorithms.
+type MISResult struct {
+	// Set is the maximal independent set.
+	Set map[int]bool
+	// Iterations is the number of hungry-greedy batches executed.
+	Iterations int
+	// Phases is the number of degree-threshold phases executed.
+	Phases int
+	// History records the alive-edge count measured before each iteration
+	// of MISFast: the decay trajectory of Lemma A.2 (factor n^{µ/8} per
+	// iteration). Unused by the other MIS variants.
+	History []int64
+	// Metrics are the measured MapReduce costs.
+	Metrics mpc.Metrics
+}
+
+// misState is the shared distributed state of Algorithms 2 and 6: vertices
+// (with adjacency lists) partitioned over data machines, per-vertex status
+// and alive-degree, and the central machine's record of the independent set.
+type misState struct {
+	g       *graph.Graph
+	cluster *mpc.Cluster
+	r       *rng.RNG
+	M       int
+
+	inI       []bool // v ∈ I
+	dominated []bool // v ∈ N+(I) \ I
+	dI        []int  // alive degree: |N(v) \ N+(I)|, 0 if v ∈ N+(I)
+}
+
+func (s *misState) vertexOwner(v int) int { return 1 + v%(s.M-1) }
+
+func (s *misState) aliveVertex(v int) bool { return !s.inI[v] && !s.dominated[v] }
+
+func newMISState(g *graph.Graph, cluster *mpc.Cluster, r *rng.RNG) *misState {
+	g.Build()
+	s := &misState{
+		g:         g,
+		cluster:   cluster,
+		r:         r,
+		M:         cluster.M(),
+		inI:       make([]bool, g.N),
+		dominated: make([]bool, g.N),
+		dI:        make([]int, g.N),
+	}
+	for v := 0; v < g.N; v++ {
+		s.dI[v] = g.Degree(v)
+	}
+	resident := make([]int, s.M)
+	for v := 0; v < g.N; v++ {
+		resident[s.vertexOwner(v)] += 3 + g.Degree(v)
+	}
+	for machine := 1; machine < s.M; machine++ {
+		cluster.SetResident(machine, resident[machine])
+	}
+	cluster.SetResident(0, g.N) // central: I and N+(I) bitmaps
+	return s
+}
+
+// aliveNeighbours returns v's neighbours outside N+(I).
+func (s *misState) aliveNeighbours(v int) []int64 {
+	var out []int64
+	for _, id := range s.g.IncidentEdges(v) {
+		u := s.g.Edges[id].Other(v)
+		if s.aliveVertex(u) {
+			out = append(out, int64(u))
+		}
+	}
+	return out
+}
+
+// addToIFromLists marks the vertices in add as members of I and their listed
+// alive neighbours as dominated, returning the newly dominated vertices
+// (including the I members themselves for ownership notification purposes).
+type centralBatch struct {
+	added        []int
+	newDominated []int
+}
+
+// disseminate ships the batch results back to the vertex owners (one routed
+// round), then lets owners notify their dominated vertices' neighbours so
+// every alive vertex can update dI (a second routed round plus a delivery
+// round), mirroring the update step of Theorem 3.3's proof sketch.
+func (s *misState) disseminate(batch centralBatch) error {
+	// Round 1: central tells each owner which of its vertices entered I or
+	// became dominated.
+	err := s.cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		if machine != 0 {
+			return
+		}
+		for _, v := range batch.added {
+			out.SendInts(s.vertexOwner(v), int64(v), 1)
+		}
+		for _, v := range batch.newDominated {
+			out.SendInts(s.vertexOwner(v), int64(v), 0)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	// Round 2: owners record the status change and broadcast "v left the
+	// alive set" to the owners of v's neighbours.
+	err = s.cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		for _, msg := range in {
+			v := int(msg.Ints[0])
+			if msg.Ints[1] == 1 {
+				s.inI[v] = true
+			} else {
+				s.dominated[v] = true
+			}
+			s.dI[v] = 0
+			for _, id := range s.g.IncidentEdges(v) {
+				u := s.g.Edges[id].Other(v)
+				out.SendInts(s.vertexOwner(u), int64(u))
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	// Round 3: owners decrement dI of their still-alive vertices once per
+	// removed neighbour.
+	return s.cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		for _, msg := range in {
+			u := int(msg.Ints[0])
+			if s.aliveVertex(u) && s.dI[u] > 0 {
+				s.dI[u]--
+			}
+		}
+	})
+}
+
+// centralProcessGroups runs the hungry-greedy inner loop on the central
+// machine: candidates arrive in groups; from each group the first vertex
+// whose current alive degree (w.r.t. the central machine's view of N+(I))
+// is at least threshold joins I. Candidate lists were computed against the
+// alive set at sampling time; the central machine re-filters them against
+// its batch-local dominated set, exactly as the paper's central machine can
+// (it holds the sampled neighbour lists).
+func (s *misState) centralProcessGroups(groups [][]candidate, threshold int) centralBatch {
+	return s.centralProcessGroupsWithState(groups, threshold, make(map[int]bool))
+}
+
+type candidate struct {
+	v         int
+	aliveNbrs []int64
+}
+
+// sampleToCentral performs the sampling round: every vertex for which
+// include(v) is true joins the sample with probability prob and ships
+// (v, alive neighbour list) to the central machine. The returned candidates
+// are in submission order (machine order, then vertex order), which the
+// central machine chops into groups.
+func (s *misState) sampleToCentral(include func(v int) bool, prob float64) ([]candidate, error) {
+	var sample []candidate
+	err := s.cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		for v := 0; v < s.g.N; v++ {
+			if s.vertexOwner(v) != machine || !include(v) {
+				continue
+			}
+			if !s.r.Bernoulli(prob) {
+				continue
+			}
+			nbrs := s.aliveNeighbours(v)
+			payload := append([]int64{int64(v)}, nbrs...)
+			out.Send(0, payload, nil)
+			sample = append(sample, candidate{v: v, aliveNbrs: nbrs})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sample, nil
+}
+
+// chopGroups splits a shuffled sample into groups of the given size.
+func chopGroups(r *rng.RNG, sample []candidate, groupSize int) [][]candidate {
+	r.Shuffle(len(sample), func(i, j int) { sample[i], sample[j] = sample[j], sample[i] })
+	if groupSize < 1 {
+		groupSize = 1
+	}
+	var groups [][]candidate
+	for i := 0; i < len(sample); i += groupSize {
+		end := i + groupSize
+		if end > len(sample) {
+			end = len(sample)
+		}
+		groups = append(groups, sample[i:end])
+	}
+	return groups
+}
+
+// finishCentrally gathers the remaining alive vertices with their alive
+// adjacency onto the central machine (one round) and completes the
+// independent set greedily.
+func (s *misState) finishCentrally() error {
+	var leftovers []candidate
+	err := s.cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		for v := 0; v < s.g.N; v++ {
+			if s.vertexOwner(v) != machine || !s.aliveVertex(v) {
+				continue
+			}
+			nbrs := s.aliveNeighbours(v)
+			out.Send(0, append([]int64{int64(v)}, nbrs...), nil)
+			leftovers = append(leftovers, candidate{v: v, aliveNbrs: nbrs})
+		}
+	})
+	if err != nil {
+		return err
+	}
+	sort.Slice(leftovers, func(i, j int) bool { return leftovers[i].v < leftovers[j].v })
+	blocked := make(map[int]bool)
+	var batch centralBatch
+	for _, cand := range leftovers {
+		if blocked[cand.v] {
+			continue
+		}
+		batch.added = append(batch.added, cand.v)
+		blocked[cand.v] = true
+		for _, u := range cand.aliveNbrs {
+			if !blocked[int(u)] {
+				batch.newDominated = append(batch.newDominated, int(u))
+				blocked[int(u)] = true
+			}
+		}
+	}
+	return s.disseminate(batch)
+}
+
+// aliveEdgeCount aggregates Σ_v alive dI(v) / 2 = |E_k| over the tree.
+func (s *misState) aliveEdgeCount(tree *mpc.Tree) (int64, error) {
+	counts := make([]int64, s.M)
+	for v := 0; v < s.g.N; v++ {
+		if s.aliveVertex(v) {
+			counts[s.vertexOwner(v)] += int64(s.dI[v])
+		}
+	}
+	total, err := tree.AllReduceSum(s.cluster, 1, func(machine int) []int64 {
+		return []int64{counts[machine]}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total[0] / 2, nil
+}
+
+// result assembles the final MISResult.
+func (s *misState) result(iterations, phases int) *MISResult {
+	set := make(map[int]bool)
+	for v, in := range s.inI {
+		if in {
+			set[v] = true
+		}
+	}
+	return &MISResult{
+		Set:        set,
+		Iterations: iterations,
+		Phases:     phases,
+		Metrics:    s.cluster.Metrics(),
+	}
+}
+
+// MIS is Algorithm 2: the warm-up hungry-greedy maximal independent set in
+// O(1/µ²) rounds (Theorem 3.3). Phases i = 1..1/α (α = µ/2) reduce the
+// maximum alive degree from n^{1-(i-1)α} to n^{1-iα}; within a phase, heavy
+// vertices (alive degree ≥ n^{1-iα}) are sampled in groups of n^{µ/2} and
+// the central machine adds one qualifying vertex per group.
+func MIS(g *graph.Graph, p Params) (*MISResult, error) {
+	n := g.N
+	if n == 0 {
+		return &MISResult{Set: map[int]bool{}}, nil
+	}
+	etaWords := eta(n, p.Mu, 8)
+	M := dataMachines(3*n+2*g.M(), 4*etaWords)
+	cluster := newCluster(M, etaWords, p.Strict, capSlack)
+	tree := mpc.NewTree(cluster, 0, treeDegree(n, p.Mu))
+	r := rng.New(p.Seed)
+	s := newMISState(g, cluster, r)
+
+	alpha := p.Mu / 2
+	if alpha <= 0 {
+		alpha = 0.05
+	}
+	phases := int(math.Ceil(1 / alpha))
+	nf := float64(n)
+	groupSize := int(math.Ceil(math.Pow(nf, p.Mu/2)))
+	iterations := 0
+
+	for i := 1; i <= phases; i++ {
+		thresholdF := math.Pow(nf, 1-float64(i)*alpha)
+		threshold := int(math.Ceil(thresholdF))
+		if threshold < 1 {
+			threshold = 1
+		}
+		heavyMin := math.Pow(nf, float64(i)*alpha) // while |V_H| >= n^{iα}
+		for {
+			if iterations >= p.maxIter() {
+				return nil, fmt.Errorf("core: MIS exceeded %d iterations", p.maxIter())
+			}
+			// Count heavy vertices (aggregated over the tree).
+			counts := make([]int64, M)
+			for v := 0; v < n; v++ {
+				if s.aliveVertex(v) && s.dI[v] >= threshold {
+					counts[s.vertexOwner(v)]++
+				}
+			}
+			total, err := tree.AllReduceSum(cluster, 1, func(machine int) []int64 {
+				return []int64{counts[machine]}
+			})
+			if err != nil {
+				return nil, err
+			}
+			heavy := total[0]
+			if heavy == 0 {
+				break
+			}
+			if float64(heavy) < heavyMin {
+				// Line 12: fewer than n^{iα} heavy vertices remain; gather
+				// them and finish the phase centrally with a greedy MIS
+				// restricted to V_H.
+				heavySet := func(v int) bool { return s.aliveVertex(v) && s.dI[v] >= threshold }
+				sample, err := s.sampleToCentral(heavySet, 1)
+				if err != nil {
+					return nil, err
+				}
+				sort.Slice(sample, func(a, b int) bool { return sample[a].v < sample[b].v })
+				groups := make([][]candidate, len(sample))
+				for k := range sample {
+					groups[k] = sample[k : k+1]
+				}
+				batch := s.centralProcessGroups(groups, 0)
+				if err := s.disseminate(batch); err != nil {
+					return nil, err
+				}
+				iterations++
+				break
+			}
+			// Draw ~n^{iα} groups of n^{µ/2} heavy vertices via
+			// self-sampling (each heavy vertex joins with probability
+			// groups*groupSize/|V_H|).
+			target := heavyMin * float64(groupSize)
+			prob := math.Min(1, target/float64(heavy))
+			heavySet := func(v int) bool { return s.aliveVertex(v) && s.dI[v] >= threshold }
+			sample, err := s.sampleToCentral(heavySet, prob)
+			if err != nil {
+				return nil, err
+			}
+			groups := chopGroups(r, sample, groupSize)
+			batch := s.centralProcessGroups(groups, threshold)
+			if err := s.disseminate(batch); err != nil {
+				return nil, err
+			}
+			iterations++
+		}
+	}
+	// All alive vertices now have dI < n^{1-phases*α} ≤ 1, i.e. dI = 0:
+	// gather and add them all.
+	if err := s.finishCentrally(); err != nil {
+		return nil, err
+	}
+	return s.result(iterations, phases), nil
+}
+
+// MISFast is Algorithm 6: the improved hungry-greedy maximal independent
+// set in O(c/µ) rounds (Theorem A.3). Each iteration buckets alive vertices
+// into degree classes V_{k,i} = {v : n^{1-iα} ≤ d_I(v) < n^{1-(i-1)α}},
+// samples n^{(i+1)α} groups of n^{µ/2} vertices from each class, and the
+// central machine adds one vertex with d_I ≥ n^{1-(i+1)α} per group; the
+// alive edge count drops by a factor n^{µ/8} per iteration w.h.p.
+// (Lemma A.2). When fewer than n^{1+µ} edges remain the residual graph is
+// gathered and finished centrally.
+func MISFast(g *graph.Graph, p Params) (*MISResult, error) {
+	n := g.N
+	if n == 0 {
+		return &MISResult{Set: map[int]bool{}}, nil
+	}
+	etaWords := eta(n, p.Mu, 8)
+	M := dataMachines(3*n+2*g.M(), 4*etaWords)
+	cluster := newCluster(M, etaWords, p.Strict, capSlack)
+	tree := mpc.NewTree(cluster, 0, treeDegree(n, p.Mu))
+	r := rng.New(p.Seed)
+	s := newMISState(g, cluster, r)
+
+	alpha := p.Mu / 8
+	if alpha <= 0 {
+		alpha = 0.0125
+	}
+	classes := int(math.Ceil(1 / alpha))
+	nf := float64(n)
+	groupSize := int(math.Ceil(math.Pow(nf, p.Mu/2)))
+	iterations := 0
+	var history []int64
+
+	for {
+		if iterations >= p.maxIter() {
+			return nil, fmt.Errorf("core: MISFast exceeded %d iterations", p.maxIter())
+		}
+		edges, err := s.aliveEdgeCount(tree)
+		if err != nil {
+			return nil, err
+		}
+		history = append(history, edges)
+		if float64(edges) < math.Pow(nf, 1+p.Mu) {
+			break
+		}
+		iterations++
+		// One sampling round covers all degree classes: each alive vertex
+		// knows its class from d_I and self-samples with the class's rate.
+		classOf := func(v int) int {
+			if !s.aliveVertex(v) || s.dI[v] == 0 {
+				return -1
+			}
+			d := float64(s.dI[v])
+			// class i: n^{1-iα} <= d < n^{1-(i-1)α}
+			i := int(math.Ceil((1 - math.Log(d)/math.Log(nf)) / alpha))
+			if i < 1 {
+				i = 1
+			}
+			if i > classes {
+				i = classes
+			}
+			return i
+		}
+		classCounts := make([]int64, classes+1)
+		machineClassCounts := make([][]int64, M)
+		for machine := range machineClassCounts {
+			machineClassCounts[machine] = make([]int64, classes+1)
+		}
+		for v := 0; v < n; v++ {
+			if i := classOf(v); i >= 1 {
+				machineClassCounts[s.vertexOwner(v)][i]++
+			}
+		}
+		totals, err := tree.AllReduceSum(cluster, classes+1, func(machine int) []int64 {
+			return machineClassCounts[machine]
+		})
+		if err != nil {
+			return nil, err
+		}
+		copy(classCounts, totals)
+
+		sampleProb := func(v int) float64 {
+			i := classOf(v)
+			if i < 1 || classCounts[i] == 0 {
+				return 0
+			}
+			target := math.Pow(nf, float64(i+1)*alpha) * float64(groupSize)
+			return math.Min(1, target/float64(classCounts[i]))
+		}
+		var byClass [][]candidate = make([][]candidate, classes+1)
+		err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+			for v := 0; v < n; v++ {
+				if s.vertexOwner(v) != machine {
+					continue
+				}
+				i := classOf(v)
+				if i < 1 {
+					continue
+				}
+				if !r.Bernoulli(sampleProb(v)) {
+					continue
+				}
+				nbrs := s.aliveNeighbours(v)
+				out.Send(0, append([]int64{int64(v)}, nbrs...), nil)
+				byClass[i] = append(byClass[i], candidate{v: v, aliveNbrs: nbrs})
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Central machine: process classes in increasing i; threshold for
+		// class i is n^{1-(i+1)α}.
+		var batch centralBatch
+		batchDominated := make(map[int]bool)
+		for i := 1; i <= classes; i++ {
+			if len(byClass[i]) == 0 {
+				continue
+			}
+			threshold := int(math.Ceil(math.Pow(nf, 1-float64(i+1)*alpha)))
+			if threshold < 1 {
+				threshold = 1
+			}
+			groups := chopGroups(r, byClass[i], groupSize)
+			sub := s.centralProcessGroupsWithState(groups, threshold, batchDominated)
+			batch.added = append(batch.added, sub.added...)
+			batch.newDominated = append(batch.newDominated, sub.newDominated...)
+		}
+		if err := s.disseminate(batch); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.finishCentrally(); err != nil {
+		return nil, err
+	}
+	res := s.result(iterations, 0)
+	res.History = history
+	return res, nil
+}
+
+// centralProcessGroupsWithState is centralProcessGroups sharing a dominated
+// set across multiple class batches within the same iteration.
+func (s *misState) centralProcessGroupsWithState(groups [][]candidate, threshold int, batchDominated map[int]bool) centralBatch {
+	var batch centralBatch
+	isAlive := func(v int) bool {
+		return s.aliveVertex(v) && !batchDominated[v]
+	}
+	for _, group := range groups {
+		for _, cand := range group {
+			if !isAlive(cand.v) {
+				continue
+			}
+			deg := 0
+			for _, u := range cand.aliveNbrs {
+				if isAlive(int(u)) {
+					deg++
+				}
+			}
+			if deg < threshold {
+				continue
+			}
+			batch.added = append(batch.added, cand.v)
+			batchDominated[cand.v] = true
+			for _, u := range cand.aliveNbrs {
+				if isAlive(int(u)) {
+					batch.newDominated = append(batch.newDominated, int(u))
+					batchDominated[int(u)] = true
+				}
+			}
+			break
+		}
+	}
+	return batch
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestMISSmallGraphs(t *testing.T) {
+	r := rng.New(50)
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + r.Intn(20)
+		m := r.Intn(3 * n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := graph.GNM(n, m, r)
+		res, err := MIS(g, Params{Mu: 0.3, Seed: uint64(trial)})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !graph.IsMaximalIndependentSet(g, res.Set) {
+			t.Fatalf("trial %d: not an MIS", trial)
+		}
+	}
+}
+
+func TestMISFastSmallGraphs(t *testing.T) {
+	r := rng.New(51)
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + r.Intn(20)
+		m := r.Intn(3 * n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := graph.GNM(n, m, r)
+		res, err := MISFast(g, Params{Mu: 0.3, Seed: uint64(trial)})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !graph.IsMaximalIndependentSet(g, res.Set) {
+			t.Fatalf("trial %d: not an MIS", trial)
+		}
+	}
+}
+
+func TestMISStructuredGraphs(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"star":     graph.Star(30),
+		"path":     graph.Path(25),
+		"cycle":    graph.Cycle(24),
+		"complete": graph.Complete(15),
+		"empty":    graph.New(10),
+		"grid":     graph.Grid(5, 6),
+	}
+	for name, g := range cases {
+		for _, algo := range []struct {
+			name string
+			f    func(*graph.Graph, Params) (*MISResult, error)
+		}{{"MIS", MIS}, {"MISFast", MISFast}} {
+			res, err := algo.f(g, Params{Mu: 0.25, Seed: 7})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", algo.name, name, err)
+			}
+			if !graph.IsMaximalIndependentSet(g, res.Set) {
+				t.Fatalf("%s/%s: not an MIS", algo.name, name)
+			}
+		}
+	}
+}
+
+func TestMISStarPicksLeaves(t *testing.T) {
+	// In a star, either the centre alone or all leaves form the MIS; both
+	// are valid, but the set must have size 1 or n-1.
+	g := graph.Star(20)
+	res, err := MISFast(g, Params{Mu: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set) != 1 && len(res.Set) != 19 {
+		t.Fatalf("star MIS size %d", len(res.Set))
+	}
+}
+
+func TestMISMediumDensity(t *testing.T) {
+	r := rng.New(52)
+	g := graph.Density(400, 0.25, r)
+	res, err := MISFast(g, Params{Mu: 0.2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsMaximalIndependentSet(g, res.Set) {
+		t.Fatal("not an MIS")
+	}
+	if res.Metrics.Rounds == 0 {
+		t.Fatal("no rounds recorded")
+	}
+	if res.Metrics.Violations != 0 {
+		t.Fatalf("space violations: %d (max space %d)", res.Metrics.Violations, res.Metrics.MaxSpace)
+	}
+}
+
+func TestMISDeterministic(t *testing.T) {
+	r := rng.New(53)
+	g := graph.Density(150, 0.3, r)
+	a, err := MISFast(g, Params{Mu: 0.25, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MISFast(g, Params{Mu: 0.25, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Set) != len(b.Set) || a.Metrics.Rounds != b.Metrics.Rounds {
+		t.Fatal("same seed differs")
+	}
+	for v := range a.Set {
+		if !b.Set[v] {
+			t.Fatal("sets differ")
+		}
+	}
+}
+
+func TestMISPowerLaw(t *testing.T) {
+	g := graph.PreferentialAttachment(500, 4, rng.New(54))
+	res, err := MISFast(g, Params{Mu: 0.25, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsMaximalIndependentSet(g, res.Set) {
+		t.Fatal("not an MIS on power-law graph")
+	}
+}

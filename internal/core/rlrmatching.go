@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/mpc"
+	"repro/internal/rng"
+	"repro/internal/seq"
+)
+
+// MatchingResult is the output of RLRMatching and BMatching.
+type MatchingResult struct {
+	// Edges are the indices of the selected edges.
+	Edges []int
+	// Weight is the total weight of the selection.
+	Weight float64
+	// Iterations is the number of outer sampling iterations executed.
+	Iterations int
+	// StackSize is the number of edges the local ratio stack accumulated.
+	StackSize int
+	// History records the alive-edge count after each iteration: the decay
+	// trajectory bounded by Lemmas 5.3/5.4 (factor n^{µ/4} per iteration)
+	// and Lemma C.1 (constant factor when η = Θ(n)).
+	History []int64
+	// Metrics are the measured MapReduce costs.
+	Metrics mpc.Metrics
+}
+
+// MatchingOptions tunes RLRMatching beyond the shared Params.
+type MatchingOptions struct {
+	// Eta overrides the per-machine sample budget η (default n^{1+µ}).
+	// Appendix C's linear-space variant corresponds to Eta = n (or µ = 0).
+	Eta int
+}
+
+// RLRMatching is Algorithm 4: the randomized local ratio 2-approximation for
+// maximum weight matching in MapReduce (Theorems 5.5 and 5.6).
+//
+// Edges are distributed across machines; in each iteration every alive edge
+// samples itself into E'_u and E'_v independently with probability
+// p = min(η/|E_i|, 1) and sampled edges are sent to the central machine,
+// which runs the Paz–Schwartzman local ratio step for each vertex (push the
+// heaviest sampled alive edge). The central machine then routes the changed
+// potentials ϕ(v) back through the vertex owners to the edges, which update
+// their alive bits. When no positive-weight edge remains, the central
+// machine unwinds the stack into a matching.
+//
+// With η = n^{1+µ}, µ constant, the loop terminates in O(c/µ) iterations
+// w.h.p.; with η = Θ(n) (µ = 0) it terminates in O(log n) iterations
+// (Appendix C).
+func RLRMatching(g *graph.Graph, p Params, opt MatchingOptions) (*MatchingResult, error) {
+	n, m := g.N, g.M()
+	if m == 0 {
+		return &MatchingResult{}, nil
+	}
+	etaWords := opt.Eta
+	if etaWords <= 0 {
+		etaWords = eta(n, p.Mu, 8)
+	}
+	// Machine 0 is the dedicated central machine; machines 1..M-1 hold the
+	// edge and vertex partitions.
+	M := dataMachines(4*m, 4*etaWords)
+	cluster := newCluster(M, etaWords, p.Strict, capSlack)
+	tree := mpc.NewTree(cluster, 0, treeDegree(n, p.Mu))
+	r := rng.New(p.Seed)
+
+	edgeOwner := func(id int) int { return 1 + id%(M-1) }
+	vertexOwner := func(v int) int { return 1 + v%(M-1) }
+
+	// Resident state: each edge owner stores (u, v, w, alive) per edge; each
+	// vertex owner stores ϕ(v) plus the incident edge list used to forward
+	// potentials.
+	alive := make([]bool, m)
+	for id := range alive {
+		alive[id] = g.Edges[id].W > 0
+	}
+	g.Build()
+	resident := make([]int, M)
+	for id := range g.Edges {
+		resident[edgeOwner(id)] += 4
+	}
+	for v := 0; v < n; v++ {
+		resident[vertexOwner(v)] += 2 + g.Degree(v)
+	}
+	for machine := 0; machine < M; machine++ {
+		cluster.SetResident(machine, resident[machine])
+	}
+
+	// Central machine state: the local ratio potentials and stack.
+	lr := seq.NewMatchingLocalRatio(g)
+	cluster.AddResident(0, 2*n) // ϕ plus stacked-bit bookkeeping
+
+	res := &MatchingResult{}
+	aliveCount := int64(0)
+	for _, a := range alive {
+		if a {
+			aliveCount++
+		}
+	}
+
+	for iter := 0; aliveCount > 0; iter++ {
+		if iter >= p.maxIter() {
+			return nil, fmt.Errorf("core: RLRMatching exceeded %d iterations", p.maxIter())
+		}
+		res.Iterations++
+
+		// Sampling round: edge owners sample each alive edge into E'_u and
+		// E'_v independently and ship sampled edges to the central machine.
+		// Message layout: [edgeID, sideMask] with sideMask bit0 = sampled
+		// for U's list, bit1 = sampled for V's list.
+		full := aliveCount < 4*int64(etaWords)
+		prob := 1.0
+		if !full {
+			prob = math.Min(1, float64(etaWords)/float64(aliveCount))
+		}
+		sampledSides := int64(0)
+		var sampleIDs []int64
+		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+			for id := 0; id < m; id++ {
+				if edgeOwner(id) != machine || !alive[id] {
+					continue
+				}
+				mask := int64(0)
+				if full || r.Bernoulli(prob) {
+					mask |= 1
+				}
+				if full || r.Bernoulli(prob) {
+					mask |= 2
+				}
+				if mask != 0 {
+					out.SendInts(0, int64(id), mask)
+					if mask&1 != 0 {
+						sampledSides++
+					}
+					if mask&2 != 0 {
+						sampledSides++
+					}
+					sampleIDs = append(sampleIDs, int64(id), mask)
+				}
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Line 10-11: if Σ|E'_v| > 8η the algorithm fails. This is a
+		// w.h.p.-never event at the paper's constants.
+		if !full && sampledSides > 8*int64(etaWords) {
+			return nil, fmt.Errorf("core: RLRMatching sampling overflow (%d > 8η=%d)", sampledSides, 8*etaWords)
+		}
+
+		// Central machine: group sampled edges per vertex and push the
+		// heaviest alive edge of each E'_v (Lines 12-14).
+		perVertex := make(map[int][]int) // vertex -> sampled edge ids
+		for i := 0; i+1 < len(sampleIDs); i += 2 {
+			id, mask := int(sampleIDs[i]), sampleIDs[i+1]
+			e := g.Edges[id]
+			if mask&1 != 0 {
+				perVertex[e.U] = append(perVertex[e.U], id)
+			}
+			if mask&2 != 0 {
+				perVertex[e.V] = append(perVertex[e.V], id)
+			}
+		}
+		vertices := make([]int, 0, len(perVertex))
+		for v := range perVertex {
+			vertices = append(vertices, v)
+		}
+		sort.Ints(vertices)
+		changed := make(map[int]bool)
+		var pushed []int64
+		for _, v := range vertices {
+			best, bestW := -1, 0.0
+			for _, id := range perVertex[v] {
+				if !lr.Alive(id) {
+					continue
+				}
+				if w := lr.Reduced(id); w > bestW {
+					best, bestW = id, w
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			if _, ok := lr.Push(best); ok {
+				e := g.Edges[best]
+				changed[e.U] = true
+				changed[e.V] = true
+				pushed = append(pushed, int64(best))
+			}
+		}
+		cluster.SetResident(0, 2*n+2*lr.StackSize())
+
+		// Update round A: central sends the changed ϕ values to the vertex
+		// owners and the stacked edge ids to the edge owners (§5.3).
+		changedList := make([]int, 0, len(changed))
+		for v := range changed {
+			changedList = append(changedList, v)
+		}
+		sort.Ints(changedList)
+		err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+			if machine != 0 {
+				return
+			}
+			for _, v := range changedList {
+				out.Send(vertexOwner(v), []int64{int64(v)}, []float64{lr.Phi(v)})
+			}
+			for _, id := range pushed {
+				out.SendInts(edgeOwner(int(id)), id)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Update round B: vertex owners forward ϕ(v) to the machines owning
+		// v's alive incident edges; edge owners mark stacked edges dead and
+		// recompute aliveness from the received potentials.
+		err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+			for _, msg := range in {
+				if len(msg.Floats) == 1 {
+					v := int(msg.Ints[0])
+					phi := msg.Floats[0]
+					for _, id := range g.IncidentEdges(v) {
+						if alive[id] {
+							out.Send(edgeOwner(id), []int64{int64(id), int64(v)}, []float64{phi})
+						}
+					}
+				}
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Deliver round B's messages and apply them. Stacked edges die; an
+		// edge receiving a potential recomputes its reduced weight (the
+		// simulator reads lr, which holds exactly the values the messages
+		// carry).
+		err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+			for _, msg := range in {
+				if len(msg.Floats) == 1 && len(msg.Ints) == 2 {
+					id := int(msg.Ints[0])
+					if alive[id] && !lr.Alive(id) {
+						alive[id] = false
+					}
+				}
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range pushed {
+			alive[id] = false
+		}
+		// Any edge whose potential made it non-positive is dead even if its
+		// owner received no message this iteration (both endpoints
+		// unchanged ⇒ weight unchanged, so this only affects edges with a
+		// changed endpoint — exactly the ones messaged above).
+		// Recompute the alive count with an aggregation over the tree.
+		counts := make([]int64, M)
+		for id := 0; id < m; id++ {
+			if alive[id] && !lr.Alive(id) {
+				alive[id] = false
+			}
+			if alive[id] {
+				counts[edgeOwner(id)]++
+			}
+		}
+		total, err := tree.AllReduceSum(cluster, 1, func(machine int) []int64 {
+			return []int64{counts[machine]}
+		})
+		if err != nil {
+			return nil, err
+		}
+		aliveCount = total[0]
+		res.History = append(res.History, aliveCount)
+	}
+
+	res.Edges = lr.Unwind()
+	res.Weight = graph.MatchingWeight(g, res.Edges)
+	res.StackSize = lr.StackSize()
+	res.Metrics = cluster.Metrics()
+	return res, nil
+}

@@ -1,0 +1,130 @@
+package core
+
+// Larger-scale validation runs (skipped with -short): the theorems'
+// asymptotics only become visible at scale, so these exercise the paper's
+// intended regime — tens of thousands of vertices, hundreds of thousands of
+// edges, and a cluster of dozens of machines — and assert that the space
+// caps still hold and the iteration counts stay in the predicted bands.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/setcover"
+)
+
+func TestScaleMatching(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	r := rng.New(150)
+	n, c, mu := 10000, 0.3, 0.15
+	g := graph.Density(n, c, r)
+	g.AssignUniformWeights(r, 1, 1000)
+	res, err := RLRMatching(g, Params{Mu: mu, Seed: 1}, MatchingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsMatching(g, res.Edges) {
+		t.Fatal("invalid matching at scale")
+	}
+	if res.Metrics.Violations != 0 {
+		t.Fatalf("space violations at scale: %d", res.Metrics.Violations)
+	}
+	// Theorem 5.5: O(c/µ) iterations; generous constant 10.
+	if float64(res.Iterations) > 10*c/mu {
+		t.Fatalf("iterations %d far above c/µ band", res.Iterations)
+	}
+	if res.Metrics.Machines < 4 {
+		t.Fatalf("scale test should need a real cluster, got %d machines", res.Metrics.Machines)
+	}
+}
+
+func TestScaleVertexCover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	r := rng.New(151)
+	n, c, mu := 10000, 0.3, 0.15
+	g := graph.Density(n, c, r)
+	w := make([]float64, g.N)
+	for i := range w {
+		w[i] = r.UniformWeight(1, 100)
+	}
+	inst := setcover.FromVertexCover(g, w)
+	res, err := RLRSetCover(inst, Params{Mu: mu, Seed: 2}, CoverOptions{VertexCoverMode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight > 2*res.LowerBound+1e-6 {
+		t.Fatal("2-approximation violated at scale")
+	}
+	if res.Metrics.Violations != 0 {
+		t.Fatalf("space violations: %d", res.Metrics.Violations)
+	}
+	if float64(res.Iterations) > 10*c/mu {
+		t.Fatalf("iterations %d above band", res.Iterations)
+	}
+}
+
+func TestScaleMIS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	r := rng.New(152)
+	g := graph.Density(8000, 0.3, r)
+	res, err := MISFast(g, Params{Mu: 0.2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsMaximalIndependentSet(g, res.Set) {
+		t.Fatal("invalid MIS at scale")
+	}
+	if res.Metrics.Violations != 0 {
+		t.Fatalf("space violations: %d", res.Metrics.Violations)
+	}
+}
+
+func TestScaleColouring(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	r := rng.New(153)
+	n, mu := 8000, 0.2
+	g := graph.Density(n, 0.35, r)
+	res, err := VertexColouring(g, Params{Mu: mu, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsProperVertexColouring(g, res.Colours) {
+		t.Fatal("improper at scale")
+	}
+	delta := float64(g.MaxDegree())
+	slack := 1 + math.Sqrt(6*math.Log(float64(n)))/math.Pow(float64(n), mu/2) + math.Pow(float64(n), -mu)
+	if float64(res.NumColours) > slack*delta+float64(res.Groups) {
+		t.Fatalf("%d colours above (1+o(1))∆ at scale", res.NumColours)
+	}
+	if res.Metrics.Rounds > 4 {
+		t.Fatalf("colouring used %d rounds at scale, want O(1)", res.Metrics.Rounds)
+	}
+}
+
+func TestScaleHGSetCover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	r := rng.New(154)
+	inst := setcover.RandomSized(20000, 600, 20, 10, r)
+	res, err := HGSetCover(inst, Params{Mu: 0.3, Seed: 5}, HGCoverOptions{Eps: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.IsCover(res.Cover) {
+		t.Fatal("invalid cover at scale")
+	}
+	if res.Metrics.Violations != 0 {
+		t.Fatalf("space violations: %d", res.Metrics.Violations)
+	}
+}

@@ -1,0 +1,225 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// GNM returns an Erdős–Rényi G(n, m) graph: m distinct edges chosen uniformly
+// from all vertex pairs, with unit weights. It panics if m exceeds the number
+// of available pairs.
+func GNM(n, m int, r *rng.RNG) *Graph {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		panic(fmt.Sprintf("graph: GNM(%d, %d) exceeds %d possible edges", n, m, maxM))
+	}
+	g := New(n)
+	if m == 0 {
+		return g
+	}
+	if m > maxM/2 {
+		// Dense: enumerate pairs and sample without replacement.
+		idx := r.SampleWithoutReplacement(maxM, m)
+		for _, k := range idx {
+			u, v := pairFromIndex(k)
+			g.AddEdge(u, v, 1)
+		}
+		return g
+	}
+	// Sparse: rejection sampling with a seen-set.
+	seen := make(map[[2]int]bool, m)
+	for len(g.Edges) < m {
+		u := r.Intn(n)
+		v := r.Intn(n)
+		if u == v {
+			continue
+		}
+		p := normPair(u, v)
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		g.AddEdge(u, v, 1)
+	}
+	return g
+}
+
+// pairFromIndex maps k in [0, n(n-1)/2) to the k-th pair (u,v), u < v, in the
+// triangular enumeration (0,1),(0,2),(1,2),(0,3),(1,3),(2,3),...
+func pairFromIndex(k int) (int, int) {
+	// v is the largest integer with v(v-1)/2 <= k.
+	v := int((1 + math.Sqrt(1+8*float64(k))) / 2)
+	for v*(v-1)/2 > k {
+		v--
+	}
+	for (v+1)*v/2 <= k {
+		v++
+	}
+	u := k - v*(v-1)/2
+	return u, v
+}
+
+// Density returns a graph with n vertices and floor(n^{1+c}) edges (capped at
+// the complete graph) sampled as G(n,m). This is the paper's standard
+// workload: m = n^{1+c}.
+func Density(n int, c float64, r *rng.RNG) *Graph {
+	m := int(math.Floor(math.Pow(float64(n), 1+c)))
+	if max := n * (n - 1) / 2; m > max {
+		m = max
+	}
+	return GNM(n, m, r)
+}
+
+// PreferentialAttachment returns a power-law graph built by preferential
+// attachment: vertices arrive one at a time and attach k edges to existing
+// vertices chosen proportionally to their current degree (plus one). This
+// mirrors the heavy-tailed degree distributions of the social-network
+// workloads that motivate the paper.
+func PreferentialAttachment(n, k int, r *rng.RNG) *Graph {
+	if k < 1 {
+		panic("graph: PreferentialAttachment requires k >= 1")
+	}
+	g := New(n)
+	if n < 2 {
+		return g
+	}
+	// targets is a multiset of endpoints; each edge contributes both ends, so
+	// sampling uniformly from it is degree-proportional sampling.
+	targets := make([]int, 0, 2*k*n)
+	targets = append(targets, 0)
+	for v := 1; v < n; v++ {
+		attach := k
+		if v < k {
+			attach = v
+		}
+		chosen := make(map[int]bool, attach)
+		for len(chosen) < attach {
+			var t int
+			// Mix degree-proportional with uniform to guarantee progress on
+			// small target sets.
+			if len(targets) > 0 && r.Bernoulli(0.9) {
+				t = targets[r.Intn(len(targets))]
+			} else {
+				t = r.Intn(v)
+			}
+			if t == v || chosen[t] {
+				continue
+			}
+			chosen[t] = true
+			g.AddEdge(v, t, 1)
+			targets = append(targets, v, t)
+		}
+	}
+	return g
+}
+
+// RandomBipartite returns a bipartite graph with left vertices 0..nl-1 and
+// right vertices nl..nl+nr-1 and m distinct edges chosen uniformly.
+func RandomBipartite(nl, nr, m int, r *rng.RNG) *Graph {
+	maxM := nl * nr
+	if m > maxM {
+		panic(fmt.Sprintf("graph: RandomBipartite(%d,%d,%d) exceeds %d pairs", nl, nr, m, maxM))
+	}
+	g := New(nl + nr)
+	if m == 0 {
+		return g
+	}
+	if m > maxM/2 {
+		idx := r.SampleWithoutReplacement(maxM, m)
+		for _, k := range idx {
+			g.AddEdge(k/nr, nl+k%nr, 1)
+		}
+		return g
+	}
+	seen := make(map[int]bool, m)
+	for len(g.Edges) < m {
+		l := r.Intn(nl)
+		rt := r.Intn(nr)
+		key := l*nr + rt
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		g.AddEdge(l, nl+rt, 1)
+	}
+	return g
+}
+
+// Star returns a star on n vertices centred at vertex 0.
+func Star(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v, 1)
+	}
+	return g
+}
+
+// Path returns a path 0-1-2-...-(n-1).
+func Path(n int) *Graph {
+	g := New(n)
+	for v := 0; v+1 < n; v++ {
+		g.AddEdge(v, v+1, 1)
+	}
+	return g
+}
+
+// Cycle returns a cycle on n >= 3 vertices.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: Cycle requires n >= 3")
+	}
+	g := Path(n)
+	g.AddEdge(n-1, 0, 1)
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v, 1)
+		}
+	}
+	return g
+}
+
+// PlantClique adds a clique on k uniformly chosen vertices to g (skipping
+// pairs already joined) and returns the planted vertex set. Used by the
+// maximal-clique experiments.
+func PlantClique(g *Graph, k int, r *rng.RNG) []int {
+	if k > g.N {
+		panic("graph: PlantClique k > n")
+	}
+	vs := r.SampleWithoutReplacement(g.N, k)
+	have := g.HasEdgeSet()
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			p := normPair(vs[i], vs[j])
+			if !have[p] {
+				g.AddEdge(p[0], p[1], 1)
+				have[p] = true
+			}
+		}
+	}
+	return vs
+}
+
+// Grid returns an r-by-c grid graph (4-neighbour).
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	id := func(i, j int) int { return i*cols + j }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				g.AddEdge(id(i, j), id(i, j+1), 1)
+			}
+			if i+1 < rows {
+				g.AddEdge(id(i, j), id(i+1, j), 1)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,228 @@
+// Package graph provides the graph representation, generators, and solution
+// validators used throughout the reproduction.
+//
+// The MapReduce algorithms of Harvey, Liaw and Liu are parameterized by the
+// number of vertices n, the edge density exponent c (the graph has m = n^{1+c}
+// edges), and the per-machine space exponent µ. The generators in this
+// package produce graphs with a prescribed (n, m), which lets the benchmark
+// harness sweep exactly the parameters of the paper's Figure 1.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Edge is an undirected weighted edge between vertices U and V.
+// For unweighted problems the weight is 1.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Other returns the endpoint of e that is not v. It panics if v is not an
+// endpoint of e.
+func (e Edge) Other(v int) int {
+	switch v {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: vertex %d is not an endpoint of edge (%d,%d)", v, e.U, e.V))
+}
+
+// Graph is an undirected weighted multigraph on vertices 0..N-1 stored as an
+// edge list with an optional CSR adjacency index. Self-loops are rejected by
+// AddEdge; parallel edges are permitted by the representation but the
+// generators never produce them.
+type Graph struct {
+	N     int
+	Edges []Edge
+
+	// CSR adjacency over edge indices, built by Build.
+	adjStart []int // len N+1
+	adjEdge  []int // len 2*len(Edges); values are edge indices
+	built    bool
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{N: n}
+}
+
+// AddEdge appends an undirected edge {u,v} with weight w.
+// It panics on out-of-range endpoints or self-loops.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	if u < 0 || u >= g.N || v < 0 || v >= g.N {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range for n=%d", u, v, g.N))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	g.Edges = append(g.Edges, Edge{U: u, V: v, W: w})
+	g.built = false
+}
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.Edges) }
+
+// Build constructs the CSR adjacency index. It is idempotent and called
+// automatically by the accessors that need it.
+func (g *Graph) Build() {
+	if g.built {
+		return
+	}
+	deg := make([]int, g.N+1)
+	for _, e := range g.Edges {
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	for i := 0; i < g.N; i++ {
+		deg[i+1] += deg[i]
+	}
+	g.adjStart = deg
+	g.adjEdge = make([]int, 2*len(g.Edges))
+	fill := make([]int, g.N)
+	copy(fill, g.adjStart[:g.N])
+	for i, e := range g.Edges {
+		g.adjEdge[fill[e.U]] = i
+		fill[e.U]++
+		g.adjEdge[fill[e.V]] = i
+		fill[e.V]++
+	}
+	g.built = true
+}
+
+// IncidentEdges returns the indices (into g.Edges) of edges incident to v.
+// The returned slice aliases internal storage and must not be modified.
+func (g *Graph) IncidentEdges(v int) []int {
+	g.Build()
+	return g.adjEdge[g.adjStart[v]:g.adjStart[v+1]]
+}
+
+// Neighbours returns the neighbours of v (with multiplicity for parallel
+// edges). The slice is freshly allocated.
+func (g *Graph) Neighbours(v int) []int {
+	ids := g.IncidentEdges(v)
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = g.Edges[id].Other(v)
+	}
+	return out
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int {
+	g.Build()
+	return g.adjStart[v+1] - g.adjStart[v]
+}
+
+// Degrees returns the degree sequence.
+func (g *Graph) Degrees() []int {
+	g.Build()
+	d := make([]int, g.N)
+	for v := range d {
+		d[v] = g.adjStart[v+1] - g.adjStart[v]
+	}
+	return d
+}
+
+// MaxDegree returns the maximum degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, d := range g.Degrees() {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 {
+	s := 0.0
+	for _, e := range g.Edges {
+		s += e.W
+	}
+	return s
+}
+
+// DensityExponent returns c such that m = n^{1+c}, the paper's density
+// parameter. Returns 0 for graphs with fewer than 2 vertices or no edges.
+func (g *Graph) DensityExponent() float64 {
+	if g.N < 2 || len(g.Edges) == 0 {
+		return 0
+	}
+	return math.Log(float64(len(g.Edges)))/math.Log(float64(g.N)) - 1
+}
+
+// Clone returns a deep copy of g (without the adjacency index).
+func (g *Graph) Clone() *Graph {
+	h := New(g.N)
+	h.Edges = append([]Edge(nil), g.Edges...)
+	return h
+}
+
+// HasEdgeSet returns a set membership function over the vertex pairs of g.
+// Useful for validators; pairs are normalized to (min,max).
+func (g *Graph) HasEdgeSet() map[[2]int]bool {
+	set := make(map[[2]int]bool, len(g.Edges))
+	for _, e := range g.Edges {
+		set[normPair(e.U, e.V)] = true
+	}
+	return set
+}
+
+func normPair(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// SortEdges sorts the edge list lexicographically by (min endpoint, max
+// endpoint, weight). Used to make serialized graphs deterministic.
+func (g *Graph) SortEdges() {
+	sort.Slice(g.Edges, func(i, j int) bool {
+		a, b := g.Edges[i], g.Edges[j]
+		au, av := minmax(a.U, a.V)
+		bu, bv := minmax(b.U, b.V)
+		if au != bu {
+			return au < bu
+		}
+		if av != bv {
+			return av < bv
+		}
+		return a.W < b.W
+	})
+	g.built = false
+}
+
+func minmax(a, b int) (int, int) {
+	if a > b {
+		return b, a
+	}
+	return a, b
+}
+
+// AssignUniformWeights overwrites every edge weight with a uniform draw from
+// [lo, hi).
+func (g *Graph) AssignUniformWeights(r *rng.RNG, lo, hi float64) {
+	for i := range g.Edges {
+		g.Edges[i].W = r.UniformWeight(lo, hi)
+	}
+}
+
+// AssignUnitWeights sets every edge weight to 1.
+func (g *Graph) AssignUnitWeights() {
+	for i := range g.Edges {
+		g.Edges[i].W = 1
+	}
+}

@@ -1,0 +1,451 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestNewAndAddEdge(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 2.5)
+	g.AddEdge(1, 2, 1.0)
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+	if g.Edges[0].W != 2.5 {
+		t.Fatalf("weight = %v", g.Edges[0].W)
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"self-loop", func() { New(3).AddEdge(1, 1, 1) }},
+		{"out of range", func() { New(3).AddEdge(0, 3, 1) }},
+		{"negative", func() { New(3).AddEdge(-1, 0, 1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tc.f()
+		})
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := Edge{U: 3, V: 7}
+	if e.Other(3) != 7 || e.Other(7) != 3 {
+		t.Fatal("Other broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-endpoint")
+		}
+	}()
+	e.Other(5)
+}
+
+func TestAdjacency(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(2, 3, 1)
+	if d := g.Degree(0); d != 2 {
+		t.Fatalf("deg(0) = %d", d)
+	}
+	if d := g.Degree(3); d != 1 {
+		t.Fatalf("deg(3) = %d", d)
+	}
+	nb := g.Neighbours(0)
+	if len(nb) != 2 {
+		t.Fatalf("neighbours(0) = %v", nb)
+	}
+	set := map[int]bool{nb[0]: true, nb[1]: true}
+	if !set[1] || !set[2] {
+		t.Fatalf("neighbours(0) = %v, want {1,2}", nb)
+	}
+	if g.MaxDegree() != 2 {
+		t.Fatalf("maxdeg = %d", g.MaxDegree())
+	}
+}
+
+func TestAdjacencyRebuildAfterAdd(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	if g.Degree(0) != 1 {
+		t.Fatal("deg before")
+	}
+	g.AddEdge(0, 2, 1)
+	if g.Degree(0) != 2 {
+		t.Fatal("adjacency not rebuilt after AddEdge")
+	}
+}
+
+func TestDegreeSumEqualsTwiceM(t *testing.T) {
+	r := rng.New(1)
+	g := GNM(50, 200, r)
+	sum := 0
+	for _, d := range g.Degrees() {
+		sum += d
+	}
+	if sum != 2*g.M() {
+		t.Fatalf("degree sum %d != 2m %d", sum, 2*g.M())
+	}
+}
+
+func TestGNMProperties(t *testing.T) {
+	r := rng.New(2)
+	for _, tc := range []struct{ n, m int }{{10, 0}, {10, 45}, {10, 20}, {100, 1000}, {5, 10}} {
+		g := GNM(tc.n, tc.m, r)
+		if g.N != tc.n || g.M() != tc.m {
+			t.Fatalf("GNM(%d,%d): got n=%d m=%d", tc.n, tc.m, g.N, g.M())
+		}
+		seen := make(map[[2]int]bool)
+		for _, e := range g.Edges {
+			if e.U == e.V {
+				t.Fatal("self loop")
+			}
+			p := normPair(e.U, e.V)
+			if seen[p] {
+				t.Fatalf("duplicate edge %v", p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestGNMPanicsOnTooMany(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GNM(4, 7, rng.New(1))
+}
+
+func TestPairFromIndex(t *testing.T) {
+	// Enumerate all pairs for small n and verify bijection.
+	n := 20
+	seen := make(map[[2]int]bool)
+	for k := 0; k < n*(n-1)/2; k++ {
+		u, v := pairFromIndex(k)
+		if u < 0 || v <= u || v >= n {
+			t.Fatalf("pairFromIndex(%d) = (%d,%d)", k, u, v)
+		}
+		p := [2]int{u, v}
+		if seen[p] {
+			t.Fatalf("duplicate pair %v at k=%d", p, k)
+		}
+		seen[p] = true
+	}
+}
+
+func TestDensityExponent(t *testing.T) {
+	r := rng.New(3)
+	n, c := 100, 0.3
+	g := Density(n, c, r)
+	got := g.DensityExponent()
+	if math.Abs(got-c) > 0.05 {
+		t.Fatalf("density exponent %v, want ~%v", got, c)
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	r := rng.New(4)
+	g := PreferentialAttachment(200, 3, r)
+	if g.N != 200 {
+		t.Fatal("n wrong")
+	}
+	// Every vertex v >= 3 attaches exactly 3 edges; v in {1,2} attach v.
+	want := 0
+	for v := 1; v < 200; v++ {
+		k := 3
+		if v < 3 {
+			k = v
+		}
+		want += k
+	}
+	if g.M() != want {
+		t.Fatalf("m = %d, want %d", g.M(), want)
+	}
+	for _, e := range g.Edges {
+		if e.U == e.V {
+			t.Fatal("self loop")
+		}
+	}
+	// Heavy tail: max degree should exceed average by a lot.
+	avg := 2 * float64(g.M()) / float64(g.N)
+	if float64(g.MaxDegree()) < 2*avg {
+		t.Fatalf("max degree %d not heavy-tailed vs avg %v", g.MaxDegree(), avg)
+	}
+}
+
+func TestRandomBipartite(t *testing.T) {
+	r := rng.New(5)
+	g := RandomBipartite(10, 15, 60, r)
+	if g.N != 25 || g.M() != 60 {
+		t.Fatalf("n=%d m=%d", g.N, g.M())
+	}
+	for _, e := range g.Edges {
+		l, rt := e.U, e.V
+		if l > rt {
+			l, rt = rt, l
+		}
+		if l >= 10 || rt < 10 {
+			t.Fatalf("edge (%d,%d) not bipartite", e.U, e.V)
+		}
+	}
+	// Dense branch.
+	g2 := RandomBipartite(4, 4, 15, r)
+	if g2.M() != 15 {
+		t.Fatal("dense bipartite wrong m")
+	}
+}
+
+func TestFixedFamilies(t *testing.T) {
+	if g := Star(5); g.M() != 4 || g.Degree(0) != 4 {
+		t.Fatal("star")
+	}
+	if g := Path(5); g.M() != 4 || g.MaxDegree() != 2 {
+		t.Fatal("path")
+	}
+	if g := Cycle(5); g.M() != 5 || g.MaxDegree() != 2 {
+		t.Fatal("cycle")
+	}
+	if g := Complete(5); g.M() != 10 || g.MaxDegree() != 4 {
+		t.Fatal("complete")
+	}
+	if g := Grid(3, 4); g.N != 12 || g.M() != 3*3+2*4 {
+		t.Fatalf("grid m=%d", Grid(3, 4).M())
+	}
+}
+
+func TestPlantClique(t *testing.T) {
+	r := rng.New(6)
+	g := GNM(50, 100, r)
+	vs := PlantClique(g, 8, r)
+	if len(vs) != 8 {
+		t.Fatal("planted size")
+	}
+	if !IsClique(g, vs) {
+		t.Fatal("planted set is not a clique")
+	}
+	// No duplicate edges introduced.
+	seen := make(map[[2]int]bool)
+	for _, e := range g.Edges {
+		p := normPair(e.U, e.V)
+		if seen[p] {
+			t.Fatalf("duplicate edge %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestWeights(t *testing.T) {
+	r := rng.New(7)
+	g := GNM(20, 50, r)
+	g.AssignUniformWeights(r, 2, 5)
+	for _, e := range g.Edges {
+		if e.W < 2 || e.W >= 5 {
+			t.Fatalf("weight %v out of range", e.W)
+		}
+	}
+	g.AssignUnitWeights()
+	if g.TotalWeight() != 50 {
+		t.Fatal("unit weights")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := Path(4)
+	h := g.Clone()
+	h.AddEdge(0, 3, 1)
+	if g.M() == h.M() {
+		t.Fatal("clone shares edge slice")
+	}
+}
+
+func TestSortEdgesDeterministic(t *testing.T) {
+	g := New(4)
+	g.AddEdge(3, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 0, 1)
+	g.SortEdges()
+	want := [][2]int{{0, 1}, {0, 2}, {1, 3}}
+	for i, e := range g.Edges {
+		if got := normPair(e.U, e.V); got != want[i] {
+			t.Fatalf("edge %d = %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestValidatorsMatching(t *testing.T) {
+	g := Path(4) // edges 0:(0,1) 1:(1,2) 2:(2,3)
+	if !IsMatching(g, []int{0, 2}) {
+		t.Fatal("0,2 should match")
+	}
+	if IsMatching(g, []int{0, 1}) {
+		t.Fatal("0,1 share vertex 1")
+	}
+	if IsMatching(g, []int{0, 0}) {
+		t.Fatal("duplicate edge")
+	}
+	if IsMatching(g, []int{5}) {
+		t.Fatal("out of range")
+	}
+	if !IsMaximalMatching(g, []int{1}) {
+		t.Fatal("{(1,2)} is maximal in P4")
+	}
+	if IsMaximalMatching(g, []int{0}) {
+		t.Fatal("{(0,1)} is not maximal: (2,3) free")
+	}
+	if w := MatchingWeight(g, []int{0, 2}); w != 2 {
+		t.Fatalf("weight %v", w)
+	}
+}
+
+func TestValidatorsBMatching(t *testing.T) {
+	g := Star(4) // edges 0:(0,1) 1:(0,2) 2:(0,3)
+	b2 := func(v int) int { return 2 }
+	if !IsBMatching(g, []int{0, 1}, b2) {
+		t.Fatal("2 edges at centre allowed with b=2")
+	}
+	if IsBMatching(g, []int{0, 1, 2}, b2) {
+		t.Fatal("3 edges at centre violates b=2")
+	}
+	b1 := func(v int) int { return 1 }
+	if IsBMatching(g, []int{0, 1}, b1) {
+		t.Fatal("b=1 must reduce to matching")
+	}
+}
+
+func TestValidatorsVertexCover(t *testing.T) {
+	g := Path(4)
+	if !IsVertexCover(g, map[int]bool{1: true, 2: true}) {
+		t.Fatal("{1,2} covers P4")
+	}
+	if IsVertexCover(g, map[int]bool{0: true, 3: true}) {
+		t.Fatal("{0,3} misses edge (1,2)")
+	}
+	w := []float64{1, 2, 3, 4}
+	if cw := CoverWeight(map[int]bool{1: true, 3: true}, w); cw != 6 {
+		t.Fatalf("cover weight %v", cw)
+	}
+}
+
+func TestValidatorsMIS(t *testing.T) {
+	g := Path(4)
+	if !IsIndependentSet(g, map[int]bool{0: true, 2: true}) {
+		t.Fatal("{0,2} independent")
+	}
+	if IsIndependentSet(g, map[int]bool{0: true, 1: true}) {
+		t.Fatal("{0,1} not independent")
+	}
+	if !IsMaximalIndependentSet(g, map[int]bool{0: true, 2: true}) {
+		t.Fatal("{0,2} maximal? vertex 3 adjacent to 2: yes")
+	}
+	if IsMaximalIndependentSet(g, map[int]bool{0: true}) {
+		t.Fatal("{0} not maximal (2 or 3 free)")
+	}
+	if !IsMaximalIndependentSet(g, map[int]bool{1: true, 3: true}) {
+		t.Fatal("{1,3} is an MIS")
+	}
+}
+
+func TestValidatorsClique(t *testing.T) {
+	g := Complete(4)
+	if !IsMaximalClique(g, []int{0, 1, 2, 3}) {
+		t.Fatal("K4 full set")
+	}
+	if IsMaximalClique(g, []int{0, 1}) {
+		t.Fatal("{0,1} extendable in K4")
+	}
+	p := Path(3)
+	if !IsMaximalClique(p, []int{0, 1}) {
+		t.Fatal("edge is a maximal clique in P3")
+	}
+	if IsClique(p, []int{0, 2}) {
+		t.Fatal("{0,2} not adjacent in P3")
+	}
+	if IsClique(p, []int{0, 0}) {
+		t.Fatal("duplicate vertex")
+	}
+}
+
+func TestValidatorsColouring(t *testing.T) {
+	g := Cycle(4)
+	if !IsProperVertexColouring(g, []int{0, 1, 0, 1}) {
+		t.Fatal("2-colouring of C4")
+	}
+	if IsProperVertexColouring(g, []int{0, 0, 1, 1}) {
+		t.Fatal("monochromatic edge")
+	}
+	if IsProperVertexColouring(g, []int{0, 1}) {
+		t.Fatal("wrong length")
+	}
+	if NumColours([]int{0, 1, 0, 1}) != 2 {
+		t.Fatal("NumColours")
+	}
+	// Edge colouring of a path: alternate.
+	p := Path(3)
+	if !IsProperEdgeColouring(p, []int{0, 1}) {
+		t.Fatal("P3 edge colouring")
+	}
+	if IsProperEdgeColouring(p, []int{0, 0}) {
+		t.Fatal("shared vertex, same colour")
+	}
+}
+
+func TestQuickGNMNoDupes(t *testing.T) {
+	r := rng.New(11)
+	f := func(a, b uint8) bool {
+		n := int(a%30) + 2
+		maxM := n * (n - 1) / 2
+		m := int(b) % (maxM + 1)
+		g := GNM(n, m, r)
+		if g.M() != m {
+			return false
+		}
+		seen := make(map[[2]int]bool)
+		for _, e := range g.Edges {
+			p := normPair(e.U, e.V)
+			if seen[p] || e.U == e.V {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDegreeSum(t *testing.T) {
+	r := rng.New(12)
+	f := func(a uint8) bool {
+		n := int(a%40) + 2
+		m := n // sparse
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := GNM(n, m, r)
+		sum := 0
+		for _, d := range g.Degrees() {
+			sum += d
+		}
+		return sum == 2*g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

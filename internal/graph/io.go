@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements a small deterministic text format for graphs so that
+// instances can be saved, shared and re-run (cmd/mrrun accepts them). The
+// format is line-oriented:
+//
+//	graph <n> <m>
+//	e <u> <v> <w>
+//	...
+//
+// Weights are serialized with full float64 round-trip precision.
+
+// Encode writes g to w in the text format, with edges in their current
+// order. Call SortEdges first for a canonical encoding.
+func Encode(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "graph %d %d\n", g.N, g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges {
+		if _, err := fmt.Fprintf(bw, "e %d %d %s\n", e.U, e.V,
+			strconv.FormatFloat(e.W, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a graph in the text format produced by Encode.
+func Decode(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	var n, m int
+	if _, err := fmt.Sscanf(sc.Text(), "graph %d %d", &n, &m); err != nil {
+		return nil, fmt.Errorf("graph: bad header %q: %v", sc.Text(), err)
+	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: negative dimensions in header")
+	}
+	g := New(n)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 || fields[0] != "e" {
+			return nil, fmt.Errorf("graph: bad edge line %q", line)
+		}
+		u, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad endpoint %q", fields[1])
+		}
+		v, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad endpoint %q", fields[2])
+		}
+		wt, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad weight %q", fields[3])
+		}
+		if u < 0 || u >= n || v < 0 || v >= n || u == v {
+			return nil, fmt.Errorf("graph: invalid edge (%d,%d) for n=%d", u, v, n)
+		}
+		g.AddEdge(u, v, wt)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g.M() != m {
+		return nil, fmt.Errorf("graph: header promises %d edges, found %d", m, g.M())
+	}
+	return g, nil
+}

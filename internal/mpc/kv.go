@@ -1,0 +1,90 @@
+package mpc
+
+// This file implements the formal key-value MapReduce layer of Karloff,
+// Suri and Vassilvitskii on top of the round-level simulator. In their
+// formalization an algorithm is a sequence of jobs; each job applies a map
+// function to every input record, shuffles the emitted pairs so that all
+// pairs with the same key land on the same machine, and applies a reduce
+// function per key. The paper's algorithms are written against the
+// round-level API directly (as the paper's own implementation sections do),
+// but the job layer documents the model the round-level API simulates and
+// is exercised by the test suite; a job costs exactly one shuffle round.
+
+// KV is a key-value pair; key and value each count one word.
+type KV struct {
+	Key, Value int64
+}
+
+// MapFunc transforms one input record into zero or more intermediate pairs.
+type MapFunc func(kv KV) []KV
+
+// ReduceFunc folds all values that share a key into zero or more output
+// pairs.
+type ReduceFunc func(key int64, values []int64) []KV
+
+// RunJob executes one MapReduce job on the cluster: input[machine] is each
+// machine's resident partition of the records; the mapper runs where the
+// data lives, emitted pairs are shuffled by hash(key) mod M (executed as a
+// real message round, so space caps apply to the shuffle), and the reducer
+// runs on the receiving machine. The returned slice holds each machine's
+// output partition, which can be fed to a subsequent job.
+func RunJob(c *Cluster, input [][]KV, mapf MapFunc, reducef ReduceFunc) ([][]KV, error) {
+	if len(input) != c.M() {
+		panic("mpc: RunJob input must have one partition per machine")
+	}
+	dest := func(key int64) int {
+		d := int(key % int64(c.M()))
+		if d < 0 {
+			d += c.M()
+		}
+		return d
+	}
+	// Round 1: map and shuffle.
+	err := c.Round(func(machine int, in []Message, out *Outbox) {
+		for _, rec := range input[machine] {
+			for _, kv := range mapf(rec) {
+				out.SendInts(dest(kv.Key), kv.Key, kv.Value)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Round 2: group by key and reduce.
+	output := make([][]KV, c.M())
+	err = c.Round(func(machine int, in []Message, out *Outbox) {
+		groups := make(map[int64][]int64)
+		var order []int64
+		for _, msg := range in {
+			for i := 0; i+1 < len(msg.Ints); i += 2 {
+				k, v := msg.Ints[i], msg.Ints[i+1]
+				if _, seen := groups[k]; !seen {
+					order = append(order, k)
+				}
+				groups[k] = append(groups[k], v)
+			}
+		}
+		// Deterministic key order (insertion order is already deterministic
+		// because machines run in id order, but sort anyway for clarity).
+		sortInt64s(order)
+		for _, k := range order {
+			output[machine] = append(output[machine], reducef(k, groups[k])...)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return output, nil
+}
+
+func sortInt64s(a []int64) {
+	// Insertion-free shell sort keeps this dependency-free and is plenty
+	// fast for per-machine key sets.
+	for gap := len(a) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(a); i++ {
+			for j := i; j >= gap && a[j-gap] > a[j]; j -= gap {
+				a[j-gap], a[j] = a[j], a[j-gap]
+			}
+		}
+	}
+}

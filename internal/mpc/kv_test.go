@@ -1,0 +1,184 @@
+package mpc
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunJobWordCount(t *testing.T) {
+	// Classic word count: keys are "words", values are counts.
+	c := NewCluster(Config{Machines: 4})
+	input := make([][]KV, 4)
+	words := []int64{7, 3, 7, 7, 3, 9, 9, 9, 9, 1}
+	for i, w := range words {
+		m := i % 4
+		input[m] = append(input[m], KV{Key: w, Value: 1})
+	}
+	out, err := RunJob(c, input,
+		func(kv KV) []KV { return []KV{kv} },
+		func(key int64, values []int64) []KV {
+			sum := int64(0)
+			for _, v := range values {
+				sum += v
+			}
+			return []KV{{Key: key, Value: sum}}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int64]int64{}
+	for _, part := range out {
+		for _, kv := range part {
+			counts[kv.Key] += kv.Value
+		}
+	}
+	want := map[int64]int64{7: 3, 3: 2, 9: 4, 1: 1}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Fatalf("count[%d] = %d, want %d", k, counts[k], v)
+		}
+	}
+	if c.Metrics().Rounds != 2 {
+		t.Fatalf("job took %d rounds, want 2", c.Metrics().Rounds)
+	}
+}
+
+func TestRunJobKeyLocality(t *testing.T) {
+	// All pairs with the same key must be reduced together: a reducer that
+	// emits the number of values it saw per key should see each key once
+	// globally.
+	c := NewCluster(Config{Machines: 3})
+	input := make([][]KV, 3)
+	for i := 0; i < 30; i++ {
+		input[i%3] = append(input[i%3], KV{Key: int64(i % 5), Value: int64(i)})
+	}
+	out, err := RunJob(c, input,
+		func(kv KV) []KV { return []KV{kv} },
+		func(key int64, values []int64) []KV {
+			return []KV{{Key: key, Value: int64(len(values))}}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]int{}
+	for _, part := range out {
+		for _, kv := range part {
+			seen[kv.Key]++
+			if kv.Value != 6 {
+				t.Fatalf("key %d reduced over %d values, want 6", kv.Key, kv.Value)
+			}
+		}
+	}
+	for k, cnt := range seen {
+		if cnt != 1 {
+			t.Fatalf("key %d reduced %d times", k, cnt)
+		}
+	}
+}
+
+func TestRunJobMapperFanOut(t *testing.T) {
+	// A mapper may emit multiple pairs: compute degree of each endpoint
+	// from an edge list.
+	c := NewCluster(Config{Machines: 2})
+	edges := [][2]int64{{0, 1}, {0, 2}, {1, 2}, {2, 3}}
+	input := make([][]KV, 2)
+	for i, e := range edges {
+		input[i%2] = append(input[i%2], KV{Key: e[0], Value: e[1]})
+	}
+	out, err := RunJob(c, input,
+		func(kv KV) []KV {
+			return []KV{{Key: kv.Key, Value: 1}, {Key: kv.Value, Value: 1}}
+		},
+		func(key int64, values []int64) []KV {
+			sum := int64(0)
+			for _, v := range values {
+				sum += v
+			}
+			return []KV{{Key: key, Value: sum}}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := map[int64]int64{}
+	for _, part := range out {
+		for _, kv := range part {
+			deg[kv.Key] = kv.Value
+		}
+	}
+	want := map[int64]int64{0: 2, 1: 2, 2: 3, 3: 1}
+	for k, v := range want {
+		if deg[k] != v {
+			t.Fatalf("deg[%d] = %d, want %d", k, deg[k], v)
+		}
+	}
+}
+
+func TestRunJobSpaceCapApplies(t *testing.T) {
+	// A shuffle that funnels everything to one key must blow a tiny cap.
+	c := NewCluster(Config{Machines: 2, SpaceCap: 5, Strict: true})
+	input := [][]KV{
+		{{Key: 0, Value: 1}, {Key: 0, Value: 2}, {Key: 0, Value: 3}},
+		{{Key: 0, Value: 4}, {Key: 0, Value: 5}, {Key: 0, Value: 6}},
+	}
+	_, err := RunJob(c, input,
+		func(kv KV) []KV { return []KV{kv} },
+		func(key int64, values []int64) []KV { return nil })
+	if err == nil {
+		t.Fatal("expected space cap violation")
+	}
+}
+
+func TestRunJobChained(t *testing.T) {
+	// Two chained jobs: first computes per-key sums, second computes the
+	// histogram of sums.
+	c := NewCluster(Config{Machines: 3})
+	input := make([][]KV, 3)
+	for i := 0; i < 12; i++ {
+		input[i%3] = append(input[i%3], KV{Key: int64(i % 4), Value: 1})
+	}
+	sums, err := RunJob(c, input,
+		func(kv KV) []KV { return []KV{kv} },
+		func(key int64, values []int64) []KV {
+			total := int64(0)
+			for _, v := range values {
+				total += v
+			}
+			return []KV{{Key: key, Value: total}}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := RunJob(c, sums,
+		func(kv KV) []KV { return []KV{{Key: kv.Value, Value: 1}} },
+		func(key int64, values []int64) []KV {
+			return []KV{{Key: key, Value: int64(len(values))}}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All four keys have sum 3, so the histogram is {3: 4}.
+	got := map[int64]int64{}
+	for _, part := range hist {
+		for _, kv := range part {
+			got[kv.Key] = kv.Value
+		}
+	}
+	if len(got) != 1 || got[3] != 4 {
+		t.Fatalf("histogram = %v, want {3:4}", got)
+	}
+	if c.Metrics().Rounds != 4 {
+		t.Fatalf("two jobs took %d rounds, want 4", c.Metrics().Rounds)
+	}
+}
+
+func TestSortInt64s(t *testing.T) {
+	f := func(vals []int64) bool {
+		a := append([]int64(nil), vals...)
+		sortInt64s(a)
+		return sort.SliceIsSorted(a, func(i, j int) bool { return a[i] < a[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,224 @@
+// Package mpc simulates the MapReduce (MRC) / massively-parallel-computation
+// model of Karloff, Suri and Vassilvitskii, which is the execution model of
+// the paper under reproduction.
+//
+// A Cluster has M machines, each with a space cap of S words. Computation
+// proceeds in synchronous rounds: in a round every machine reads the messages
+// delivered to it, performs an arbitrary local computation, and emits
+// messages to be delivered at the start of the next round. The simulator
+//
+//   - counts rounds (the model's primary efficiency measure),
+//   - counts every word communicated,
+//   - tracks a per-machine space high-water mark, defined per round as
+//     resident words + incoming words + outgoing words, and
+//   - enforces the space cap, either strictly (an over-cap round returns
+//     ErrSpaceExceeded, mirroring the explicit "fail" lines in the paper's
+//     Algorithms 1, 3 and 4) or leniently (violations are only recorded),
+//
+// so the quantities bounded by the paper's theorems — rounds and space per
+// machine — are measured, not asserted.
+//
+// Resident state (the partition of the input held by each machine) lives in
+// the algorithm's own data structures for speed; algorithms declare its size
+// honestly via SetResident/AddResident. Message traffic is accounted
+// automatically.
+//
+// The broadcast and aggregation helpers implement the degree-d broadcast
+// tree of §2.2/§4.1 of the paper as real message rounds, so "send C to all
+// machines" costs the ceil(log_d M) rounds the paper charges for it.
+package mpc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSpaceExceeded is returned when a machine exceeds its space cap in
+// strict mode.
+var ErrSpaceExceeded = errors.New("mpc: machine space cap exceeded")
+
+// Message is a bundle of words sent from one machine to another. Ints and
+// Floats each count one word per entry; a delivered message also carries one
+// header word (the sender).
+type Message struct {
+	From, To int
+	Ints     []int64
+	Floats   []float64
+}
+
+// Words returns the accounted size of the message in words.
+func (m *Message) Words() int { return 1 + len(m.Ints) + len(m.Floats) }
+
+// Config configures a Cluster.
+type Config struct {
+	// Machines is M, the number of machines. Must be >= 1.
+	Machines int
+	// SpaceCap is S, the per-machine space cap in words. <= 0 disables
+	// enforcement (the high-water mark is still tracked).
+	SpaceCap int
+	// Strict makes Round return ErrSpaceExceeded when a machine exceeds the
+	// cap; otherwise violations are only counted in Metrics.Violations.
+	Strict bool
+	// Trace records a RoundStat per executed round, retrievable via
+	// Trace(). Off by default (it costs memory proportional to rounds).
+	Trace bool
+}
+
+// RoundStat is the per-round record captured when tracing is enabled.
+type RoundStat struct {
+	Round    int   // 1-based round number
+	Words    int64 // words communicated in this round
+	Messages int   // messages delivered in this round
+	MaxLoad  int   // max over machines of resident+in+out this round
+}
+
+// Metrics accumulates the model-level costs of an execution.
+type Metrics struct {
+	Machines    int   // cluster size M
+	Rounds      int   // synchronous rounds executed
+	WordsSent   int64 // total words communicated
+	Messages    int64 // total messages delivered
+	MaxSpace    int   // max over (machine, round) of resident+in+out words
+	MaxResident int   // max declared resident words on any machine
+	Violations  int   // number of (machine, round) space-cap violations
+}
+
+// Cluster is a simulated MRC/MPC cluster.
+type Cluster struct {
+	cfg      Config
+	resident []int
+	inbox    [][]Message
+	metrics  Metrics
+	trace    []RoundStat
+}
+
+// NewCluster returns a cluster with the given configuration.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.Machines < 1 {
+		panic(fmt.Sprintf("mpc: need at least 1 machine, got %d", cfg.Machines))
+	}
+	return &Cluster{
+		cfg:      cfg,
+		resident: make([]int, cfg.Machines),
+		inbox:    make([][]Message, cfg.Machines),
+	}
+}
+
+// M returns the number of machines.
+func (c *Cluster) M() int { return c.cfg.Machines }
+
+// Cap returns the per-machine space cap in words (<= 0 if disabled).
+func (c *Cluster) Cap() int { return c.cfg.SpaceCap }
+
+// Metrics returns a copy of the accumulated metrics.
+func (c *Cluster) Metrics() Metrics {
+	m := c.metrics
+	m.Machines = c.cfg.Machines
+	return m
+}
+
+// Trace returns the per-round records captured so far (nil unless tracing
+// was enabled in the Config). The slice must not be modified.
+func (c *Cluster) Trace() []RoundStat { return c.trace }
+
+// SetResident declares the resident state size of a machine, in words.
+func (c *Cluster) SetResident(machine, words int) {
+	c.resident[machine] = words
+	if words > c.metrics.MaxResident {
+		c.metrics.MaxResident = words
+	}
+}
+
+// AddResident adjusts the declared resident state size of a machine.
+func (c *Cluster) AddResident(machine, delta int) {
+	c.SetResident(machine, c.resident[machine]+delta)
+}
+
+// Resident returns the declared resident words of a machine.
+func (c *Cluster) Resident(machine int) int { return c.resident[machine] }
+
+// Inbox returns the messages delivered to a machine at the start of the
+// current round. The slice must not be modified.
+func (c *Cluster) Inbox(machine int) []Message { return c.inbox[machine] }
+
+// Outbox collects the messages a machine emits during a round.
+type Outbox struct {
+	from    int
+	cluster *Cluster
+	msgs    []Message
+	words   int
+}
+
+// Send emits a message to machine `to` with the given payload. Payload
+// slices are retained; callers must not reuse them.
+func (o *Outbox) Send(to int, ints []int64, floats []float64) {
+	if to < 0 || to >= o.cluster.cfg.Machines {
+		panic(fmt.Sprintf("mpc: send to invalid machine %d (M=%d)", to, o.cluster.cfg.Machines))
+	}
+	m := Message{From: o.from, To: to, Ints: ints, Floats: floats}
+	o.words += m.Words()
+	o.msgs = append(o.msgs, m)
+}
+
+// SendInts is shorthand for Send(to, ints, nil).
+func (o *Outbox) SendInts(to int, ints ...int64) { o.Send(to, ints, nil) }
+
+// RoundFunc is the local computation of one machine in one round: it reads
+// the machine's inbox and emits messages for the next round.
+type RoundFunc func(machine int, in []Message, out *Outbox)
+
+// Round executes one synchronous round: it runs f on every machine (in
+// machine order — the simulation is deterministic), accounts space and
+// traffic, checks the cap, and delivers the emitted messages, which become
+// the inboxes of the next round.
+func (c *Cluster) Round(f RoundFunc) error {
+	c.metrics.Rounds++
+	outWords := make([]int, c.cfg.Machines)
+	inWords := make([]int, c.cfg.Machines)
+	next := make([][]Message, c.cfg.Machines)
+	for machine := 0; machine < c.cfg.Machines; machine++ {
+		out := &Outbox{from: machine, cluster: c}
+		f(machine, c.inbox[machine], out)
+		outWords[machine] = out.words
+		for _, m := range out.msgs {
+			inWords[m.To] += m.Words()
+			next[m.To] = append(next[m.To], m)
+			c.metrics.WordsSent += int64(m.Words())
+			c.metrics.Messages++
+		}
+	}
+	var violated bool
+	maxLoad := 0
+	for machine := 0; machine < c.cfg.Machines; machine++ {
+		used := c.resident[machine] + inWords[machine] + outWords[machine]
+		if used > maxLoad {
+			maxLoad = used
+		}
+		if used > c.metrics.MaxSpace {
+			c.metrics.MaxSpace = used
+		}
+		if c.cfg.SpaceCap > 0 && used > c.cfg.SpaceCap {
+			c.metrics.Violations++
+			violated = true
+		}
+	}
+	if c.cfg.Trace {
+		stat := RoundStat{Round: c.metrics.Rounds, MaxLoad: maxLoad}
+		for machine := range inWords {
+			stat.Words += int64(inWords[machine])
+			stat.Messages += len(next[machine])
+		}
+		c.trace = append(c.trace, stat)
+	}
+	c.inbox = next
+	if violated && c.cfg.Strict {
+		return fmt.Errorf("%w (cap %d words)", ErrSpaceExceeded, c.cfg.SpaceCap)
+	}
+	return nil
+}
+
+// Quiet runs a round in which no machine sends anything; useful to charge a
+// round of pure local computation.
+func (c *Cluster) Quiet() error {
+	return c.Round(func(int, []Message, *Outbox) {})
+}

@@ -1,0 +1,159 @@
+package mpc
+
+import "fmt"
+
+// This file implements the degree-d broadcast/aggregation tree of §2.2 and
+// §4.1 of the paper. Sending a message from a central machine to all M
+// machines directly could exceed the sender's space cap, so the paper routes
+// it over a tree of degree d = n^µ and depth ceil(log_d M), charging that
+// many MapReduce rounds. The helpers here execute those rounds for real on
+// the cluster, so round counts and word counts include the tree traffic.
+//
+// Delivery semantics: a message emitted in round r is readable at the start
+// of round r+1. Each helper therefore runs Depth()+1 rounds (for M > 1): the
+// final round consumes the last in-flight messages, leaving the cluster's
+// inboxes empty for the caller.
+
+// Tree is a rooted d-ary tree over the machines of a cluster.
+type Tree struct {
+	root   int
+	degree int
+	m      int
+}
+
+// NewTree returns a d-ary tree over the cluster's machines rooted at root.
+// Degrees below 2 are clamped to 2.
+func NewTree(c *Cluster, root, degree int) *Tree {
+	if degree < 2 {
+		degree = 2
+	}
+	if root < 0 || root >= c.M() {
+		panic(fmt.Sprintf("mpc: tree root %d out of range", root))
+	}
+	return &Tree{root: root, degree: degree, m: c.M()}
+}
+
+// pos maps a machine id to its position in the tree (root has position 0).
+func (t *Tree) pos(machine int) int { return ((machine - t.root) + t.m) % t.m }
+
+// machine maps a tree position back to a machine id.
+func (t *Tree) machine(pos int) int { return (pos + t.root) % t.m }
+
+// parent returns the machine id of the parent, or -1 for the root.
+func (t *Tree) parent(machine int) int {
+	p := t.pos(machine)
+	if p == 0 {
+		return -1
+	}
+	return t.machine((p - 1) / t.degree)
+}
+
+// children returns the machine ids of the children of machine.
+func (t *Tree) children(machine int) []int {
+	p := t.pos(machine)
+	var out []int
+	for i := 1; i <= t.degree; i++ {
+		q := p*t.degree + i
+		if q >= t.m {
+			break
+		}
+		out = append(out, t.machine(q))
+	}
+	return out
+}
+
+// depth returns the depth of machine in the tree (root = 0).
+func (t *Tree) depth(machine int) int {
+	d := 0
+	for p := t.pos(machine); p != 0; p = (p - 1) / t.degree {
+		d++
+	}
+	return d
+}
+
+// Depth returns the height of the tree: the number of hops a broadcast
+// needs to reach the deepest machine.
+func (t *Tree) Depth() int {
+	max := 0
+	for machine := 0; machine < t.m; machine++ {
+		if d := t.depth(machine); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Broadcast sends the payload from the tree's root to every machine over
+// Depth()+1 rounds. The payload itself is shared simulator-side; what the
+// helper does is execute (and charge) the real message traffic.
+func (t *Tree) Broadcast(c *Cluster, ints []int64, floats []float64) error {
+	depth := t.Depth()
+	if depth == 0 {
+		return nil
+	}
+	for r := 0; r <= depth; r++ {
+		err := c.Round(func(machine int, in []Message, out *Outbox) {
+			// A machine at depth r has just received the payload (or is the
+			// root); it forwards to its children.
+			if t.depth(machine) != r {
+				return
+			}
+			for _, ch := range t.children(machine) {
+				out.Send(ch, append([]int64(nil), ints...), append([]float64(nil), floats...))
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AggregateSum sums per-machine int64 vectors up the tree to the root over
+// Depth()+1 rounds and returns the elementwise total. value(machine)
+// supplies each machine's local contribution; all vectors must have length
+// width.
+func (t *Tree) AggregateSum(c *Cluster, width int, value func(machine int) []int64) ([]int64, error) {
+	acc := make([][]int64, c.M())
+	for machine := 0; machine < c.M(); machine++ {
+		v := value(machine)
+		if len(v) != width {
+			panic(fmt.Sprintf("mpc: aggregate width mismatch: machine %d has %d, want %d", machine, len(v), width))
+		}
+		acc[machine] = append([]int64(nil), v...)
+	}
+	depth := t.Depth()
+	if depth == 0 {
+		return acc[t.root], nil
+	}
+	for r := 0; r <= depth; r++ {
+		sendDepth := depth - r // machines at this depth send to their parent
+		err := c.Round(func(machine int, in []Message, out *Outbox) {
+			for _, m := range in {
+				for i, v := range m.Ints {
+					acc[machine][i] += v
+				}
+			}
+			if sendDepth >= 1 && t.depth(machine) == sendDepth {
+				out.Send(t.parent(machine), append([]int64(nil), acc[machine]...), nil)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc[t.root], nil
+}
+
+// AllReduceSum aggregates per-machine vectors to the root and broadcasts the
+// total back down.
+func (t *Tree) AllReduceSum(c *Cluster, width int, value func(machine int) []int64) ([]int64, error) {
+	total, err := t.AggregateSum(c, width, value)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.Broadcast(c, total, nil); err != nil {
+		return nil, err
+	}
+	return total, nil
+}

@@ -1,0 +1,185 @@
+package seq
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/setcover"
+)
+
+// This file contains exact exponential-time solvers used as test oracles on
+// small instances. They are deliberately independent of the approximation
+// algorithms (straightforward exhaustive search with pruning) so that a bug
+// in a solver cannot be masked by the same bug in its oracle.
+
+// BruteForceSetCover returns an optimal weighted set cover and its weight.
+// It enumerates subsets with branch-and-bound and is intended for instances
+// with at most ~20 sets.
+func BruteForceSetCover(inst *setcover.Instance) ([]int, float64) {
+	n := inst.NumSets()
+	if n > 30 {
+		panic("seq: BruteForceSetCover instance too large")
+	}
+	bestW := math.Inf(1)
+	var best []int
+	var cur []int
+
+	covered := make([]int, inst.NumElements) // coverage multiplicity
+	remaining := inst.NumElements
+
+	var rec func(i int, w float64)
+	rec = func(i int, w float64) {
+		if w >= bestW {
+			return
+		}
+		if remaining == 0 {
+			bestW = w
+			best = append(best[:0], cur...)
+			return
+		}
+		if i == n {
+			return
+		}
+		// Feasibility prune: every uncovered element must still be coverable
+		// by a remaining set. Check the lowest uncovered element only (cheap
+		// and sound when sets are processed in index order against the dual).
+		// Find the first uncovered element; if no remaining set contains it,
+		// this branch is dead.
+		first := -1
+		for e := 0; e < inst.NumElements; e++ {
+			if covered[e] == 0 {
+				first = e
+				break
+			}
+		}
+		if first >= 0 {
+			ok := false
+			for _, s := range inst.Dual()[first] {
+				if s >= i {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return
+			}
+		}
+		// Branch: take set i.
+		cur = append(cur, i)
+		for _, e := range inst.Sets[i] {
+			if covered[e] == 0 {
+				remaining--
+			}
+			covered[e]++
+		}
+		rec(i+1, w+inst.Weights[i])
+		for _, e := range inst.Sets[i] {
+			covered[e]--
+			if covered[e] == 0 {
+				remaining++
+			}
+		}
+		cur = cur[:len(cur)-1]
+		// Branch: skip set i.
+		rec(i+1, w)
+	}
+	rec(0, 0)
+	return best, bestW
+}
+
+// BruteForceVertexCover returns an optimal weighted vertex cover of g under
+// vertex weights w, by branching on an uncovered edge. Intended for small
+// graphs.
+func BruteForceVertexCover(g *graph.Graph, w []float64) (map[int]bool, float64) {
+	bestW := math.Inf(1)
+	var best map[int]bool
+	in := make([]bool, g.N)
+
+	var rec func(weight float64)
+	rec = func(weight float64) {
+		if weight >= bestW {
+			return
+		}
+		// Find an uncovered edge.
+		var e *graph.Edge
+		for i := range g.Edges {
+			if !in[g.Edges[i].U] && !in[g.Edges[i].V] {
+				e = &g.Edges[i]
+				break
+			}
+		}
+		if e == nil {
+			bestW = weight
+			best = make(map[int]bool)
+			for v, b := range in {
+				if b {
+					best[v] = true
+				}
+			}
+			return
+		}
+		in[e.U] = true
+		rec(weight + w[e.U])
+		in[e.U] = false
+		in[e.V] = true
+		rec(weight + w[e.V])
+		in[e.V] = false
+	}
+	rec(0)
+	return best, bestW
+}
+
+// BruteForceMatching returns the weight of a maximum weight matching of g,
+// by include/exclude recursion over edges. Intended for graphs with at most
+// ~24 edges.
+func BruteForceMatching(g *graph.Graph) float64 {
+	if g.M() > 26 {
+		panic("seq: BruteForceMatching instance too large")
+	}
+	used := make([]bool, g.N)
+	var rec func(i int) float64
+	rec = func(i int) float64 {
+		if i == g.M() {
+			return 0
+		}
+		best := rec(i + 1) // skip edge i
+		e := g.Edges[i]
+		if !used[e.U] && !used[e.V] {
+			used[e.U], used[e.V] = true, true
+			if take := e.W + rec(i+1); take > best {
+				best = take
+			}
+			used[e.U], used[e.V] = false, false
+		}
+		return best
+	}
+	return rec(0)
+}
+
+// BruteForceBMatching returns the weight of a maximum weight b-matching of
+// g. Intended for graphs with at most ~24 edges.
+func BruteForceBMatching(g *graph.Graph, b func(v int) int) float64 {
+	if g.M() > 26 {
+		panic("seq: BruteForceBMatching instance too large")
+	}
+	load := make([]int, g.N)
+	var rec func(i int) float64
+	rec = func(i int) float64 {
+		if i == g.M() {
+			return 0
+		}
+		best := rec(i + 1)
+		e := g.Edges[i]
+		if load[e.U] < b(e.U) && load[e.V] < b(e.V) {
+			load[e.U]++
+			load[e.V]++
+			if take := e.W + rec(i+1); take > best {
+				best = take
+			}
+			load[e.U]--
+			load[e.V]--
+		}
+		return best
+	}
+	return rec(0)
+}

@@ -1,0 +1,234 @@
+package seq
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// GreedyVertexColouring colours vertices in the given order (or 0..n-1 when
+// order is nil) with the smallest colour unused among coloured neighbours.
+// It uses at most ∆+1 colours; colours are 0-based. This is the "standard
+// (∆_i + 1)-vertex colouring algorithm" each central machine runs in
+// Algorithm 5.
+func GreedyVertexColouring(g *graph.Graph, order []int) []int {
+	if order == nil {
+		order = make([]int, g.N)
+		for v := range order {
+			order[v] = v
+		}
+	}
+	colour := make([]int, g.N)
+	for i := range colour {
+		colour[i] = -1
+	}
+	for _, v := range order {
+		used := make(map[int]bool)
+		for _, id := range g.IncidentEdges(v) {
+			u := g.Edges[id].Other(v)
+			if colour[u] >= 0 {
+				used[colour[u]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colour[v] = c
+	}
+	return colour
+}
+
+// MisraGries edge-colours g with at most ∆+1 colours (Vizing's bound),
+// following the constructive algorithm of Misra and Gries (1992), which is
+// the subroutine Remark 6.5 uses to colour each edge group. Colours are
+// 0-based in the returned slice (internally 1..∆+1). It runs in O(nm) time.
+func MisraGries(g *graph.Graph) []int {
+	g.Build()
+	maxC := g.MaxDegree() + 1
+	if g.M() == 0 {
+		return []int{}
+	}
+	colour := make([]int, g.M()) // 0 = uncoloured; valid colours 1..maxC
+	// at[v][c] = edge id coloured c at v.
+	at := make([]map[int]int, g.N)
+	for v := range at {
+		at[v] = make(map[int]int)
+	}
+
+	isFree := func(v, c int) bool { _, used := at[v][c]; return !used }
+	freeColour := func(v int) int {
+		for c := 1; c <= maxC; c++ {
+			if isFree(v, c) {
+				return c
+			}
+		}
+		panic("seq: no free colour; degree exceeds maxC-1")
+	}
+	setColour := func(id, c int) {
+		e := g.Edges[id]
+		if old := colour[id]; old != 0 {
+			delete(at[e.U], old)
+			delete(at[e.V], old)
+		}
+		colour[id] = c
+		if c != 0 {
+			at[e.U][c] = id
+			at[e.V][c] = id
+		}
+	}
+
+	// makeFan builds a maximal fan of u starting at v: a sequence of distinct
+	// neighbours F[0]=v, F[1], ... such that edge (u,F[i+1]) is coloured with
+	// a colour free on F[i].
+	makeFan := func(u, v int) []int {
+		fan := []int{v}
+		inFan := map[int]bool{v: true}
+		for {
+			last := fan[len(fan)-1]
+			extended := false
+			for _, id := range g.IncidentEdges(u) {
+				w := g.Edges[id].Other(u)
+				if inFan[w] || colour[id] == 0 {
+					continue
+				}
+				if isFree(last, colour[id]) {
+					fan = append(fan, w)
+					inFan[w] = true
+					extended = true
+					break
+				}
+			}
+			if !extended {
+				return fan
+			}
+		}
+	}
+
+	// invertPath walks the cd-path from u (u has d used, c free) and swaps
+	// the two colours along it.
+	invertPath := func(u, c, d int) {
+		var path []int
+		cur, col := u, d
+		for {
+			id, ok := at[cur][col]
+			if !ok {
+				break
+			}
+			path = append(path, id)
+			cur = g.Edges[id].Other(cur)
+			if col == d {
+				col = c
+			} else {
+				col = d
+			}
+		}
+		// Two phases: uncolour the whole path first, then apply the swapped
+		// colours. Doing it in one pass would transiently register two edges
+		// under the same (vertex, colour) key and corrupt the index.
+		swapped := make([]int, len(path))
+		for i, id := range path {
+			if colour[id] == c {
+				swapped[i] = d
+			} else {
+				swapped[i] = c
+			}
+			setColour(id, 0)
+		}
+		for i, id := range path {
+			setColour(id, swapped[i])
+		}
+	}
+
+	// rotateFan shifts colours along the fan prefix F[0..w] and colours the
+	// last edge d.
+	rotateFan := func(u int, fan []int, w, d int) {
+		edgeTo := func(x int) int {
+			for _, id := range g.IncidentEdges(u) {
+				if g.Edges[id].Other(u) == x {
+					// Prefer the edge currently carrying the fan colour; for
+					// simple graphs any incident edge to x is unique.
+					return id
+				}
+			}
+			panic("seq: fan vertex not adjacent")
+		}
+		// Collect the shift first, uncolour, then assign: assigning in place
+		// would transiently give two edges at u the same colour and corrupt
+		// the (vertex, colour) index.
+		ids := make([]int, w+1)
+		for i := 0; i <= w; i++ {
+			ids[i] = edgeTo(fan[i])
+		}
+		newCol := make([]int, w+1)
+		for i := 0; i < w; i++ {
+			newCol[i] = colour[ids[i+1]]
+		}
+		newCol[w] = d
+		for _, id := range ids {
+			setColour(id, 0)
+		}
+		for i, id := range ids {
+			if newCol[i] != 0 {
+				setColour(id, newCol[i])
+			}
+		}
+	}
+
+	for id := range g.Edges {
+		if colour[id] != 0 {
+			continue
+		}
+		u, v := g.Edges[id].U, g.Edges[id].V
+		for attempt := 0; ; attempt++ {
+			if attempt > 2*g.N+10 {
+				panic(fmt.Sprintf("seq: MisraGries failed to colour edge %d", id))
+			}
+			fan := makeFan(u, v)
+			c := freeColour(u)
+			d := freeColour(fan[len(fan)-1])
+			if c != d && !isFree(u, d) {
+				invertPath(u, c, d)
+			}
+			// After the inversion d is free on u. Find a prefix F[0..w] that
+			// is still a fan (colours may have changed) with d free on F[w].
+			w := -1
+			for i := range fan {
+				if i > 0 {
+					// Prefix validity: colour of (u, fan[i]) must be free on
+					// fan[i-1].
+					ci := 0
+					for _, eid := range g.IncidentEdges(u) {
+						if g.Edges[eid].Other(u) == fan[i] {
+							ci = colour[eid]
+							break
+						}
+					}
+					if ci == 0 || !isFree(fan[i-1], ci) {
+						break
+					}
+				}
+				if isFree(fan[i], d) {
+					w = i
+					break
+				}
+			}
+			if w < 0 {
+				// The inversion disturbed the fan; rebuild and retry (the
+				// Misra–Gries invariants guarantee progress).
+				continue
+			}
+			rotateFan(u, fan, w, d)
+			break
+		}
+	}
+
+	out := make([]int, g.M())
+	for id, c := range colour {
+		if c == 0 {
+			panic("seq: MisraGries left an edge uncoloured")
+		}
+		out[id] = c - 1
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package seq
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestGreedyVertexColouringProper(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + r.Intn(30)
+		maxM := n * (n - 1) / 2
+		m := r.Intn(maxM + 1)
+		g := graph.GNM(n, m, r)
+		col := GreedyVertexColouring(g, nil)
+		if !graph.IsProperVertexColouring(g, col) {
+			t.Fatalf("trial %d: improper colouring", trial)
+		}
+		if nc := graph.NumColours(col); nc > g.MaxDegree()+1 {
+			t.Fatalf("trial %d: %d colours > delta+1 = %d", trial, nc, g.MaxDegree()+1)
+		}
+	}
+}
+
+func TestGreedyVertexColouringCustomOrder(t *testing.T) {
+	g := graph.Cycle(4)
+	col := GreedyVertexColouring(g, []int{3, 2, 1, 0})
+	if !graph.IsProperVertexColouring(g, col) {
+		t.Fatal("improper")
+	}
+	if graph.NumColours(col) > 2 {
+		t.Fatalf("C4 should 2-colour greedily in this order: %v", col)
+	}
+}
+
+func TestMisraGriesSmallKnown(t *testing.T) {
+	// A triangle has delta=2 and chromatic index 3 = delta+1.
+	g := graph.Cycle(3)
+	col := MisraGries(g)
+	if !graph.IsProperEdgeColouring(g, col) {
+		t.Fatal("triangle: improper")
+	}
+	if nc := graph.NumColours(col); nc != 3 {
+		t.Fatalf("triangle needs exactly 3 colours, used %d", nc)
+	}
+}
+
+func TestMisraGriesStar(t *testing.T) {
+	// A star's edges all share the centre: needs exactly delta colours.
+	g := graph.Star(6)
+	col := MisraGries(g)
+	if !graph.IsProperEdgeColouring(g, col) {
+		t.Fatal("star: improper")
+	}
+	if nc := graph.NumColours(col); nc != 5 {
+		t.Fatalf("star K1,5 needs 5 colours, used %d", nc)
+	}
+}
+
+func TestMisraGriesEmptyAndSingle(t *testing.T) {
+	if col := MisraGries(graph.New(3)); len(col) != 0 {
+		t.Fatal("empty graph")
+	}
+	g := graph.Path(2)
+	col := MisraGries(g)
+	if len(col) != 1 {
+		t.Fatal("single edge")
+	}
+}
+
+func TestMisraGriesVizingBoundRandom(t *testing.T) {
+	r := rng.New(33)
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + r.Intn(25)
+		maxM := n * (n - 1) / 2
+		m := r.Intn(maxM + 1)
+		g := graph.GNM(n, m, r)
+		col := MisraGries(g)
+		if !graph.IsProperEdgeColouring(g, col) {
+			t.Fatalf("trial %d (n=%d m=%d): improper edge colouring", trial, n, m)
+		}
+		if nc := graph.NumColours(col); nc > g.MaxDegree()+1 {
+			t.Fatalf("trial %d: %d colours > delta+1 = %d", trial, nc, g.MaxDegree()+1)
+		}
+	}
+}
+
+func TestMisraGriesDenseAndStructured(t *testing.T) {
+	cases := []*graph.Graph{
+		graph.Complete(6),
+		graph.Complete(7),
+		graph.Grid(4, 5),
+		graph.Cycle(9),
+		graph.PreferentialAttachment(40, 3, rng.New(34)),
+	}
+	for i, g := range cases {
+		col := MisraGries(g)
+		if !graph.IsProperEdgeColouring(g, col) {
+			t.Fatalf("case %d: improper", i)
+		}
+		if nc := graph.NumColours(col); nc > g.MaxDegree()+1 {
+			t.Fatalf("case %d: %d > delta+1", i, nc)
+		}
+	}
+}
+
+func TestGreedyMISProperties(t *testing.T) {
+	r := rng.New(35)
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + r.Intn(25)
+		m := r.Intn(n * 2)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g := graph.GNM(n, m, r)
+		set := GreedyMIS(g, nil)
+		if !graph.IsMaximalIndependentSet(g, set) {
+			t.Fatalf("trial %d: not an MIS", trial)
+		}
+		// Random order variant.
+		set2 := GreedyMIS(g, r.Perm(g.N))
+		if !graph.IsMaximalIndependentSet(g, set2) {
+			t.Fatalf("trial %d: random order not an MIS", trial)
+		}
+	}
+}
+
+func TestGreedyMISSubset(t *testing.T) {
+	g := graph.Path(6)
+	active := func(v int) bool { return v >= 2 } // restrict to vertices 2..5
+	set := GreedyMISSubset(g, active, nil)
+	if !graph.IsIndependentSet(g, set) {
+		t.Fatal("not independent")
+	}
+	for v := range set {
+		if v < 2 {
+			t.Fatal("inactive vertex selected")
+		}
+	}
+	// Maximal within active: every active vertex is in set or adjacent to it.
+	for v := 2; v < 6; v++ {
+		if set[v] {
+			continue
+		}
+		dominated := false
+		for _, u := range g.Neighbours(v) {
+			if set[u] {
+				dominated = true
+			}
+		}
+		if !dominated {
+			t.Fatalf("active vertex %d not dominated", v)
+		}
+	}
+}
+
+func TestGreedyMaximalClique(t *testing.T) {
+	r := rng.New(36)
+	for trial := 0; trial < 30; trial++ {
+		g := graph.GNM(12, 30, r)
+		cl := GreedyMaximalClique(g, nil)
+		if !graph.IsMaximalClique(g, cl) {
+			t.Fatalf("trial %d: not a maximal clique: %v", trial, cl)
+		}
+	}
+	// With a seed.
+	g := graph.Complete(5)
+	cl := GreedyMaximalClique(g, []int{2})
+	if len(cl) != 5 {
+		t.Fatalf("K5 maximal clique from seed: %v", cl)
+	}
+}

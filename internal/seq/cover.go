@@ -1,0 +1,172 @@
+// Package seq implements the sequential algorithms that the paper's
+// MapReduce algorithms build on, plus the baselines and exact oracles the
+// experiments compare against:
+//
+//   - the Bar-Yehuda–Even local ratio algorithm for weighted set cover
+//     (Theorem 2.1), exposed as a reusable incremental state so the central
+//     machine of MapReduce Algorithm 1 can drive it element by element;
+//   - the Chvátal greedy / ε-greedy algorithm for weighted set cover (§4);
+//   - the Paz–Schwartzman local ratio algorithm for weighted matching
+//     (Theorem 5.1), again as an incremental state reused by Algorithm 4;
+//   - the ε-adjusted local ratio algorithm for b-matching (Appendix D);
+//   - greedy matching, greedy MIS, greedy (∆+1) vertex colouring, and the
+//     Misra–Gries (∆+1) edge colouring used by Remark 6.5;
+//   - brute-force exact solvers used as test oracles on small instances.
+package seq
+
+import (
+	"repro/internal/setcover"
+)
+
+// CoverLocalRatio is the incremental state of the Bar-Yehuda–Even local
+// ratio algorithm for minimum weight set cover. Elements are processed in an
+// arbitrary order (that flexibility is exactly what the paper's randomized
+// sampling exploits); processing element j reduces the weight of every set
+// containing j by the minimum residual weight among them. Sets whose
+// residual weight reaches zero join the cover.
+//
+// The accumulated reduction SumEps is a certified lower bound on OPT: every
+// feasible cover must pay at least eps_j for each processed element j, and
+// the final cover weighs at most f * SumEps (the f-approximation guarantee).
+type CoverLocalRatio struct {
+	inst     *setcover.Instance
+	residual []float64
+	inCover  []bool
+	cover    []int
+	// SumEps is the total weight reduction performed; a lower bound on OPT.
+	SumEps float64
+}
+
+// NewCoverLocalRatio returns a fresh local ratio state over inst. The
+// instance's weights are not modified; reductions happen on a copy.
+func NewCoverLocalRatio(inst *setcover.Instance) *CoverLocalRatio {
+	lr := &CoverLocalRatio{
+		inst:     inst,
+		residual: append([]float64(nil), inst.Weights...),
+		inCover:  make([]bool, inst.NumSets()),
+	}
+	return lr
+}
+
+// Covered reports whether element j is covered by the current cover, i.e.
+// some set containing j has zero residual weight.
+func (lr *CoverLocalRatio) Covered(j int) bool {
+	for _, i := range lr.inst.Dual()[j] {
+		if lr.inCover[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Process applies the local ratio step to element j: if the minimum residual
+// weight among sets containing j is positive, subtract it from all of them
+// and move the new zero-weight sets into the cover. It returns the reduction
+// applied (zero if j was already covered).
+func (lr *CoverLocalRatio) Process(j int) float64 {
+	sets := lr.inst.Dual()[j]
+	if len(sets) == 0 {
+		return 0
+	}
+	eps := -1.0
+	for _, i := range sets {
+		if lr.inCover[i] {
+			return 0 // already covered: min weight is zero
+		}
+		if eps < 0 || lr.residual[i] < eps {
+			eps = lr.residual[i]
+		}
+	}
+	if eps <= 0 {
+		return 0
+	}
+	for _, i := range sets {
+		lr.residual[i] -= eps
+		if lr.residual[i] <= 1e-12 && !lr.inCover[i] {
+			lr.residual[i] = 0
+			lr.inCover[i] = true
+			lr.cover = append(lr.cover, i)
+		}
+	}
+	lr.SumEps += eps
+	return eps
+}
+
+// Residual returns the current residual weight of set i.
+func (lr *CoverLocalRatio) Residual(i int) float64 { return lr.residual[i] }
+
+// InCover reports whether set i has joined the cover.
+func (lr *CoverLocalRatio) InCover(i int) bool { return lr.inCover[i] }
+
+// Cover returns the indices of the sets currently in the cover, in the order
+// they joined. The slice must not be modified.
+func (lr *CoverLocalRatio) Cover() []int { return lr.cover }
+
+// LocalRatioSetCover runs the sequential local ratio algorithm (Theorem 2.1)
+// over all elements in index order and returns the cover and the certified
+// lower bound on OPT. The cover weighs at most f times the lower bound.
+func LocalRatioSetCover(inst *setcover.Instance) (cover []int, lowerBound float64) {
+	lr := NewCoverLocalRatio(inst)
+	for j := 0; j < inst.NumElements; j++ {
+		if !lr.Covered(j) {
+			lr.Process(j)
+		}
+	}
+	return append([]int(nil), lr.Cover()...), lr.SumEps
+}
+
+// GreedySetCover runs the classic Chvátal greedy algorithm with ε-slack: in
+// each iteration it adds a set whose cost ratio |S \ C| / w is at least
+// 1/(1+eps) times the maximum. With eps = 0 this is exact greedy, giving an
+// H_∆ approximation; eps > 0 gives (1+eps)·H_∆ (the variant Algorithm 3
+// implements in MapReduce). Ties and the ε-window are resolved toward lower
+// set index, which makes the function deterministic.
+func GreedySetCover(inst *setcover.Instance, eps float64) []int {
+	n := inst.NumSets()
+	uncov := make([]int, n) // |S_i \ C|
+	for i, s := range inst.Sets {
+		uncov[i] = len(s)
+	}
+	covered := make([]bool, inst.NumElements)
+	remaining := inst.NumElements
+	var cover []int
+	for remaining > 0 {
+		best := -1
+		bestRatio := 0.0
+		for i := 0; i < n; i++ {
+			if uncov[i] == 0 {
+				continue
+			}
+			ratio := float64(uncov[i]) / inst.Weights[i]
+			if ratio > bestRatio {
+				bestRatio = ratio
+				best = i
+			}
+		}
+		if best < 0 {
+			break // unreachable on valid instances
+		}
+		pick := best
+		if eps > 0 {
+			// Take the lowest-indexed set within the ε-window, mimicking the
+			// arbitrary choice the ε-greedy analysis permits.
+			for i := 0; i < n; i++ {
+				if uncov[i] > 0 && float64(uncov[i])/inst.Weights[i] >= bestRatio/(1+eps) {
+					pick = i
+					break
+				}
+			}
+		}
+		cover = append(cover, pick)
+		for _, e := range inst.Sets[pick] {
+			if !covered[e] {
+				covered[e] = true
+				remaining--
+				for _, i := range inst.Dual()[e] {
+					uncov[i]--
+				}
+			}
+		}
+	}
+	return cover
+}

@@ -1,0 +1,88 @@
+package seq
+
+import "repro/internal/graph"
+
+// GreedyMIS scans vertices in the given order (or 0..n-1 when order is nil)
+// and adds each vertex not adjacent to the set so far, producing a maximal
+// independent set. This is the subroutine the paper's MIS algorithms run on
+// the central machine once the residual graph fits in memory.
+func GreedyMIS(g *graph.Graph, order []int) map[int]bool {
+	if order == nil {
+		order = make([]int, g.N)
+		for v := range order {
+			order[v] = v
+		}
+	}
+	set := make(map[int]bool)
+	blocked := make([]bool, g.N)
+	for _, v := range order {
+		if blocked[v] {
+			continue
+		}
+		set[v] = true
+		blocked[v] = true
+		for _, u := range g.Neighbours(v) {
+			blocked[u] = true
+		}
+	}
+	return set
+}
+
+// GreedyMISSubset is GreedyMIS restricted to the induced subgraph on the
+// vertices for which active(v) is true: the returned set is independent in g
+// and maximal within the active set.
+func GreedyMISSubset(g *graph.Graph, active func(v int) bool, order []int) map[int]bool {
+	if order == nil {
+		order = make([]int, g.N)
+		for v := range order {
+			order[v] = v
+		}
+	}
+	set := make(map[int]bool)
+	blocked := make([]bool, g.N)
+	for _, v := range order {
+		if !active(v) || blocked[v] {
+			continue
+		}
+		set[v] = true
+		blocked[v] = true
+		for _, u := range g.Neighbours(v) {
+			blocked[u] = true
+		}
+	}
+	return set
+}
+
+// GreedyMaximalClique grows a clique from seed by scanning vertices in index
+// order and adding any vertex adjacent to the whole current clique. Used as
+// the centralized finish of the maximal clique algorithm and as a test
+// oracle.
+func GreedyMaximalClique(g *graph.Graph, seed []int) []int {
+	clique := append([]int(nil), seed...)
+	have := g.HasEdgeSet()
+	inClique := make(map[int]bool, len(clique))
+	for _, v := range clique {
+		inClique[v] = true
+	}
+	for v := 0; v < g.N; v++ {
+		if inClique[v] {
+			continue
+		}
+		ok := true
+		for _, u := range clique {
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			if !have[[2]int{a, b}] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			clique = append(clique, v)
+			inClique[v] = true
+		}
+	}
+	return clique
+}

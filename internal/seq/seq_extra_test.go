@@ -1,0 +1,187 @@
+package seq
+
+// Additional edge-case and property tests for the sequential algorithms.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/setcover"
+)
+
+func TestLocalRatioMatchingEmptyAndSingle(t *testing.T) {
+	if m := LocalRatioMatching(graph.New(3)); len(m) != 0 {
+		t.Fatal("empty graph")
+	}
+	g := graph.New(2)
+	g.AddEdge(0, 1, 5)
+	if m := LocalRatioMatching(g); len(m) != 1 {
+		t.Fatal("single edge must be matched")
+	}
+}
+
+func TestLocalRatioMatchingZeroWeightEdgesIgnored(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 0) // dead from the start
+	g.AddEdge(2, 3, 1)
+	m := LocalRatioMatching(g)
+	if len(m) != 1 || m[0] != 1 {
+		t.Fatalf("matching = %v, want only the positive edge", m)
+	}
+}
+
+func TestMatchingLocalRatioProcessingOrderIrrelevantForBound(t *testing.T) {
+	// Theorem 5.1 holds for ANY processing order; verify across random
+	// permutations on one instance.
+	r := rng.New(140)
+	g := graph.GNM(7, 12, r)
+	g.AssignUniformWeights(r, 1, 10)
+	opt := BruteForceMatching(g)
+	for trial := 0; trial < 30; trial++ {
+		lr := NewMatchingLocalRatio(g)
+		for _, id := range r.Perm(g.M()) {
+			lr.Push(id)
+		}
+		w := graph.MatchingWeight(g, lr.Unwind())
+		if 2*w < opt-1e-9 {
+			t.Fatalf("trial %d: order broke the 2-approximation: %v vs OPT %v", trial, w, opt)
+		}
+	}
+}
+
+func TestBMatchingLocalRatioOrderIrrelevantForBound(t *testing.T) {
+	r := rng.New(141)
+	g := graph.GNM(6, 10, r)
+	g.AssignUniformWeights(r, 1, 10)
+	b := func(int) int { return 2 }
+	eps := 0.2
+	opt := BruteForceBMatching(g, b)
+	bound := 3 - 2.0/2 + 2*eps
+	for trial := 0; trial < 30; trial++ {
+		lr := NewBMatchingLocalRatio(g, b, eps)
+		for _, id := range r.Perm(g.M()) {
+			lr.Push(id)
+		}
+		sel := lr.Unwind()
+		if !graph.IsBMatching(g, sel, b) {
+			t.Fatalf("trial %d: invalid", trial)
+		}
+		if w := graph.MatchingWeight(g, sel); bound*w < opt-1e-9 {
+			t.Fatalf("trial %d: %v vs OPT %v breaks bound %v", trial, w, opt, bound)
+		}
+	}
+}
+
+func TestGreedySetCoverSingletonSets(t *testing.T) {
+	// Only singleton sets: greedy must pick the cheapest set per element.
+	inst := &setcover.Instance{
+		NumElements: 3,
+		Sets:        [][]int{{0}, {0}, {1}, {2}},
+		Weights:     []float64{5, 1, 1, 1},
+	}
+	cover := GreedySetCover(inst, 0)
+	if !inst.IsCover(cover) {
+		t.Fatal("not a cover")
+	}
+	if w := inst.Weight(cover); w != 3 {
+		t.Fatalf("weight %v, want 3 (cheapest per element)", w)
+	}
+}
+
+func TestGreedySetCoverDeterministic(t *testing.T) {
+	r := rng.New(142)
+	inst := setcover.RandomSized(20, 30, 6, 5, r)
+	a := GreedySetCover(inst, 0.2)
+	b := GreedySetCover(inst, 0.2)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic pick order")
+		}
+	}
+}
+
+func TestBruteForceSetCoverAgreesWithVertexCover(t *testing.T) {
+	// The two independent exact solvers must agree through the reduction.
+	r := rng.New(143)
+	for trial := 0; trial < 15; trial++ {
+		g := graph.GNM(7, 10, r)
+		w := make([]float64, g.N)
+		for i := range w {
+			w[i] = r.UniformWeight(1, 5)
+		}
+		_, optVC := BruteForceVertexCover(g, w)
+		inst := setcover.FromVertexCover(g, w)
+		_, optSC := BruteForceSetCover(inst)
+		if math.Abs(optVC-optSC) > 1e-9 {
+			t.Fatalf("trial %d: VC OPT %v != SC OPT %v", trial, optVC, optSC)
+		}
+	}
+}
+
+func TestCoverLocalRatioResidualNeverNegative(t *testing.T) {
+	r := rng.New(144)
+	f := func(s uint8) bool {
+		inst := setcover.RandomFrequency(6, 12, 3, 5, r)
+		lr := NewCoverLocalRatio(inst)
+		for _, j := range r.Perm(inst.NumElements) {
+			lr.Process(j)
+			for i := 0; i < inst.NumSets(); i++ {
+				if lr.Residual(i) < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMisraGriesBipartiteUsesAtMostDeltaPlusOne(t *testing.T) {
+	// König: bipartite graphs are ∆-edge-colourable; Misra-Gries guarantees
+	// ∆+1, so assert ≤ ∆+1 and proper.
+	r := rng.New(145)
+	for trial := 0; trial < 15; trial++ {
+		g := graph.RandomBipartite(8, 10, 30, r)
+		col := MisraGries(g)
+		if !graph.IsProperEdgeColouring(g, col) {
+			t.Fatalf("trial %d: improper", trial)
+		}
+		if graph.NumColours(col) > g.MaxDegree()+1 {
+			t.Fatalf("trial %d: too many colours", trial)
+		}
+	}
+}
+
+func TestGreedyVertexColouringPathTwoColours(t *testing.T) {
+	col := GreedyVertexColouring(graph.Path(10), nil)
+	if graph.NumColours(col) != 2 {
+		t.Fatalf("path coloured with %d colours, want 2", graph.NumColours(col))
+	}
+}
+
+func TestGreedyMISIsolatedVertices(t *testing.T) {
+	g := graph.New(5) // no edges at all
+	set := GreedyMIS(g, nil)
+	if len(set) != 5 {
+		t.Fatalf("MIS of empty graph must be all vertices, got %d", len(set))
+	}
+}
+
+func TestUnwindEmptyStack(t *testing.T) {
+	lr := NewMatchingLocalRatio(graph.New(3))
+	if m := lr.Unwind(); len(m) != 0 {
+		t.Fatal("unwinding empty stack")
+	}
+	blr := NewBMatchingLocalRatio(graph.New(3), func(int) int { return 1 }, 0)
+	if m := blr.Unwind(); len(m) != 0 {
+		t.Fatal("unwinding empty b-stack")
+	}
+}

@@ -1,0 +1,92 @@
+package setcover
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text serialization for set cover instances, mirroring internal/graph's
+// format:
+//
+//	setcover <n> <m>
+//	s <weight> <elem> <elem> ...
+//	...
+//
+// One "s" line per set, in index order; weights round-trip exactly.
+
+// Encode writes the instance to w.
+func Encode(w io.Writer, in *Instance) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "setcover %d %d\n", in.NumSets(), in.NumElements); err != nil {
+		return err
+	}
+	for i, s := range in.Sets {
+		if _, err := fmt.Fprintf(bw, "s %s", strconv.FormatFloat(in.Weights[i], 'g', -1, 64)); err != nil {
+			return err
+		}
+		for _, e := range s {
+			if _, err := fmt.Fprintf(bw, " %d", e); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads an instance in the format produced by Encode and validates
+// it.
+func Decode(r io.Reader) (*Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("setcover: empty input")
+	}
+	var n, m int
+	if _, err := fmt.Sscanf(sc.Text(), "setcover %d %d", &n, &m); err != nil {
+		return nil, fmt.Errorf("setcover: bad header %q: %v", sc.Text(), err)
+	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("setcover: negative dimensions")
+	}
+	in := &Instance{NumElements: m}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 || fields[0] != "s" {
+			return nil, fmt.Errorf("setcover: bad set line %q", line)
+		}
+		w, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("setcover: bad weight %q", fields[1])
+		}
+		var elems []int
+		for _, f := range fields[2:] {
+			e, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("setcover: bad element %q", f)
+			}
+			elems = append(elems, e)
+		}
+		in.Sets = append(in.Sets, elems)
+		in.Weights = append(in.Weights, w)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(in.Sets) != n {
+		return nil, fmt.Errorf("setcover: header promises %d sets, found %d", n, len(in.Sets))
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}

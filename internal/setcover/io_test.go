@@ -1,0 +1,69 @@
+package setcover
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestInstanceEncodeDecodeRoundTrip(t *testing.T) {
+	r := rng.New(130)
+	in := RandomFrequency(15, 60, 3, 7, r)
+	var buf bytes.Buffer
+	if err := Encode(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumSets() != in.NumSets() || out.NumElements != in.NumElements {
+		t.Fatal("dimensions changed")
+	}
+	for i := range in.Sets {
+		if in.Weights[i] != out.Weights[i] {
+			t.Fatalf("weight %d changed: %v -> %v", i, in.Weights[i], out.Weights[i])
+		}
+		if len(in.Sets[i]) != len(out.Sets[i]) {
+			t.Fatalf("set %d size changed", i)
+		}
+		for j := range in.Sets[i] {
+			if in.Sets[i][j] != out.Sets[i][j] {
+				t.Fatalf("set %d element %d changed", i, j)
+			}
+		}
+	}
+}
+
+func TestInstanceDecodeErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "cover 2 2\n",
+		"neg dims":    "setcover -1 2\n",
+		"bad line":    "setcover 1 2\nx 1 0 1\n",
+		"bad weight":  "setcover 1 2\ns zz 0 1\n",
+		"bad elem":    "setcover 1 2\ns 1 a\n",
+		"count miss":  "setcover 2 1\ns 1 0\n",
+		"zero weight": "setcover 1 1\ns 0 0\n",
+		"uncovered":   "setcover 1 2\ns 1 0\n",
+		"out of rng":  "setcover 1 1\ns 1 5\n",
+	}
+	for name, in := range cases {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestInstanceDecodeComments(t *testing.T) {
+	in := "setcover 2 2\n# comment\ns 1.5 0\n\ns 2.5 0 1\n"
+	out, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumSets() != 2 || out.Weights[1] != 2.5 {
+		t.Fatalf("decoded %+v", out)
+	}
+}

@@ -1,0 +1,197 @@
+package setcover
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func tiny() *Instance {
+	// Sets over elements {0,1,2,3}:
+	//   S0 = {0,1} w=1,  S1 = {1,2} w=1,  S2 = {2,3} w=1,  S3 = {0,1,2,3} w=2.5
+	return &Instance{
+		NumElements: 4,
+		Sets:        [][]int{{0, 1}, {1, 2}, {2, 3}, {0, 1, 2, 3}},
+		Weights:     []float64{1, 1, 1, 2.5},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := tiny().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := tiny()
+	bad.Weights[0] = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero weight accepted")
+	}
+	bad2 := tiny()
+	bad2.Sets[0] = []int{0, 9}
+	if bad2.Validate() == nil {
+		t.Fatal("out of range element accepted")
+	}
+	bad3 := tiny()
+	bad3.NumElements = 5
+	if bad3.Validate() == nil {
+		t.Fatal("uncovered element accepted")
+	}
+	bad4 := tiny()
+	bad4.Weights = bad4.Weights[:2]
+	if bad4.Validate() == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestDualAndFrequency(t *testing.T) {
+	in := tiny()
+	d := in.Dual()
+	if len(d) != 4 {
+		t.Fatal("dual length")
+	}
+	// Element 1 is in S0, S1, S3.
+	if len(d[1]) != 3 {
+		t.Fatalf("freq(1) = %d", len(d[1]))
+	}
+	if in.MaxFrequency() != 3 {
+		t.Fatalf("f = %d", in.MaxFrequency())
+	}
+	if in.MaxSetSize() != 4 {
+		t.Fatalf("delta = %d", in.MaxSetSize())
+	}
+	if in.TotalSize() != 2+2+2+4 {
+		t.Fatalf("total size = %d", in.TotalSize())
+	}
+}
+
+func TestIsCoverAndWeight(t *testing.T) {
+	in := tiny()
+	if !in.IsCover([]int{3}) {
+		t.Fatal("S3 covers everything")
+	}
+	if !in.IsCover([]int{0, 2}) {
+		t.Fatal("S0+S2 covers")
+	}
+	if in.IsCover([]int{0, 1}) {
+		t.Fatal("S0+S1 misses 3")
+	}
+	if in.IsCover([]int{9}) {
+		t.Fatal("invalid index")
+	}
+	if w := in.Weight([]int{0, 2, 0}); w != 2 {
+		t.Fatalf("weight with dup = %v", w)
+	}
+}
+
+func TestWeightSpread(t *testing.T) {
+	in := tiny()
+	if s := in.WeightSpread(); s != 2.5 {
+		t.Fatalf("spread %v", s)
+	}
+	empty := &Instance{}
+	if empty.WeightSpread() != 1 {
+		t.Fatal("empty spread")
+	}
+}
+
+func TestClone(t *testing.T) {
+	in := tiny()
+	cp := in.Clone()
+	cp.Sets[0][0] = 99
+	cp.Weights[0] = 99
+	if in.Sets[0][0] == 99 || in.Weights[0] == 99 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestFromVertexCover(t *testing.T) {
+	g := graph.Path(4) // edges (0,1),(1,2),(2,3)
+	w := []float64{1, 2, 3, 4}
+	in := FromVertexCover(g, w)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.NumSets() != 4 || in.NumElements != 3 {
+		t.Fatal("dimensions")
+	}
+	if f := in.MaxFrequency(); f != 2 {
+		t.Fatalf("vertex cover must have f=2, got %d", f)
+	}
+	// Vertex 1's set must contain edges 0 and 1.
+	if len(in.Sets[1]) != 2 {
+		t.Fatalf("set for vertex 1: %v", in.Sets[1])
+	}
+}
+
+func TestRandomFrequency(t *testing.T) {
+	r := rng.New(1)
+	in := RandomFrequency(20, 500, 3, 10, r)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f := in.MaxFrequency(); f > 3 || f < 1 {
+		t.Fatalf("f = %d, want in [1,3]", f)
+	}
+	if in.NumSets() != 20 || in.NumElements != 500 {
+		t.Fatal("dimensions")
+	}
+	for _, w := range in.Weights {
+		if w < 1 || w >= 10 {
+			t.Fatalf("weight %v", w)
+		}
+	}
+}
+
+func TestRandomSized(t *testing.T) {
+	r := rng.New(2)
+	in := RandomSized(200, 50, 8, 5, r)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := in.MaxSetSize(); d > 9 { // delta + at most slack from coverage fixes
+		t.Fatalf("delta = %d, want <= 9", d)
+	}
+}
+
+func TestRandomSizedDeltaClamp(t *testing.T) {
+	r := rng.New(3)
+	in := RandomSized(10, 3, 100, 2, r) // delta > m gets clamped
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.MaxSetSize() > 3 {
+		t.Fatal("delta clamp failed")
+	}
+}
+
+func TestQuickRandomFrequencyAlwaysCovered(t *testing.T) {
+	r := rng.New(4)
+	f := func(a, b, c uint8) bool {
+		n := int(a%20) + 1
+		m := int(b%100) + 1
+		fq := int(c)%n + 1
+		in := RandomFrequency(n, m, fq, 4, r)
+		return in.Validate() == nil && in.MaxFrequency() <= fq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRandomSizedAlwaysCovered(t *testing.T) {
+	r := rng.New(5)
+	f := func(a, b, c uint8) bool {
+		n := int(a%30) + 1
+		m := int(b%40) + 1
+		d := int(c%10) + 1
+		in := RandomSized(n, m, d, 3, r)
+		return in.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

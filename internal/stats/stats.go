@@ -1,0 +1,77 @@
+// Package stats provides the summary statistics used by the multi-trial
+// experiments: mean, standard deviation, min/max, and quantiles over small
+// samples of measured metrics.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 measurements.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+}
+
+// Summarize computes a Summary of xs. It panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Quantile(xs, 0.5)
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear interpolation
+// between order statistics. It panics on an empty sample or q outside [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the summary as "mean ± std [min, max]".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3f ± %.3f [%.3f, %.3f]", s.Mean, s.Std, s.Min, s.Max)
+}
+
+// MeanStd renders just "mean ± std".
+func (s Summary) MeanStd() string {
+	return fmt.Sprintf("%.3f ± %.3f", s.Mean, s.Std)
+}

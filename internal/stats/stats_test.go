@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample std of 1..5 is sqrt(2.5).
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.Median != 7 || s.Min != 7 || s.Max != 7 {
+		t.Fatalf("singleton summary = %+v", s)
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3, 20},
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, q := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for q=%v", q)
+				}
+			}()
+			Quantile([]float64{1}, q)
+		}()
+	}
+}
+
+func TestQuickMeanWithinRange(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.Median >= s.Min-1e-9 && s.Median <= s.Max+1e-9 && s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	s := Summarize([]float64{1, 3})
+	if s.String() == "" || s.MeanStd() == "" {
+		t.Fatal("empty render")
+	}
+}
