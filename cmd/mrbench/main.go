@@ -4,17 +4,19 @@
 //
 // Usage:
 //
-//	mrbench [-quick] [-seed N] [-run F1.Match,F1.VC] [-list]
+//	mrbench [-quick] [-seed N] [-workers W] [-run F1.Match,F1.VC] [-list]
 //
 // With no -run flag, all experiments run in registry order. -quick shrinks
 // the parameter sweeps (used by CI); the recorded EXPERIMENTS.md numbers
-// come from a full run.
+// come from a full run. -workers sets the simulator's round-executor pool
+// (-1 = one per CPU); it changes wall-clock only, never results.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,6 +26,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run reduced parameter sweeps")
 	seed := flag.Uint64("seed", 20180617, "root random seed (default: the paper's arXiv date)")
+	workers := flag.Int("workers", -1, "round-executor pool size: 0|1 sequential, >1 that many goroutines, -1 one per CPU")
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
@@ -49,10 +52,20 @@ func main() {
 		}
 	}
 
-	fmt.Printf("# Experiment results (seed=%d, quick=%v)\n\n", *seed, *quick)
+	activeWorkers := *workers
+	if activeWorkers < 0 {
+		activeWorkers = runtime.NumCPU()
+	}
+	if activeWorkers == 0 {
+		activeWorkers = 1
+	}
+	fmt.Printf("# Experiment results (seed=%d, quick=%v, workers=%d)\n\n", *seed, *quick, activeWorkers)
+	total := time.Now()
 	for _, e := range selected {
+		// Per-experiment header line: id, wall-clock, and the active worker
+		// count, so recorded trajectories can attribute speedups.
 		start := time.Now()
-		tab, err := e.Run(*seed, *quick)
+		tab, err := e.Run(bench.RunConfig{Seed: *seed, Quick: *quick, Workers: *workers})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mrbench: %s failed: %v\n", e.ID, err)
 			os.Exit(1)
@@ -61,6 +74,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mrbench: write: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("_%s completed in %v._\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("_%s completed in %v (workers=%d)._\n\n",
+			e.ID, time.Since(start).Round(time.Millisecond), activeWorkers)
 	}
+	fmt.Printf("_total wall-clock %v across %d experiments (workers=%d)._\n",
+		time.Since(total).Round(time.Millisecond), len(selected), activeWorkers)
 }

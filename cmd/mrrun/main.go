@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mrrun -alg matching -n 1000 -c 0.3 -mu 0.2 [-seed 1] [-b 3] [-eps 0.2]
+//	mrrun -alg matching -n 1000 -c 0.3 -mu 0.2 [-seed 1] [-b 3] [-eps 0.2] [-workers W]
 //
 // Algorithms: matching, bmatching, vertexcover, setcover-f, setcover-greedy,
 // mis, mis-simple, luby, clique, filtering, vcolour, ecolour.
@@ -34,10 +34,11 @@ func main() {
 	f := flag.Int("f", 3, "set cover max frequency (setcover-f)")
 	load := flag.String("load", "", "load the graph from a file (format of internal/graph.Encode) instead of generating one")
 	save := flag.String("save", "", "save the generated graph to a file before running")
+	workers := flag.Int("workers", 0, "round-executor pool size: 0|1 sequential, >1 that many goroutines, -1 one per CPU")
 	flag.Parse()
 
 	r := rng.New(*seed)
-	p := core.Params{Mu: *mu, Seed: r.Uint64()}
+	p := core.Params{Mu: *mu, Seed: r.Uint64(), Workers: *workers}
 
 	newGraph := func() *graph.Graph {
 		if *load != "" {

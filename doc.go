@@ -5,7 +5,8 @@
 // The library lives in internal packages:
 //
 //   - internal/mpc      — the MapReduce/MPC cluster simulator (rounds,
-//     per-machine space accounting, broadcast trees);
+//     per-machine space accounting, broadcast trees, and the pluggable
+//     sequential/parallel round executor);
 //   - internal/core     — the paper's eight MapReduce algorithms plus the
 //     Luby and filtering baselines;
 //   - internal/seq      — sequential local ratio / greedy algorithms and

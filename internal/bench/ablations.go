@@ -41,7 +41,7 @@ func init() {
 	})
 }
 
-func runAblationSampleSize(seed uint64, quick bool) (*Table, error) {
+func runAblationSampleSize(rc RunConfig) (*Table, error) {
 	t := &Table{
 		ID:         "A1.SampleSize",
 		Title:      "Sample budget η vs iterations of Algorithm 1",
@@ -49,10 +49,10 @@ func runAblationSampleSize(seed uint64, quick bool) (*Table, error) {
 		Columns:    []string{"η/n^{1+µ}", "iters", "rounds", "w(ALG)", "ratio vs LB"},
 	}
 	n, mu := 600, 0.2
-	if quick {
+	if rc.Quick {
 		n = 200
 	}
-	r := rng.New(seed)
+	r := rng.New(rc.Seed)
 	g := graph.Density(n, 0.35, r.Split())
 	w := make([]float64, g.N)
 	wr := r.Split()
@@ -63,7 +63,7 @@ func runAblationSampleSize(seed uint64, quick bool) (*Table, error) {
 	base := math.Pow(float64(n), 1+mu)
 	for _, scale := range []float64{0.25, 0.5, 1, 2, 4} {
 		etaW := int(base * scale)
-		res, err := core.RLRSetCover(inst, core.Params{Mu: mu, Seed: r.Uint64()},
+		res, err := core.RLRSetCover(inst, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers},
 			core.CoverOptions{VertexCoverMode: true, Eta: etaW})
 		if err != nil {
 			return nil, err
@@ -85,7 +85,7 @@ func runAblationSampleSize(seed uint64, quick bool) (*Table, error) {
 	return t, nil
 }
 
-func runAblationGroupSize(seed uint64, quick bool) (*Table, error) {
+func runAblationGroupSize(rc RunConfig) (*Table, error) {
 	t := &Table{
 		ID:         "A2.GroupSize",
 		Title:      "Hungry-greedy sampling intensity vs iterations (via µ)",
@@ -93,17 +93,17 @@ func runAblationGroupSize(seed uint64, quick bool) (*Table, error) {
 		Columns:    []string{"µ", "alg2 iters", "alg2 rounds", "alg6 iters", "alg6 rounds"},
 	}
 	n := 800
-	if quick {
+	if rc.Quick {
 		n = 250
 	}
-	r := rng.New(seed)
+	r := rng.New(rc.Seed)
 	g := graph.Density(n, 0.3, r.Split())
 	for _, mu := range []float64{0.1, 0.2, 0.3, 0.4} {
-		r2, err := core.MIS(g, core.Params{Mu: mu, Seed: r.Uint64()})
+		r2, err := core.MIS(g, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers})
 		if err != nil {
 			return nil, err
 		}
-		r6, err := core.MISFast(g, core.Params{Mu: mu, Seed: r.Uint64()})
+		r6, err := core.MISFast(g, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -127,7 +127,7 @@ func runAblationGroupSize(seed uint64, quick bool) (*Table, error) {
 	return t, nil
 }
 
-func runAblationEpsAdjusted(seed uint64, quick bool) (*Table, error) {
+func runAblationEpsAdjusted(rc RunConfig) (*Table, error) {
 	t := &Table{
 		ID:         "A3.EpsAdjust",
 		Title:      "ε-adjusted kill rule in sequential b-matching local ratio",
@@ -135,7 +135,7 @@ func runAblationEpsAdjusted(seed uint64, quick bool) (*Table, error) {
 		Columns:    []string{"ε", "stack size", "w(ALG)", "w/brute-ish", "bound 3−2/b+2ε"},
 	}
 	nEdges := 18
-	r := rng.New(seed)
+	r := rng.New(rc.Seed)
 	g := graph.GNM(8, nEdges, r.Split())
 	g.AssignUniformWeights(r.Split(), 1, 10)
 	b := func(int) int { return 3 }
@@ -164,7 +164,7 @@ func runAblationEpsAdjusted(seed uint64, quick bool) (*Table, error) {
 	return t, nil
 }
 
-func runAblationBroadcast(seed uint64, quick bool) (*Table, error) {
+func runAblationBroadcast(rc RunConfig) (*Table, error) {
 	t := &Table{
 		ID:         "A4.Broadcast",
 		Title:      "Broadcast tree degree in the general set cover path",
@@ -174,13 +174,13 @@ func runAblationBroadcast(seed uint64, quick bool) (*Table, error) {
 	// The tree degree is n^µ, so varying µ varies the degree; this ablation
 	// uses the general (non-VC) path where broadcast dominates rounds.
 	n := 300
-	if quick {
+	if rc.Quick {
 		n = 150
 	}
-	r := rng.New(seed)
+	r := rng.New(rc.Seed)
 	inst := setcover.RandomFrequency(n, int(math.Pow(float64(n), 1.35)), 4, 10, r.Split())
 	for _, mu := range []float64{0.05, 0.15, 0.3, 0.5} {
-		res, err := core.RLRSetCover(inst, core.Params{Mu: mu, Seed: r.Uint64()}, core.CoverOptions{})
+		res, err := core.RLRSetCover(inst, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers}, core.CoverOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -205,7 +205,7 @@ func runAblationBroadcast(seed uint64, quick bool) (*Table, error) {
 	return t, nil
 }
 
-func runAblationBucketing(seed uint64, quick bool) (*Table, error) {
+func runAblationBucketing(rc RunConfig) (*Table, error) {
 	t := &Table{
 		ID:         "A5.Bucketing",
 		Title:      "ε-greedy bucket width in Algorithm 3",
@@ -213,14 +213,14 @@ func runAblationBucketing(seed uint64, quick bool) (*Table, error) {
 		Columns:    []string{"ε", "iters", "rounds", "w(ALG)", "ratio vs greedy"},
 	}
 	n, m := 1500, 150
-	if quick {
+	if rc.Quick {
 		n, m = 400, 60
 	}
-	r := rng.New(seed)
+	r := rng.New(rc.Seed)
 	inst := setcover.RandomSized(n, m, 10, 8, r.Split())
 	greedy := inst.Weight(seq.GreedySetCover(inst, 0))
 	for _, eps := range []float64{0.05, 0.2, 0.5, 1.0} {
-		res, err := core.HGSetCover(inst, core.Params{Mu: 0.3, Seed: r.Uint64()}, core.HGCoverOptions{Eps: eps})
+		res, err := core.HGSetCover(inst, core.Params{Mu: 0.3, Seed: r.Uint64(), Workers: rc.Workers}, core.HGCoverOptions{Eps: eps})
 		if err != nil {
 			return nil, err
 		}

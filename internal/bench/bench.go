@@ -45,11 +45,23 @@ type Table struct {
 	Notes []string
 }
 
-// Experiment produces a Table given a seed.
+// RunConfig carries the knobs shared by every experiment run.
+type RunConfig struct {
+	// Seed is the root random seed; runs are reproducible given Seed.
+	Seed uint64
+	// Quick shrinks the parameter sweeps (used by CI).
+	Quick bool
+	// Workers is the simulator round-executor pool size, forwarded to
+	// core.Params.Workers: 0 or 1 sequential, > 1 that many goroutines,
+	// < 0 one per CPU. Results are identical for every setting.
+	Workers int
+}
+
+// Experiment produces a Table given a run configuration.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(seed uint64, quick bool) (*Table, error)
+	Run   func(cfg RunConfig) (*Table, error)
 }
 
 // registry of all experiments, populated by the fig1_*.go files.

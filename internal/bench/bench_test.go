@@ -38,7 +38,7 @@ func TestAllExperimentsQuickMode(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tab, err := e.Run(12345, true)
+			tab, err := e.Run(RunConfig{Seed: 12345, Quick: true, Workers: 2})
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}

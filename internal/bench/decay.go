@@ -53,7 +53,7 @@ func decayFactor(initial int64, h []int64) float64 {
 	return math.Pow(prod, 1/float64(steps))
 }
 
-func runDecay(seed uint64, quick bool) (*Table, error) {
+func runDecay(rc RunConfig) (*Table, error) {
 	t := &Table{
 		ID:         "F3.Decay",
 		Title:      "Alive-set decay per sampling iteration",
@@ -61,10 +61,10 @@ func runDecay(seed uint64, quick bool) (*Table, error) {
 		Columns:    []string{"trajectory", "mean shrink/iter", "lemma bound/iter"},
 	}
 	n := 2000
-	if quick {
+	if rc.Quick {
 		n = 500
 	}
-	r := rng.New(seed)
+	r := rng.New(rc.Seed)
 	mu := 0.1
 
 	// Algorithm 1 (vertex cover): |U_r| history.
@@ -75,7 +75,7 @@ func runDecay(seed uint64, quick bool) (*Table, error) {
 		w[i] = wr.UniformWeight(1, 10)
 	}
 	inst := setcover.FromVertexCover(g, w)
-	cres, err := core.RLRSetCover(inst, core.Params{Mu: mu, Seed: r.Uint64()},
+	cres, err := core.RLRSetCover(inst, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers},
 		core.CoverOptions{VertexCoverMode: true})
 	if err != nil {
 		return nil, err
@@ -92,7 +92,7 @@ func runDecay(seed uint64, quick bool) (*Table, error) {
 	// Algorithm 4 (matching): |E_i| history at η = n^{1+µ}.
 	g2 := graph.Density(n, 0.45, r.Split())
 	g2.AssignUniformWeights(r.Split(), 1, 100)
-	mres, err := core.RLRMatching(g2, core.Params{Mu: mu, Seed: r.Uint64()}, core.MatchingOptions{})
+	mres, err := core.RLRMatching(g2, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers}, core.MatchingOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +106,7 @@ func runDecay(seed uint64, quick bool) (*Table, error) {
 	})
 
 	// Appendix C (matching at η = Θ(n)): slower, constant-factor decay.
-	lres, err := core.RLRMatching(g2, core.Params{Mu: 0, Seed: r.Uint64()},
+	lres, err := core.RLRMatching(g2, core.Params{Mu: 0, Seed: r.Uint64(), Workers: rc.Workers},
 		core.MatchingOptions{Eta: g2.N})
 	if err != nil {
 		return nil, err
@@ -121,7 +121,7 @@ func runDecay(seed uint64, quick bool) (*Table, error) {
 	})
 
 	// Algorithm 6 (MIS): |E_k| history.
-	ires, err := core.MISFast(g2, core.Params{Mu: mu, Seed: r.Uint64()})
+	ires, err := core.MISFast(g2, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers})
 	if err != nil {
 		return nil, err
 	}

@@ -38,17 +38,17 @@ func colouringConfs(quick bool) []struct {
 	return confs
 }
 
-func runFig1VertexColouring(seed uint64, quick bool) (*Table, error) {
+func runFig1VertexColouring(rc RunConfig) (*Table, error) {
 	t := &Table{
 		ID:         "F1.VCol",
 		Title:      "Vertex colouring (Algorithm 5)",
 		PaperClaim: "(1+o(1))∆ colours, O(1) rounds, O(n^{1+µ}) space",
 		Columns:    []string{"m", "∆", "κ", "colours", "colours/∆", "(∆+1) seq", "rounds", "violations"},
 	}
-	r := rng.New(seed)
-	for _, cf := range colouringConfs(quick) {
+	r := rng.New(rc.Seed)
+	for _, cf := range colouringConfs(rc.Quick) {
 		g := graph.Density(cf.n, cf.c, r.Split())
-		res, err := core.VertexColouring(g, core.Params{Mu: cf.mu, Seed: r.Uint64()})
+		res, err := core.VertexColouring(g, core.Params{Mu: cf.mu, Seed: r.Uint64(), Workers: rc.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -76,17 +76,17 @@ func runFig1VertexColouring(seed uint64, quick bool) (*Table, error) {
 	return t, nil
 }
 
-func runFig1EdgeColouring(seed uint64, quick bool) (*Table, error) {
+func runFig1EdgeColouring(rc RunConfig) (*Table, error) {
 	t := &Table{
 		ID:         "F1.ECol",
 		Title:      "Edge colouring (Algorithm 5 + Misra–Gries per group, Remark 6.5)",
 		PaperClaim: "(1+o(1))∆ colours, O(1) rounds, O(n^{1+µ}) space",
 		Columns:    []string{"m", "∆", "κ", "colours", "colours/∆", "vizing ∆+1", "rounds", "violations"},
 	}
-	r := rng.New(seed)
-	for _, cf := range colouringConfs(quick) {
+	r := rng.New(rc.Seed)
+	for _, cf := range colouringConfs(rc.Quick) {
 		g := graph.Density(cf.n, cf.c, r.Split())
-		res, err := core.EdgeColouring(g, core.Params{Mu: cf.mu, Seed: r.Uint64()})
+		res, err := core.EdgeColouring(g, core.Params{Mu: cf.mu, Seed: r.Uint64(), Workers: rc.Workers})
 		if err != nil {
 			return nil, err
 		}

@@ -28,7 +28,7 @@ func init() {
 	})
 }
 
-func runFig1VertexCover(seed uint64, quick bool) (*Table, error) {
+func runFig1VertexCover(rc RunConfig) (*Table, error) {
 	t := &Table{
 		ID:         "F1.VC",
 		Title:      "Weighted vertex cover (Algorithm 1 with the f=2 fast path)",
@@ -39,10 +39,10 @@ func runFig1VertexCover(seed uint64, quick bool) (*Table, error) {
 	ns := []int{1000, 3000}
 	cs := []float64{0.15, 0.3, 0.45}
 	mus := []float64{0.1, 0.2, 0.3}
-	if quick {
+	if rc.Quick {
 		ns, cs, mus = []int{300}, []float64{0.3}, []float64{0.2}
 	}
-	r := rng.New(seed)
+	r := rng.New(rc.Seed)
 	for _, n := range ns {
 		for _, c := range cs {
 			for _, mu := range mus {
@@ -53,7 +53,7 @@ func runFig1VertexCover(seed uint64, quick bool) (*Table, error) {
 					w[i] = wr.UniformWeight(1, 10)
 				}
 				inst := setcover.FromVertexCover(g, w)
-				res, err := core.RLRSetCover(inst, core.Params{Mu: mu, Seed: r.Uint64()},
+				res, err := core.RLRSetCover(inst, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers},
 					core.CoverOptions{VertexCoverMode: true})
 				if err != nil {
 					return nil, err
@@ -82,7 +82,7 @@ func runFig1VertexCover(seed uint64, quick bool) (*Table, error) {
 	return t, nil
 }
 
-func runFig1SetCoverF(seed uint64, quick bool) (*Table, error) {
+func runFig1SetCoverF(rc RunConfig) (*Table, error) {
 	t := &Table{
 		ID:         "F1.SCf",
 		Title:      "Weighted set cover, f-approximation (Algorithm 1, general f)",
@@ -93,14 +93,14 @@ func runFig1SetCoverF(seed uint64, quick bool) (*Table, error) {
 	n := 400
 	mu := 0.2
 	fs := []int{2, 3, 4, 6}
-	if quick {
+	if rc.Quick {
 		n, fs = 100, []int{2, 3}
 	}
-	r := rng.New(seed)
+	r := rng.New(rc.Seed)
 	for _, f := range fs {
 		m := int(math.Pow(float64(n), 1.4))
 		inst := setcover.RandomFrequency(n, m, f, 10, r.Split())
-		res, err := core.RLRSetCover(inst, core.Params{Mu: mu, Seed: r.Uint64()}, core.CoverOptions{})
+		res, err := core.RLRSetCover(inst, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers}, core.CoverOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -126,7 +126,7 @@ func runFig1SetCoverF(seed uint64, quick bool) (*Table, error) {
 	return t, nil
 }
 
-func runFig1SetCoverLnDelta(seed uint64, quick bool) (*Table, error) {
+func runFig1SetCoverLnDelta(rc RunConfig) (*Table, error) {
 	t := &Table{
 		ID:         "F1.SClnD",
 		Title:      "Weighted set cover, (1+ε)·H_∆ approximation (Algorithm 3)",
@@ -140,14 +140,14 @@ func runFig1SetCoverLnDelta(seed uint64, quick bool) (*Table, error) {
 		{4000, 300, 16},
 		{8000, 400, 25},
 	}
-	if quick {
+	if rc.Quick {
 		confs = confs[:1]
 		confs[0] = struct{ n, m, delta int }{500, 80, 8}
 	}
-	r := rng.New(seed)
+	r := rng.New(rc.Seed)
 	for _, cf := range confs {
 		inst := setcover.RandomSized(cf.n, cf.m, cf.delta, 8, r.Split())
-		res, err := core.HGSetCover(inst, core.Params{Mu: 0.3, Seed: r.Uint64()}, core.HGCoverOptions{Eps: eps})
+		res, err := core.HGSetCover(inst, core.Params{Mu: 0.3, Seed: r.Uint64(), Workers: rc.Workers}, core.HGCoverOptions{Eps: eps})
 		if err != nil {
 			return nil, err
 		}

@@ -27,7 +27,7 @@ func init() {
 	})
 }
 
-func runFig1Matching(seed uint64, quick bool) (*Table, error) {
+func runFig1Matching(rc RunConfig) (*Table, error) {
 	t := &Table{
 		ID:         "F1.Match",
 		Title:      "Weighted matching (randomized local ratio, Algorithm 4)",
@@ -38,22 +38,22 @@ func runFig1Matching(seed uint64, quick bool) (*Table, error) {
 	ns := []int{1000, 3000}
 	cs := []float64{0.15, 0.3, 0.45}
 	mus := []float64{0.1, 0.2, 0.3}
-	if quick {
+	if rc.Quick {
 		ns, cs, mus = []int{300}, []float64{0.3}, []float64{0.2}
 	}
-	r := rng.New(seed)
+	r := rng.New(rc.Seed)
 	for _, n := range ns {
 		for _, c := range cs {
 			for _, mu := range mus {
 				g := graph.Density(n, c, r.Split())
 				g.AssignUniformWeights(r.Split(), 1, 100)
-				res, err := core.RLRMatching(g, core.Params{Mu: mu, Seed: r.Uint64()}, core.MatchingOptions{})
+				res, err := core.RLRMatching(g, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers}, core.MatchingOptions{})
 				if err != nil {
 					return nil, err
 				}
 				ps := graph.MatchingWeight(g, seq.LocalRatioMatching(g))
 				gr := graph.MatchingWeight(g, seq.GreedyMatching(g))
-				lay, err := core.FilteringWeightedMatching(g, core.Params{Mu: mu, Seed: r.Uint64()})
+				lay, err := core.FilteringWeightedMatching(g, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers})
 				if err != nil {
 					return nil, err
 				}
@@ -85,7 +85,7 @@ func runFig1Matching(seed uint64, quick bool) (*Table, error) {
 	return t, nil
 }
 
-func runFig1MatchingLinear(seed uint64, quick bool) (*Table, error) {
+func runFig1MatchingLinear(rc RunConfig) (*Table, error) {
 	t := &Table{
 		ID:         "F1.MatchLin",
 		Title:      "Weighted matching with η = Θ(n) space (Appendix C)",
@@ -93,15 +93,15 @@ func runFig1MatchingLinear(seed uint64, quick bool) (*Table, error) {
 		Columns:    []string{"m", "iters", "iters/log2(n)", "rounds", "ratio vs PS-seq"},
 	}
 	ns := []int{500, 1000, 2000, 4000}
-	if quick {
+	if rc.Quick {
 		ns = []int{300, 600}
 	}
-	r := rng.New(seed)
+	r := rng.New(rc.Seed)
 	c := 0.3
 	for _, n := range ns {
 		g := graph.Density(n, c, r.Split())
 		g.AssignUniformWeights(r.Split(), 1, 100)
-		res, err := core.RLRMatching(g, core.Params{Mu: 0, Seed: r.Uint64()}, core.MatchingOptions{Eta: n})
+		res, err := core.RLRMatching(g, core.Params{Mu: 0, Seed: r.Uint64(), Workers: rc.Workers}, core.MatchingOptions{Eta: n})
 		if err != nil {
 			return nil, err
 		}
@@ -122,7 +122,7 @@ func runFig1MatchingLinear(seed uint64, quick bool) (*Table, error) {
 	return t, nil
 }
 
-func runFig1BMatching(seed uint64, quick bool) (*Table, error) {
+func runFig1BMatching(rc RunConfig) (*Table, error) {
 	t := &Table{
 		ID:         "F1.BMatch",
 		Title:      "Weighted b-matching (ε-adjusted local ratio, Algorithm 7)",
@@ -130,19 +130,19 @@ func runFig1BMatching(seed uint64, quick bool) (*Table, error) {
 		Columns:    []string{"b", "iters", "rounds", "w(ALG)", "w(seq-LR)", "ratio vs seq", "bound 3-2/b+2ε"},
 	}
 	n, c, mu, eps := 600, 0.3, 0.2, 0.2
-	if quick {
+	if rc.Quick {
 		n = 200
 	}
-	r := rng.New(seed)
+	r := rng.New(rc.Seed)
 	g := graph.Density(n, c, r.Split())
 	g.AssignUniformWeights(r.Split(), 1, 100)
 	bs := []int{1, 2, 3, 4, 8}
-	if quick {
+	if rc.Quick {
 		bs = []int{1, 2}
 	}
 	for _, bcap := range bs {
 		bf := func(int) int { return bcap }
-		res, err := core.BMatching(g, core.Params{Mu: mu, Seed: r.Uint64()}, core.BMatchingOptions{B: bf, Eps: eps})
+		res, err := core.BMatching(g, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers}, core.BMatchingOptions{B: bf, Eps: eps})
 		if err != nil {
 			return nil, err
 		}

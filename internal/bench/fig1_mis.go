@@ -21,7 +21,7 @@ func init() {
 	})
 }
 
-func runFig1MIS(seed uint64, quick bool) (*Table, error) {
+func runFig1MIS(rc RunConfig) (*Table, error) {
 	t := &Table{
 		ID:         "F1.MIS",
 		Title:      "Maximal independent set: hungry-greedy (Algorithms 2 & 6) vs Luby",
@@ -35,11 +35,11 @@ func runFig1MIS(seed uint64, quick bool) (*Table, error) {
 	}{
 		{1000, 0.2, 0.2}, {1000, 0.4, 0.2}, {3000, 0.3, 0.2}, {3000, 0.3, 0.3},
 	}
-	if quick {
+	if rc.Quick {
 		confs = confs[:1]
 		confs[0].n = 300
 	}
-	r := rng.New(seed)
+	r := rng.New(rc.Seed)
 	for _, cf := range confs {
 		g := graph.Density(cf.n, cf.c, r.Split())
 		cap := math.Pow(float64(cf.n), 1+cf.mu)
@@ -48,13 +48,13 @@ func runFig1MIS(seed uint64, quick bool) (*Table, error) {
 			run  func() (*core.MISResult, error)
 		}{
 			{"HG-simple (Alg 2)", func() (*core.MISResult, error) {
-				return core.MIS(g, core.Params{Mu: cf.mu, Seed: r.Uint64()})
+				return core.MIS(g, core.Params{Mu: cf.mu, Seed: r.Uint64(), Workers: rc.Workers})
 			}},
 			{"HG-fast (Alg 6)", func() (*core.MISResult, error) {
-				return core.MISFast(g, core.Params{Mu: cf.mu, Seed: r.Uint64()})
+				return core.MISFast(g, core.Params{Mu: cf.mu, Seed: r.Uint64(), Workers: rc.Workers})
 			}},
 			{"Luby", func() (*core.MISResult, error) {
-				return core.LubyMIS(g, core.Params{Mu: cf.mu, Seed: r.Uint64()})
+				return core.LubyMIS(g, core.Params{Mu: cf.mu, Seed: r.Uint64(), Workers: rc.Workers})
 			}},
 		}
 		for _, a := range algos {
@@ -85,7 +85,7 @@ func runFig1MIS(seed uint64, quick bool) (*Table, error) {
 	return t, nil
 }
 
-func runFig1Clique(seed uint64, quick bool) (*Table, error) {
+func runFig1Clique(rc RunConfig) (*Table, error) {
 	t := &Table{
 		ID:         "F1.Clique",
 		Title:      "Maximal clique (Appendix B: hungry-greedy on the implicit complement)",
@@ -98,16 +98,16 @@ func runFig1Clique(seed uint64, quick bool) (*Table, error) {
 	}{
 		{500, 8, 0.3}, {1000, 12, 0.3}, {2000, 16, 0.25},
 	}
-	if quick {
+	if rc.Quick {
 		confs = confs[:1]
 		confs[0].n = 200
 	}
-	r := rng.New(seed)
+	r := rng.New(rc.Seed)
 	mu := 0.25
 	for _, cf := range confs {
 		g := graph.Density(cf.n, cf.c, r.Split())
 		graph.PlantClique(g, cf.plant, r.Split())
-		res, err := core.MaximalClique(g, core.Params{Mu: mu, Seed: r.Uint64()})
+		res, err := core.MaximalClique(g, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers})
 		if err != nil {
 			return nil, err
 		}

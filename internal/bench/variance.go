@@ -24,7 +24,7 @@ func init() {
 	})
 }
 
-func runVariance(seed uint64, quick bool) (*Table, error) {
+func runVariance(rc RunConfig) (*Table, error) {
 	t := &Table{
 		ID:         "R1.Variance",
 		Title:      "Cross-seed spread (mean ± sd over independent seeds, fixed instance)",
@@ -33,10 +33,10 @@ func runVariance(seed uint64, quick bool) (*Table, error) {
 	}
 	trials := 20
 	n := 600
-	if quick {
+	if rc.Quick {
 		trials, n = 5, 200
 	}
-	r := rng.New(seed)
+	r := rng.New(rc.Seed)
 
 	g := graph.Density(n, 0.45, r.Split())
 	g.AssignUniformWeights(r.Split(), 1, 100)
@@ -53,7 +53,7 @@ func runVariance(seed uint64, quick bool) (*Table, error) {
 	var ratios, iters, rounds []float64
 	failures := 0
 	for trial := 0; trial < trials; trial++ {
-		res, err := core.RLRMatching(g, core.Params{Mu: 0.1, Seed: r.Uint64()}, core.MatchingOptions{})
+		res, err := core.RLRMatching(g, core.Params{Mu: 0.1, Seed: r.Uint64(), Workers: rc.Workers}, core.MatchingOptions{})
 		if err != nil {
 			failures++
 			continue
@@ -80,7 +80,7 @@ func runVariance(seed uint64, quick bool) (*Table, error) {
 	ratios, iters, rounds = nil, nil, nil
 	failures = 0
 	for trial := 0; trial < trials; trial++ {
-		res, err := core.RLRSetCover(vcInst, core.Params{Mu: 0.1, Seed: r.Uint64()},
+		res, err := core.RLRSetCover(vcInst, core.Params{Mu: 0.1, Seed: r.Uint64(), Workers: rc.Workers},
 			core.CoverOptions{VertexCoverMode: true})
 		if err != nil {
 			failures++
@@ -109,7 +109,7 @@ func runVariance(seed uint64, quick bool) (*Table, error) {
 	iters, rounds = nil, nil
 	failures = 0
 	for trial := 0; trial < trials; trial++ {
-		res, err := core.MISFast(g, core.Params{Mu: 0.1, Seed: r.Uint64()})
+		res, err := core.MISFast(g, core.Params{Mu: 0.1, Seed: r.Uint64(), Workers: rc.Workers})
 		if err != nil {
 			failures++
 			continue

@@ -24,7 +24,7 @@ func init() {
 	})
 }
 
-func runWorkloads(seed uint64, quick bool) (*Table, error) {
+func runWorkloads(rc RunConfig) (*Table, error) {
 	t := &Table{
 		ID:         "F2.Workloads",
 		Title:      "Headline algorithms on skewed graph families",
@@ -33,12 +33,12 @@ func runWorkloads(seed uint64, quick bool) (*Table, error) {
 			"MIS iters", "colours/∆", "violations"},
 	}
 	n := 2000
-	if quick {
+	if rc.Quick {
 		n = 400
 	}
-	r := rng.New(seed)
+	r := rng.New(rc.Seed)
 	scale := 11
-	if quick {
+	if rc.Quick {
 		scale = 9
 	}
 	families := []struct {
@@ -53,7 +53,7 @@ func runWorkloads(seed uint64, quick bool) (*Table, error) {
 	for _, fam := range families {
 		g := fam.g
 		g.AssignUniformWeights(r.Split(), 1, 100)
-		mres, err := core.RLRMatching(g, core.Params{Mu: mu, Seed: r.Uint64()}, core.MatchingOptions{})
+		mres, err := core.RLRMatching(g, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers}, core.MatchingOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -61,14 +61,14 @@ func runWorkloads(seed uint64, quick bool) (*Table, error) {
 			return nil, errInvalid("matching on " + fam.name)
 		}
 		ps := graph.MatchingWeight(g, seq.LocalRatioMatching(g))
-		ires, err := core.MISFast(g, core.Params{Mu: mu, Seed: r.Uint64()})
+		ires, err := core.MISFast(g, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers})
 		if err != nil {
 			return nil, err
 		}
 		if !graph.IsMaximalIndependentSet(g, ires.Set) {
 			return nil, errInvalid("MIS on " + fam.name)
 		}
-		cres, err := core.VertexColouring(g, core.Params{Mu: mu, Seed: r.Uint64()})
+		cres, err := core.VertexColouring(g, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers})
 		if err != nil {
 			return nil, err
 		}

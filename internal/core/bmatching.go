@@ -64,12 +64,13 @@ func BMatching(g *graph.Graph, p Params, opt BMatchingOptions) (*MatchingResult,
 	// Vertex-partitioned layout (Appendix D samples per vertex): owners
 	// hold each vertex's incident edge ids with weights and alive bits.
 	M := dataMachines(3*n+3*m, 4*etaWords)
-	cluster := newCluster(M, etaWords*maxB(g, b), p.Strict, capSlack)
+	cluster := newCluster(M, etaWords*maxB(g, b), p, capSlack)
 	tree := mpc.NewTree(cluster, 0, treeDegree(n, p.Mu))
 	r := rng.New(p.Seed)
 	vertexOwner := func(v int) int { return 1 + v%(M-1) }
 
 	g.Build()
+	owned := partitionByOwner(n, M, vertexOwner)
 	resident := make([]int, M)
 	for v := 0; v < n; v++ {
 		resident[vertexOwner(v)] += 2 + 2*g.Degree(v)
@@ -100,12 +101,16 @@ func BMatching(g *graph.Graph, p Params, opt BMatchingOptions) (*MatchingResult,
 		// edges without replacement (all of them when |E_i| is small,
 		// Line 7) and ships (edge id, weight) pairs to the central machine.
 		smallGraph := float64(aliveCount) < 2*float64(maxB(g, b))*lnInvDelta*float64(etaWords)/nMu
+		// Draw each vertex's edge sample machine by machine before the round
+		// (machine order, then vertex order); the closures replay the
+		// per-machine plans concurrently.
 		perVertex := make(map[int][]int)
-		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-			for v := 0; v < n; v++ {
-				if vertexOwner(v) != machine {
-					continue
-				}
+		// plan lists, per machine, every owned vertex with alive incident
+		// edges — such a vertex always ships its (possibly header-only)
+		// payload, which is what the word accounting charges.
+		plan := make([][]int, M)
+		for machine := 1; machine < M; machine++ {
+			for _, v := range owned[machine] {
 				var aliveIDs []int
 				for _, id := range g.IncidentEdges(v) {
 					if alive[id] {
@@ -124,13 +129,19 @@ func BMatching(g *graph.Graph, p Params, opt BMatchingOptions) (*MatchingResult,
 						chosen = append(chosen, aliveIDs[idx])
 					}
 				}
+				plan[machine] = append(plan[machine], v)
+				perVertex[v] = chosen
+			}
+		}
+		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+			for _, v := range plan[machine] {
+				chosen := perVertex[v]
 				payload := make([]int64, 0, len(chosen)+1)
 				payload = append(payload, int64(v))
 				for _, id := range chosen {
 					payload = append(payload, int64(id))
 				}
 				out.Send(0, payload, nil)
-				perVertex[v] = chosen
 			}
 		})
 		if err != nil {

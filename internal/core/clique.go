@@ -41,12 +41,13 @@ func MaximalClique(g *graph.Graph, p Params) (*CliqueResult, error) {
 	g.Build()
 	etaWords := eta(n, p.Mu, 8)
 	M := dataMachines(3*n+2*g.M(), 4*etaWords)
-	cluster := newCluster(M, etaWords, p.Strict, capSlack)
+	cluster := newCluster(M, etaWords, p, capSlack)
 	r := rng.New(p.Seed)
 	vertexOwner := func(v int) int { return 1 + v%(M-1) }
 
 	inA := make([]bool, n)
 	degA := make([]int, n)
+	owned := partitionByOwner(n, M, vertexOwner)
 	for v := 0; v < n; v++ {
 		inA[v] = true
 		degA[v] = g.Degree(v)
@@ -117,6 +118,8 @@ func MaximalClique(g *graph.Graph, p Params) (*CliqueResult, error) {
 
 	// removeFromA applies a batch of removals: central notifies owners, and
 	// owners notify the removed vertices' neighbours so deg_A stays correct.
+	// The entries of removed are distinct and active, so the |A| update is
+	// applied once up front rather than from inside the concurrent round.
 	removeFromA := func(removed []int) error {
 		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
 			if machine != 0 {
@@ -129,12 +132,12 @@ func MaximalClique(g *graph.Graph, p Params) (*CliqueResult, error) {
 		if err != nil {
 			return err
 		}
+		sizeA -= int64(len(removed))
 		err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
 			for _, msg := range in {
 				v := int(msg.Ints[0])
 				if inA[v] {
 					inA[v] = false
-					sizeA--
 					for _, id := range g.IncidentEdges(v) {
 						u := g.Edges[id].Other(v)
 						out.SendInts(vertexOwner(u), int64(u))
@@ -210,8 +213,8 @@ func MaximalClique(g *graph.Graph, p Params) (*CliqueResult, error) {
 			// Count complement-heavy vertices (direct aggregation).
 			heavy, err := directAllReduce(cluster, 0, func(machine int) int64 {
 				c := int64(0)
-				for v := 0; v < n; v++ {
-					if vertexOwner(v) == machine && inA[v] && compDeg(v) >= threshold {
+				for _, v := range owned[machine] {
+					if inA[v] && compDeg(v) >= threshold {
 						c++
 					}
 				}
@@ -231,18 +234,23 @@ func MaximalClique(g *graph.Graph, p Params) (*CliqueResult, error) {
 			if !gatherAll {
 				prob = math.Min(1, heavyMin*float64(groupSize)/float64(heavy))
 			}
+			// Draw the sample machine by machine before the round; the
+			// closures replay each machine's plan concurrently.
 			var sample []cliqueCand
+			plan := make([][]cliqueCand, M)
+			for machine := 1; machine < M; machine++ {
+				for _, v := range owned[machine] {
+					if !inA[v] || compDeg(v) < threshold || !r.Bernoulli(prob) {
+						continue
+					}
+					cand := cliqueCand{v: v, comp: activeComplement(g, inA, v)}
+					plan[machine] = append(plan[machine], cand)
+					sample = append(sample, cand)
+				}
+			}
 			err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-				for v := 0; v < n; v++ {
-					if vertexOwner(v) != machine || !inA[v] || compDeg(v) < threshold {
-						continue
-					}
-					if !r.Bernoulli(prob) {
-						continue
-					}
-					comp := activeComplement(g, inA, v)
-					out.Send(0, append([]int64{int64(v)}, comp...), nil)
-					sample = append(sample, cliqueCand{v: v, comp: comp})
+				for _, cand := range plan[machine] {
+					out.Send(0, append([]int64{int64(cand.v)}, cand.comp...), nil)
 				}
 			})
 			if err != nil {
@@ -278,12 +286,18 @@ func MaximalClique(g *graph.Graph, p Params) (*CliqueResult, error) {
 	// A is a clique all of whose members are adjacent to every clique
 	// member: gather and add them all (one round of ids).
 	var leftovers []int
-	err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-		for v := 0; v < n; v++ {
-			if vertexOwner(v) == machine && inA[v] {
-				out.SendInts(0, int64(v))
+	leftoverPlan := make([][]int64, M)
+	for machine := 1; machine < M; machine++ {
+		for _, v := range owned[machine] {
+			if inA[v] {
+				leftoverPlan[machine] = append(leftoverPlan[machine], int64(v))
 				leftovers = append(leftovers, v)
 			}
+		}
+	}
+	err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		for _, v := range leftoverPlan[machine] {
+			out.SendInts(0, v)
 		}
 	})
 	if err != nil {

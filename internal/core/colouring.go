@@ -66,11 +66,12 @@ func VertexColouring(g *graph.Graph, p Params) (*ColouringResult, error) {
 	if dm := dataMachines(3*m, 4*etaWords); dm > M {
 		M = dm
 	}
-	cluster := newCluster(M, etaWords, p.Strict, capSlack)
+	cluster := newCluster(M, etaWords, p, capSlack)
 	r := rng.New(p.Seed)
 	edgeOwner := func(id int) int { return 1 + id%(M-1) }
 	groupMachine := func(grp int) int { return 1 + grp%(M-1) }
 
+	ownedEdges := partitionByOwner(m, M, edgeOwner)
 	resident := make([]int, M)
 	for id := 0; id < m; id++ {
 		resident[edgeOwner(id)] += 3
@@ -87,16 +88,23 @@ func VertexColouring(g *graph.Graph, p Params) (*ColouringResult, error) {
 	}
 
 	// Route round: every monochromatic edge goes to its group's machine.
+	// The per-group edge lists are assembled up front in machine order,
+	// then edge order — the order they arrive in — because groups are
+	// shared destinations that concurrent senders could not append to.
 	groupEdges := make([][]graph.Edge, kappa)
-	err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-		for id := 0; id < m; id++ {
-			if edgeOwner(id) != machine {
-				continue
+	for machine := 1; machine < M; machine++ {
+		for _, id := range ownedEdges[machine] {
+			e := g.Edges[id]
+			if group[e.U] == group[e.V] {
+				groupEdges[group[e.U]] = append(groupEdges[group[e.U]], e)
 			}
+		}
+	}
+	err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		for _, id := range ownedEdges[machine] {
 			e := g.Edges[id]
 			if group[e.U] == group[e.V] {
 				out.SendInts(groupMachine(group[e.U]), int64(e.U), int64(e.V))
-				groupEdges[group[e.U]] = append(groupEdges[group[e.U]], e)
 			}
 		}
 	})
@@ -114,24 +122,33 @@ func VertexColouring(g *graph.Graph, p Params) (*ColouringResult, error) {
 	}
 
 	// Each group machine colours its induced subgraph greedily; one round
-	// of local computation plus one output round.
+	// of local computation plus one output round. The groups are
+	// independent (each writes only its own vertices' colours), so the
+	// colouring runs under the cluster's executor.
 	colours := make([]int, n)
-	maxGroupDeg := 0
-	maxLocal := 0
 	localColour := make([]int, n)
-	for i := 0; i < kappa; i++ {
+	groupDeg := make([]int, kappa)
+	groupMaxLocal := make([]int, kappa)
+	cluster.Exec().Execute(kappa, func(i int) {
 		sub, toLocal := induced(g.N, groupEdges[i], func(v int) bool { return group[v] == i })
 		col := seq.GreedyVertexColouring(sub, nil)
-		if d := sub.MaxDegree(); d > maxGroupDeg {
-			maxGroupDeg = d
-		}
+		groupDeg[i] = sub.MaxDegree()
 		for v := 0; v < n; v++ {
 			if group[v] == i {
 				localColour[v] = col[toLocal[v]]
-				if localColour[v] > maxLocal {
-					maxLocal = localColour[v]
+				if localColour[v] > groupMaxLocal[i] {
+					groupMaxLocal[i] = localColour[v]
 				}
 			}
+		}
+	})
+	maxGroupDeg, maxLocal := 0, 0
+	for i := 0; i < kappa; i++ {
+		if groupDeg[i] > maxGroupDeg {
+			maxGroupDeg = groupDeg[i]
+		}
+		if groupMaxLocal[i] > maxLocal {
+			maxLocal = groupMaxLocal[i]
 		}
 	}
 	// Output round: group machines emit (v, group, local colour).
@@ -174,11 +191,12 @@ func EdgeColouring(g *graph.Graph, p Params) (*ColouringResult, error) {
 	if dm := dataMachines(3*m, 4*etaWords); dm > M {
 		M = dm
 	}
-	cluster := newCluster(M, etaWords, p.Strict, capSlack)
+	cluster := newCluster(M, etaWords, p, capSlack)
 	r := rng.New(p.Seed)
 	edgeOwner := func(id int) int { return 1 + id%(M-1) }
 	groupMachine := func(grp int) int { return 1 + grp%(M-1) }
 
+	ownedEdges := partitionByOwner(m, M, edgeOwner)
 	resident := make([]int, M)
 	for id := 0; id < m; id++ {
 		resident[edgeOwner(id)] += 3
@@ -192,16 +210,18 @@ func EdgeColouring(g *graph.Graph, p Params) (*ColouringResult, error) {
 		group[id] = r.Intn(kappa)
 	}
 
-	// Route round: each edge goes to its group's machine.
+	// Route round: each edge goes to its group's machine. Group edge lists
+	// are assembled up front in arrival (machine, then edge) order.
 	groupIDs := make([][]int, kappa)
+	for machine := 1; machine < M; machine++ {
+		for _, id := range ownedEdges[machine] {
+			groupIDs[group[id]] = append(groupIDs[group[id]], id)
+		}
+	}
 	err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-		for id := 0; id < m; id++ {
-			if edgeOwner(id) != machine {
-				continue
-			}
+		for _, id := range ownedEdges[machine] {
 			e := g.Edges[id]
 			out.SendInts(groupMachine(group[id]), int64(e.U), int64(e.V))
-			groupIDs[group[id]] = append(groupIDs[group[id]], id)
 		}
 	})
 	if err != nil {
@@ -214,11 +234,14 @@ func EdgeColouring(g *graph.Graph, p Params) (*ColouringResult, error) {
 		}
 	}
 
+	// Per-group Misra–Gries colouring is independent across groups (each
+	// writes only its own edges' colours), so it runs under the cluster's
+	// executor.
 	colours := make([]int, m)
 	localColour := make([]int, m)
-	maxGroupDeg := 0
-	maxLocal := 0
-	for i := 0; i < kappa; i++ {
+	groupDeg := make([]int, kappa)
+	groupMaxLocal := make([]int, kappa)
+	cluster.Exec().Execute(kappa, func(i int) {
 		// Build the group subgraph on the same vertex ids (compacted).
 		sub := graph.New(n)
 		for _, id := range groupIDs[i] {
@@ -226,14 +249,21 @@ func EdgeColouring(g *graph.Graph, p Params) (*ColouringResult, error) {
 			sub.AddEdge(e.U, e.V, 1)
 		}
 		col := seq.MisraGries(sub)
-		if d := sub.MaxDegree(); d > maxGroupDeg {
-			maxGroupDeg = d
-		}
+		groupDeg[i] = sub.MaxDegree()
 		for k, id := range groupIDs[i] {
 			localColour[id] = col[k]
-			if col[k] > maxLocal {
-				maxLocal = col[k]
+			if col[k] > groupMaxLocal[i] {
+				groupMaxLocal[i] = col[k]
 			}
+		}
+	})
+	maxGroupDeg, maxLocal := 0, 0
+	for i := 0; i < kappa; i++ {
+		if groupDeg[i] > maxGroupDeg {
+			maxGroupDeg = groupDeg[i]
+		}
+		if groupMaxLocal[i] > maxLocal {
+			maxLocal = groupMaxLocal[i]
 		}
 	}
 	// Output round.

@@ -49,6 +49,11 @@ type Params struct {
 	// MaxIterations bounds the main loop as a safety net against
 	// non-termination; 0 means a generous default.
 	MaxIterations int
+	// Workers selects the simulator's round executor: 0 or 1 executes the
+	// machines of each round sequentially, > 1 runs them concurrently on a
+	// pool of that many goroutines, < 0 uses one per CPU. Results and
+	// metrics are identical for every setting; only wall-clock changes.
+	Workers int
 }
 
 func (p Params) maxIter() int {
@@ -91,13 +96,19 @@ func treeDegree(base int, mu float64) int {
 }
 
 // newCluster builds a cluster with machines sized by cap and a slack factor:
-// the paper's caps are O(·), so the enforced cap is slack*cap words.
-func newCluster(machines, cap int, strict bool, slack float64) *mpc.Cluster {
+// the paper's caps are O(·), so the enforced cap is slack*cap words. The
+// cluster inherits the Params' strictness and round executor.
+func newCluster(machines, cap int, p Params, slack float64) *mpc.Cluster {
 	enforced := 0
 	if cap > 0 {
 		enforced = int(float64(cap) * slack)
 	}
-	return mpc.NewCluster(mpc.Config{Machines: machines, SpaceCap: enforced, Strict: strict})
+	return mpc.NewCluster(mpc.Config{
+		Machines: machines,
+		SpaceCap: enforced,
+		Strict:   p.Strict,
+		Workers:  p.Workers,
+	})
 }
 
 // capSlack is the constant-factor slack applied to enforced space caps. The
@@ -105,6 +116,19 @@ func newCluster(machines, cap int, strict bool, slack float64) *mpc.Cluster {
 // (6η samples in Algorithm 1, 8η in Algorithm 4, 13n^{1+µ} edges per group
 // in Algorithm 5) motivate a default slack of 32 "words per O(1) items".
 const capSlack = 32
+
+// partitionByOwner returns, for each machine, the ids it owns in ascending
+// order. Every algorithm keeps its items (vertices, edges, elements, sets)
+// in such a partition: the ascending per-machine order is the iteration
+// order the pre-drawn sampling plans replay, so it is part of the
+// determinism contract — see DESIGN.md.
+func partitionByOwner(count, machines int, owner func(id int) int) [][]int {
+	out := make([][]int, machines)
+	for id := 0; id < count; id++ {
+		out[owner(id)] = append(out[owner(id)], id)
+	}
+	return out
+}
 
 // dataMachines returns the cluster size for a layout with a dedicated
 // central machine (machine 0) plus enough data machines to hold inputWords

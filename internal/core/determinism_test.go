@@ -2,11 +2,16 @@ package core
 
 // Every algorithm must be exactly reproducible from its seed (the property
 // the experiment harness depends on) and must handle degenerate inputs.
+// Reproducibility is also required *across executors*: the parallel round
+// executor must produce the same results and the same measured metrics as
+// the sequential one, machine for machine and word for word.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/mpc"
 	"repro/internal/rng"
 	"repro/internal/setcover"
 )
@@ -133,6 +138,159 @@ func TestDeterminismAllAlgorithms(t *testing.T) {
 			t.Fatalf("%s not deterministic: (%d,%v,%d) vs (%d,%v,%d)",
 				rn.name, s1, w1, r1, s2, w2, r2)
 		}
+	}
+}
+
+// TestExecutorEquivalence runs every algorithm once on the sequential
+// executor and once on a 4-worker parallel executor and requires identical
+// results (full result structs, including histories and solution sets) and
+// identical measured metrics (rounds, words, messages, space high-water).
+// Run under -race this is also the enforcement that every RoundFunc in this
+// package confines its writes to machine-owned state.
+func TestExecutorEquivalence(t *testing.T) {
+	r := rng.New(424242)
+	g := graph.Density(180, 0.35, r)
+	g.AssignUniformWeights(r, 1, 10)
+	w := make([]float64, g.N)
+	for i := range w {
+		w[i] = r.UniformWeight(1, 10)
+	}
+	vcInst := setcover.FromVertexCover(g, w)
+	scInst := setcover.RandomSized(320, 64, 8, 5, r)
+
+	type run struct {
+		name string
+		f    func(p Params) (interface{}, mpc.Metrics, error)
+	}
+	runs := []run{
+		{"RLRMatching", func(p Params) (interface{}, mpc.Metrics, error) {
+			res, err := RLRMatching(g, p, MatchingOptions{})
+			if err != nil {
+				return nil, mpc.Metrics{}, err
+			}
+			return res, res.Metrics, nil
+		}},
+		{"BMatching", func(p Params) (interface{}, mpc.Metrics, error) {
+			res, err := BMatching(g, p, BMatchingOptions{Eps: 0.2})
+			if err != nil {
+				return nil, mpc.Metrics{}, err
+			}
+			return res, res.Metrics, nil
+		}},
+		{"RLRSetCover-VC", func(p Params) (interface{}, mpc.Metrics, error) {
+			res, err := RLRSetCover(vcInst, p, CoverOptions{VertexCoverMode: true})
+			if err != nil {
+				return nil, mpc.Metrics{}, err
+			}
+			return res, res.Metrics, nil
+		}},
+		{"RLRSetCover-general", func(p Params) (interface{}, mpc.Metrics, error) {
+			res, err := RLRSetCover(vcInst, p, CoverOptions{})
+			if err != nil {
+				return nil, mpc.Metrics{}, err
+			}
+			return res, res.Metrics, nil
+		}},
+		{"HGSetCover", func(p Params) (interface{}, mpc.Metrics, error) {
+			res, err := HGSetCover(scInst, p, HGCoverOptions{Eps: 0.2})
+			if err != nil {
+				return nil, mpc.Metrics{}, err
+			}
+			return res, res.Metrics, nil
+		}},
+		{"HGSetCover-preprocess", func(p Params) (interface{}, mpc.Metrics, error) {
+			res, err := HGSetCover(scInst, p, HGCoverOptions{Eps: 0.2, Preprocess: true})
+			if err != nil {
+				return nil, mpc.Metrics{}, err
+			}
+			return res, res.Metrics, nil
+		}},
+		{"MIS", func(p Params) (interface{}, mpc.Metrics, error) {
+			res, err := MIS(g, p)
+			if err != nil {
+				return nil, mpc.Metrics{}, err
+			}
+			return res, res.Metrics, nil
+		}},
+		{"MISFast", func(p Params) (interface{}, mpc.Metrics, error) {
+			res, err := MISFast(g, p)
+			if err != nil {
+				return nil, mpc.Metrics{}, err
+			}
+			return res, res.Metrics, nil
+		}},
+		{"LubyMIS", func(p Params) (interface{}, mpc.Metrics, error) {
+			res, err := LubyMIS(g, p)
+			if err != nil {
+				return nil, mpc.Metrics{}, err
+			}
+			return res, res.Metrics, nil
+		}},
+		{"MaximalClique", func(p Params) (interface{}, mpc.Metrics, error) {
+			res, err := MaximalClique(g, p)
+			if err != nil {
+				return nil, mpc.Metrics{}, err
+			}
+			return res, res.Metrics, nil
+		}},
+		{"VertexColouring", func(p Params) (interface{}, mpc.Metrics, error) {
+			res, err := VertexColouring(g, p)
+			if err != nil {
+				return nil, mpc.Metrics{}, err
+			}
+			return res, res.Metrics, nil
+		}},
+		{"EdgeColouring", func(p Params) (interface{}, mpc.Metrics, error) {
+			res, err := EdgeColouring(g, p)
+			if err != nil {
+				return nil, mpc.Metrics{}, err
+			}
+			return res, res.Metrics, nil
+		}},
+		{"FilteringMatching", func(p Params) (interface{}, mpc.Metrics, error) {
+			res, err := FilteringMatching(g, p)
+			if err != nil {
+				return nil, mpc.Metrics{}, err
+			}
+			return res, res.Metrics, nil
+		}},
+		{"FilteringWeighted", func(p Params) (interface{}, mpc.Metrics, error) {
+			res, err := FilteringWeightedMatching(g, p)
+			if err != nil {
+				return nil, mpc.Metrics{}, err
+			}
+			return res, res.Metrics, nil
+		}},
+		{"LayeredParallel", func(p Params) (interface{}, mpc.Metrics, error) {
+			res, err := LayeredParallelMatching(g, p, 0.5)
+			if err != nil {
+				return nil, mpc.Metrics{}, err
+			}
+			return res, res.Metrics, nil
+		}},
+	}
+	for _, rn := range runs {
+		rn := rn
+		t.Run(rn.name, func(t *testing.T) {
+			seqRes, seqMet, err := rn.f(Params{Mu: 0.25, Seed: 99, Workers: 1})
+			if err != nil {
+				t.Fatalf("sequential run: %v", err)
+			}
+			parRes, parMet, err := rn.f(Params{Mu: 0.25, Seed: 99, Workers: 4})
+			if err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+			if seqMet != parMet {
+				t.Errorf("metrics diverge:\n  sequential %+v\n  parallel   %+v", seqMet, parMet)
+			}
+			// fmt prints struct fields in order and map keys sorted, so the
+			// rendered forms compare the complete results (solution sets,
+			// weights, histories, metrics).
+			seqStr, parStr := fmt.Sprintf("%+v", seqRes), fmt.Sprintf("%+v", parRes)
+			if seqStr != parStr {
+				t.Errorf("results diverge:\n  sequential %.300s\n  parallel   %.300s", seqStr, parStr)
+			}
+		})
 	}
 }
 

@@ -61,10 +61,12 @@ func HGSetCover(inst *setcover.Instance, p Params, opt HGCoverOptions) (*CoverRe
 	}
 	inputWords := inst.TotalSize() + 2*n
 	M := dataMachines(inputWords, 4*etaWords)
-	cluster := newCluster(M, etaWords, p.Strict, capSlack)
+	cluster := newCluster(M, etaWords, p, capSlack)
 	tree := mpc.NewTree(cluster, 0, treeDegree(m, p.Mu))
 	r := rng.New(p.Seed)
 	setOwner := func(i int) int { return 1 + i%(M-1) }
+
+	ownedSets := partitionByOwner(n, M, setOwner)
 
 	// Residents: set owners hold (elements, weight, uncovered count);
 	// central holds the covered bitmap and the solution.
@@ -91,7 +93,7 @@ func HGSetCover(inst *setcover.Instance, p Params, opt HGCoverOptions) (*CoverRe
 		// Remark 4.7. γ is computed with one aggregation up the tree (each
 		// machine contributes per-element minima over its sets) and one
 		// broadcast down; the simulator charges those rounds.
-		gamma, err := remark47Gamma(cluster, tree, inst, setOwner)
+		gamma, err := remark47Gamma(cluster, tree, inst, ownedSets)
 		if err != nil {
 			return nil, err
 		}
@@ -137,8 +139,8 @@ func HGSetCover(inst *setcover.Instance, p Params, opt HGCoverOptions) (*CoverRe
 	maxRatio := func() (float64, error) {
 		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
 			best := 0.0
-			for i := 0; i < n; i++ {
-				if setOwner(i) != machine || inSolution[i] || excluded[i] || uncov[i] == 0 {
+			for _, i := range ownedSets[machine] {
+				if inSolution[i] || excluded[i] || uncov[i] == 0 {
 					continue
 				}
 				if ratio := float64(uncov[i]) / inst.Weights[i]; ratio > best {
@@ -246,9 +248,13 @@ func HGSetCover(inst *setcover.Instance, p Params, opt HGCoverOptions) (*CoverRe
 			groupsByClass[i] = make([][]sampleEntry, numGroups[i])
 		}
 		overflow := false
-		err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-			for i := 0; i < n; i++ {
-				if setOwner(i) != machine || !eligible(i) {
+		// Draw each machine's group memberships before the round (machine
+		// order, then set order); the closures replay the per-machine
+		// payload plans concurrently.
+		plan := make([][][]int64, M)
+		for machine := 1; machine < M; machine++ {
+			for _, i := range ownedSets[machine] {
+				if !eligible(i) {
 					continue
 				}
 				cls := classOf(uncov[i])
@@ -275,11 +281,16 @@ func HGSetCover(inst *setcover.Instance, p Params, opt HGCoverOptions) (*CoverRe
 				for _, e := range elems {
 					payload = append(payload, int64(e))
 				}
-				out.Send(0, payload, nil)
+				plan[machine] = append(plan[machine], payload)
 				entry := sampleEntry{set: i, elems: elems}
 				for _, gid := range gids {
 					groupsByClass[cls][gid] = append(groupsByClass[cls][gid], entry)
 				}
+			}
+		}
+		err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+			for _, payload := range plan[machine] {
+				out.Send(0, payload, nil)
 			}
 		})
 		if err != nil {
@@ -366,29 +377,32 @@ func HGSetCover(inst *setcover.Instance, p Params, opt HGCoverOptions) (*CoverRe
 // the elementwise minima are combined up the tree (simulated here as a
 // direct aggregation of each machine's (element, min) pairs, whose total
 // volume is at most the input size).
-func remark47Gamma(cluster *mpc.Cluster, tree *mpc.Tree, inst *setcover.Instance, setOwner func(int) int) (float64, error) {
+func remark47Gamma(cluster *mpc.Cluster, tree *mpc.Tree, inst *setcover.Instance, ownedSets [][]int) (float64, error) {
 	m := inst.NumElements
+	// Per-machine (element, weight) payloads and the resulting elementwise
+	// minima are computed up front (elements are shared across machines, so
+	// the minima cannot be folded inside the concurrent round); the round
+	// ships each machine's payload to the central machine.
 	minW := make([]float64, m)
 	for j := range minW {
 		minW[j] = math.Inf(1)
 	}
-	err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-		var ints []int64
-		var floats []float64
-		for i, s := range inst.Sets {
-			if setOwner(i) != machine {
-				continue
-			}
-			for _, e := range s {
-				ints = append(ints, int64(e))
-				floats = append(floats, inst.Weights[i])
+	ints := make([][]int64, cluster.M())
+	floats := make([][]float64, cluster.M())
+	for machine := 1; machine < cluster.M(); machine++ {
+		for _, i := range ownedSets[machine] {
+			for _, e := range inst.Sets[i] {
+				ints[machine] = append(ints[machine], int64(e))
+				floats[machine] = append(floats[machine], inst.Weights[i])
 				if inst.Weights[i] < minW[e] {
 					minW[e] = inst.Weights[i]
 				}
 			}
 		}
-		if len(ints) > 0 {
-			out.Send(0, ints, floats)
+	}
+	err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		if len(ints[machine]) > 0 {
+			out.Send(0, ints[machine], floats[machine])
 		}
 	})
 	if err != nil {

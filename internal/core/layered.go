@@ -42,11 +42,12 @@ func FilteringWeightedMatching(g *graph.Graph, p Params) (*MatchingResult, error
 
 	etaWords := eta(n, p.Mu, 8)
 	M := dataMachines(3*m, 3*etaWords)
-	cluster := newCluster(M, etaWords, p.Strict, capSlack)
+	cluster := newCluster(M, etaWords, p, capSlack)
 	tree := mpc.NewTree(cluster, 0, treeDegree(n, p.Mu))
 	r := rng.New(p.Seed)
 	edgeOwner := func(id int) int { return 1 + id%(M-1) }
 
+	ownedEdges := partitionByOwner(m, M, edgeOwner)
 	resident := make([]int, M)
 	for id := 0; id < m; id++ {
 		resident[edgeOwner(id)] += 3
@@ -82,15 +83,21 @@ func FilteringWeightedMatching(g *graph.Graph, p Params) (*MatchingResult, error
 				prob = math.Min(1, float64(etaWords)/float64(aliveCount))
 			}
 			var sampled []int
-			err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-				for id := 0; id < m; id++ {
-					if edgeOwner(id) != machine || !alive[id] {
+			plan := make([][]int64, M)
+			for machine := 1; machine < M; machine++ {
+				for _, id := range ownedEdges[machine] {
+					if !alive[id] {
 						continue
 					}
 					if final || r.Bernoulli(prob) {
-						out.SendInts(0, int64(id))
+						plan[machine] = append(plan[machine], int64(id))
 						sampled = append(sampled, id)
 					}
+				}
+			}
+			err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+				for _, id := range plan[machine] {
+					out.SendInts(0, id)
 				}
 			})
 			if err != nil {
@@ -191,11 +198,12 @@ func LayeredParallelMatching(g *graph.Graph, p Params, eps float64) (*MatchingRe
 
 	etaWords := eta(n, p.Mu, 8)
 	M := dataMachines(3*m, 3*etaWords)
-	cluster := newCluster(M, etaWords, p.Strict, capSlack)
+	cluster := newCluster(M, etaWords, p, capSlack)
 	tree := mpc.NewTree(cluster, 0, treeDegree(n, p.Mu))
 	r := rng.New(p.Seed)
 	edgeOwner := func(id int) int { return 1 + id%(M-1) }
 
+	ownedEdges := partitionByOwner(m, M, edgeOwner)
 	resident := make([]int, M)
 	for id := 0; id < m; id++ {
 		resident[edgeOwner(id)] += 3
@@ -230,15 +238,21 @@ func LayeredParallelMatching(g *graph.Graph, p Params, eps float64) (*MatchingRe
 			prob = math.Min(1, float64(etaWords)/float64(aliveCount))
 		}
 		var sampled []int
-		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-			for id := 0; id < m; id++ {
-				if edgeOwner(id) != machine || !alive[id] {
+		plan := make([][]int64, M)
+		for machine := 1; machine < M; machine++ {
+			for _, id := range ownedEdges[machine] {
+				if !alive[id] {
 					continue
 				}
 				if final || r.Bernoulli(prob) {
-					out.SendInts(0, int64(id))
+					plan[machine] = append(plan[machine], int64(id))
 					sampled = append(sampled, id)
 				}
+			}
+		}
+		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+			for _, id := range plan[machine] {
+				out.SendInts(0, id)
 			}
 		})
 		if err != nil {

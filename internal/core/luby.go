@@ -25,7 +25,7 @@ func LubyMIS(g *graph.Graph, p Params) (*MISResult, error) {
 	g.Build()
 	etaWords := eta(n, p.Mu, 8)
 	M := dataMachines(3*n+2*g.M(), 4*etaWords)
-	cluster := newCluster(M, etaWords, p.Strict, capSlack)
+	cluster := newCluster(M, etaWords, p, capSlack)
 	tree := mpc.NewTree(cluster, 0, treeDegree(n, p.Mu))
 	r := rng.New(p.Seed)
 	vertexOwner := func(v int) int { return 1 + v%(M-1) }
@@ -34,6 +34,10 @@ func LubyMIS(g *graph.Graph, p Params) (*MISResult, error) {
 	dominated := make([]bool, n)
 	aliveVertex := func(v int) bool { return !inI[v] && !dominated[v] }
 
+	// Per-machine partition: owned[machine] lists the machine's vertices in
+	// ascending order. Rounds only write per-vertex state owned by the
+	// invoking machine, so they are race-free under a parallel executor.
+	owned := partitionByOwner(n, M, vertexOwner)
 	resident := make([]int, M)
 	for v := 0; v < n; v++ {
 		resident[vertexOwner(v)] += 3 + g.Degree(v)
@@ -50,19 +54,21 @@ func LubyMIS(g *graph.Graph, p Params) (*MISResult, error) {
 		}
 		iterations++
 
-		// Draw priorities and exchange them along alive edges. Ties are
-		// broken by vertex id; priorities are 53-bit uniform, so ties are
-		// essentially impossible anyway.
+		// Draw priorities machine by machine before the round (the order the
+		// machines would draw in), then exchange them along alive edges.
+		// Ties are broken by vertex id; priorities are 53-bit uniform, so
+		// ties are essentially impossible anyway.
 		priority := make([]float64, n)
-		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-			for v := 0; v < n; v++ {
-				if vertexOwner(v) != machine || !aliveVertex(v) {
-					continue
+		for machine := 1; machine < M; machine++ {
+			for _, v := range owned[machine] {
+				if aliveVertex(v) {
+					priority[v] = r.Float64()
 				}
-				priority[v] = r.Float64()
 			}
-			for v := 0; v < n; v++ {
-				if vertexOwner(v) != machine || !aliveVertex(v) {
+		}
+		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+			for _, v := range owned[machine] {
+				if !aliveVertex(v) {
 					continue
 				}
 				for _, id := range g.IncidentEdges(v) {
@@ -94,8 +100,8 @@ func LubyMIS(g *graph.Graph, p Params) (*MISResult, error) {
 					lowest[u] = true
 				}
 			}
-			for v := 0; v < n; v++ {
-				if vertexOwner(v) != machine || !aliveVertex(v) {
+			for _, v := range owned[machine] {
+				if !aliveVertex(v) {
 					continue
 				}
 				if !lowest[v] {

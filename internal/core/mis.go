@@ -29,11 +29,20 @@ type MISResult struct {
 // misState is the shared distributed state of Algorithms 2 and 6: vertices
 // (with adjacency lists) partitioned over data machines, per-vertex status
 // and alive-degree, and the central machine's record of the independent set.
+//
+// The per-vertex arrays are owner-partitioned: during a round, machine k's
+// RoundFunc invocation only ever writes entries of vertices it owns, so the
+// rounds are race-free under a parallel executor. Random sampling decisions
+// are drawn before the round starts (in machine order, then vertex order —
+// the order the machines would draw in), and the round's closures read the
+// resulting per-machine plans.
 type misState struct {
 	g       *graph.Graph
 	cluster *mpc.Cluster
 	r       *rng.RNG
 	M       int
+
+	owned [][]int // owned[machine]: vertices of machine, ascending
 
 	inI       []bool // v ∈ I
 	dominated []bool // v ∈ N+(I) \ I
@@ -55,6 +64,7 @@ func newMISState(g *graph.Graph, cluster *mpc.Cluster, r *rng.RNG) *misState {
 		dominated: make([]bool, g.N),
 		dI:        make([]int, g.N),
 	}
+	s.owned = partitionByOwner(g.N, s.M, s.vertexOwner)
 	for v := 0; v < g.N; v++ {
 		s.dI[v] = g.Degree(v)
 	}
@@ -160,23 +170,28 @@ type candidate struct {
 
 // sampleToCentral performs the sampling round: every vertex for which
 // include(v) is true joins the sample with probability prob and ships
-// (v, alive neighbour list) to the central machine. The returned candidates
-// are in submission order (machine order, then vertex order), which the
-// central machine chops into groups.
+// (v, alive neighbour list) to the central machine. The sampling decisions
+// are drawn up front in machine order, then vertex order — the order the
+// machines would draw in — into a per-machine plan, which the round's
+// closures replay concurrently. The returned candidates are in submission
+// order (machine order, then vertex order), which the central machine chops
+// into groups.
 func (s *misState) sampleToCentral(include func(v int) bool, prob float64) ([]candidate, error) {
+	plan := make([][]candidate, s.M)
 	var sample []candidate
+	for machine := 1; machine < s.M; machine++ {
+		for _, v := range s.owned[machine] {
+			if !include(v) || !s.r.Bernoulli(prob) {
+				continue
+			}
+			cand := candidate{v: v, aliveNbrs: s.aliveNeighbours(v)}
+			plan[machine] = append(plan[machine], cand)
+			sample = append(sample, cand)
+		}
+	}
 	err := s.cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-		for v := 0; v < s.g.N; v++ {
-			if s.vertexOwner(v) != machine || !include(v) {
-				continue
-			}
-			if !s.r.Bernoulli(prob) {
-				continue
-			}
-			nbrs := s.aliveNeighbours(v)
-			payload := append([]int64{int64(v)}, nbrs...)
-			out.Send(0, payload, nil)
-			sample = append(sample, candidate{v: v, aliveNbrs: nbrs})
+		for _, cand := range plan[machine] {
+			out.Send(0, append([]int64{int64(cand.v)}, cand.aliveNbrs...), nil)
 		}
 	})
 	if err != nil {
@@ -206,17 +221,7 @@ func chopGroups(r *rng.RNG, sample []candidate, groupSize int) [][]candidate {
 // adjacency onto the central machine (one round) and completes the
 // independent set greedily.
 func (s *misState) finishCentrally() error {
-	var leftovers []candidate
-	err := s.cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-		for v := 0; v < s.g.N; v++ {
-			if s.vertexOwner(v) != machine || !s.aliveVertex(v) {
-				continue
-			}
-			nbrs := s.aliveNeighbours(v)
-			out.Send(0, append([]int64{int64(v)}, nbrs...), nil)
-			leftovers = append(leftovers, candidate{v: v, aliveNbrs: nbrs})
-		}
-	})
+	leftovers, err := s.sampleToCentral(s.aliveVertex, 1)
 	if err != nil {
 		return err
 	}
@@ -284,7 +289,7 @@ func MIS(g *graph.Graph, p Params) (*MISResult, error) {
 	}
 	etaWords := eta(n, p.Mu, 8)
 	M := dataMachines(3*n+2*g.M(), 4*etaWords)
-	cluster := newCluster(M, etaWords, p.Strict, capSlack)
+	cluster := newCluster(M, etaWords, p, capSlack)
 	tree := mpc.NewTree(cluster, 0, treeDegree(n, p.Mu))
 	r := rng.New(p.Seed)
 	s := newMISState(g, cluster, r)
@@ -388,7 +393,7 @@ func MISFast(g *graph.Graph, p Params) (*MISResult, error) {
 	}
 	etaWords := eta(n, p.Mu, 8)
 	M := dataMachines(3*n+2*g.M(), 4*etaWords)
-	cluster := newCluster(M, etaWords, p.Strict, capSlack)
+	cluster := newCluster(M, etaWords, p, capSlack)
 	tree := mpc.NewTree(cluster, 0, treeDegree(n, p.Mu))
 	r := rng.New(p.Seed)
 	s := newMISState(g, cluster, r)
@@ -459,22 +464,25 @@ func MISFast(g *graph.Graph, p Params) (*MISResult, error) {
 			target := math.Pow(nf, float64(i+1)*alpha) * float64(groupSize)
 			return math.Min(1, target/float64(classCounts[i]))
 		}
-		var byClass [][]candidate = make([][]candidate, classes+1)
-		err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-			for v := 0; v < n; v++ {
-				if s.vertexOwner(v) != machine {
-					continue
-				}
+		// Draw the sampling decisions machine by machine (each machine's
+		// vertices in ascending order), then replay the per-machine plans
+		// inside the round.
+		byClass := make([][]candidate, classes+1)
+		plan := make([][]candidate, M)
+		for machine := 1; machine < M; machine++ {
+			for _, v := range s.owned[machine] {
 				i := classOf(v)
-				if i < 1 {
+				if i < 1 || !r.Bernoulli(sampleProb(v)) {
 					continue
 				}
-				if !r.Bernoulli(sampleProb(v)) {
-					continue
-				}
-				nbrs := s.aliveNeighbours(v)
-				out.Send(0, append([]int64{int64(v)}, nbrs...), nil)
-				byClass[i] = append(byClass[i], candidate{v: v, aliveNbrs: nbrs})
+				cand := candidate{v: v, aliveNbrs: s.aliveNeighbours(v)}
+				plan[machine] = append(plan[machine], cand)
+				byClass[i] = append(byClass[i], cand)
+			}
+		}
+		err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+			for _, cand := range plan[machine] {
+				out.Send(0, append([]int64{int64(cand.v)}, cand.aliveNbrs...), nil)
 			}
 		})
 		if err != nil {

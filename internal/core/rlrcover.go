@@ -71,12 +71,14 @@ func RLRSetCover(inst *setcover.Instance, p Params, opt CoverOptions) (*CoverRes
 	// Machine 0 is the dedicated central machine; machines 1..M-1 hold the
 	// element (and, in vertex-cover mode, set) partitions.
 	M := dataMachines(inputWords, 4*etaWords)
-	cluster := newCluster(M, etaWords*(1+inst.MaxFrequency()), p.Strict, capSlack)
+	cluster := newCluster(M, etaWords*(1+inst.MaxFrequency()), p, capSlack)
 	tree := mpc.NewTree(cluster, 0, treeDegree(n, p.Mu))
 	r := rng.New(p.Seed)
 
 	elemOwner := func(j int) int { return 1 + j%(M-1) }
 	setOwner := func(i int) int { return 1 + i%(M-1) }
+
+	ownedElems := partitionByOwner(m, M, elemOwner)
 
 	// Resident: element owners hold T_j + alive bit; in vertex-cover mode
 	// set owners additionally hold their element lists for bit forwarding;
@@ -122,21 +124,26 @@ func RLRSetCover(inst *setcover.Instance, p Params, opt CoverOptions) (*CoverRes
 		// Sampling round (Line 5): each alive element joins U' with
 		// probability p = min(1, 2η/|U_r|) and ships (j, T_j) to central.
 		prob := math.Min(1, 2*float64(etaWords)/float64(aliveCount))
+		// Draw the sample machine by machine before the round; the closures
+		// replay each machine's plan concurrently.
 		var sampled []int
-		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-			for j := 0; j < m; j++ {
-				if elemOwner(j) != machine || !alive[j] {
-					continue
-				}
-				if r.Bernoulli(prob) {
-					payload := make([]int64, 0, len(dual[j])+1)
-					payload = append(payload, int64(j))
-					for _, i := range dual[j] {
-						payload = append(payload, int64(i))
-					}
-					out.Send(0, payload, nil)
+		plan := make([][]int, M)
+		for machine := 1; machine < M; machine++ {
+			for _, j := range ownedElems[machine] {
+				if alive[j] && r.Bernoulli(prob) {
+					plan[machine] = append(plan[machine], j)
 					sampled = append(sampled, j)
 				}
+			}
+		}
+		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+			for _, j := range plan[machine] {
+				payload := make([]int64, 0, len(dual[j])+1)
+				payload = append(payload, int64(j))
+				for _, i := range dual[j] {
+					payload = append(payload, int64(i))
+				}
+				out.Send(0, payload, nil)
 			}
 		})
 		if err != nil {

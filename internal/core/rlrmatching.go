@@ -63,7 +63,7 @@ func RLRMatching(g *graph.Graph, p Params, opt MatchingOptions) (*MatchingResult
 	// Machine 0 is the dedicated central machine; machines 1..M-1 hold the
 	// edge and vertex partitions.
 	M := dataMachines(4*m, 4*etaWords)
-	cluster := newCluster(M, etaWords, p.Strict, capSlack)
+	cluster := newCluster(M, etaWords, p, capSlack)
 	tree := mpc.NewTree(cluster, 0, treeDegree(n, p.Mu))
 	r := rng.New(p.Seed)
 
@@ -78,6 +78,7 @@ func RLRMatching(g *graph.Graph, p Params, opt MatchingOptions) (*MatchingResult
 		alive[id] = g.Edges[id].W > 0
 	}
 	g.Build()
+	ownedEdges := partitionByOwner(m, M, edgeOwner)
 	resident := make([]int, M)
 	for id := range g.Edges {
 		resident[edgeOwner(id)] += 4
@@ -116,11 +117,14 @@ func RLRMatching(g *graph.Graph, p Params, opt MatchingOptions) (*MatchingResult
 		if !full {
 			prob = math.Min(1, float64(etaWords)/float64(aliveCount))
 		}
+		// Draw the two per-edge side samples machine by machine before the
+		// round; the closures replay each machine's plan concurrently.
 		sampledSides := int64(0)
 		var sampleIDs []int64
-		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-			for id := 0; id < m; id++ {
-				if edgeOwner(id) != machine || !alive[id] {
+		plan := make([][]int64, M)
+		for machine := 1; machine < M; machine++ {
+			for _, id := range ownedEdges[machine] {
+				if !alive[id] {
 					continue
 				}
 				mask := int64(0)
@@ -131,7 +135,7 @@ func RLRMatching(g *graph.Graph, p Params, opt MatchingOptions) (*MatchingResult
 					mask |= 2
 				}
 				if mask != 0 {
-					out.SendInts(0, int64(id), mask)
+					plan[machine] = append(plan[machine], int64(id), mask)
 					if mask&1 != 0 {
 						sampledSides++
 					}
@@ -140,6 +144,11 @@ func RLRMatching(g *graph.Graph, p Params, opt MatchingOptions) (*MatchingResult
 					}
 					sampleIDs = append(sampleIDs, int64(id), mask)
 				}
+			}
+		}
+		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+			for i := 0; i+1 < len(plan[machine]); i += 2 {
+				out.SendInts(0, plan[machine][i], plan[machine][i+1])
 			}
 		})
 		if err != nil {

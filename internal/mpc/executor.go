@@ -1,0 +1,123 @@
+package mpc
+
+// This file implements the pluggable round executor. A Cluster delegates the
+// "run every machine's local computation" step of a round to an Executor;
+// everything observable — message delivery order, space and word accounting,
+// metrics, traces — is computed after the executor's barrier, in machine
+// order, so a conforming RoundFunc produces identical results under every
+// executor.
+//
+// A RoundFunc is conforming when each invocation's writes are confined to
+// state owned by its machine (its own Outbox, per-machine slice elements,
+// per-machine structs): the algorithms in internal/core are structured this
+// way, with random sampling decisions drawn before the round and genuinely
+// central state touched only by the central machine's invocation. `go test
+// -race ./...` is the enforcement mechanism.
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Executor runs a batch of independent tasks — most prominently the
+// per-machine local computations of one round.
+type Executor interface {
+	// Execute calls run(i) exactly once for every index in [0, n) and
+	// returns only after all invocations have completed. The index is an
+	// opaque task id: the Cluster passes machine ids when running a round's
+	// computations, but also destination counts (inbox assembly) and other
+	// work-item counts (e.g. colour groups), so implementations must not
+	// interpret it as a machine identity. Implementations may run
+	// invocations concurrently; callers must not assume any ordering
+	// between them.
+	Execute(n int, run func(i int))
+}
+
+// Sequential runs machines one after another on the calling goroutine, in
+// machine order — the original simulator behaviour, bit for bit.
+type Sequential struct{}
+
+// Execute implements Executor.
+func (Sequential) Execute(machines int, run func(machine int)) {
+	for machine := 0; machine < machines; machine++ {
+		run(machine)
+	}
+}
+
+// Parallel runs machines concurrently on a pool of Workers goroutines.
+// Machines are handed out by an atomic counter, so low-id machines start
+// first but completion order is scheduler-dependent; the Cluster merges
+// results deterministically after the barrier. A panic in any machine's
+// computation is re-raised on the calling goroutine after the pool drains.
+type Parallel struct {
+	// Workers is the pool size; <= 0 means runtime.NumCPU().
+	Workers int
+}
+
+// Execute implements Executor.
+func (p Parallel) Execute(machines int, run func(machine int)) {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > machines {
+		workers = machines
+	}
+	if workers <= 1 {
+		Sequential{}.Execute(machines, run)
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Value
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			machine := -1
+			defer func() {
+				if r := recover(); r != nil {
+					// Preserve the faulty machine, the original panic value,
+					// and the panicking goroutine's stack: the re-raise below
+					// happens on the caller, whose own stack says nothing
+					// about where the computation failed.
+					panicked.CompareAndSwap(nil, fmt.Sprintf(
+						"mpc: machine %d computation panicked: %v\n%s", machine, r, debug.Stack()))
+				}
+			}()
+			for {
+				machine = int(next.Add(1)) - 1
+				if machine >= machines {
+					return
+				}
+				run(machine)
+			}
+		}()
+	}
+	wg.Wait()
+	if msg := panicked.Load(); msg != nil {
+		panic(msg)
+	}
+}
+
+// newExecutor resolves a Config to an executor: an explicit Executor wins,
+// otherwise Workers selects Sequential (0 or 1), Parallel with that pool
+// size (> 1), or Parallel sized to runtime.NumCPU() (< 0).
+func newExecutor(cfg Config) Executor {
+	if cfg.Executor != nil {
+		return cfg.Executor
+	}
+	switch {
+	case cfg.Workers == 0 || cfg.Workers == 1:
+		return Sequential{}
+	case cfg.Workers < 0:
+		return Parallel{}
+	default:
+		return Parallel{Workers: cfg.Workers}
+	}
+}

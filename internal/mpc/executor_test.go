@@ -1,0 +1,99 @@
+package mpc
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelExecutesEveryMachineOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		for _, machines := range []int{1, 2, 7, 100} {
+			counts := make([]int32, machines)
+			Parallel{Workers: workers}.Execute(machines, func(machine int) {
+				atomic.AddInt32(&counts[machine], 1)
+			})
+			for machine, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d machines=%d: machine %d ran %d times",
+						workers, machines, machine, c)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic to propagate")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	Parallel{Workers: 4}.Execute(16, func(machine int) {
+		if machine == 11 {
+			panic("boom")
+		}
+	})
+}
+
+func TestNewExecutorSelection(t *testing.T) {
+	if _, ok := newExecutor(Config{Machines: 1}).(Sequential); !ok {
+		t.Fatal("Workers=0 must select Sequential")
+	}
+	if _, ok := newExecutor(Config{Machines: 1, Workers: 1}).(Sequential); !ok {
+		t.Fatal("Workers=1 must select Sequential")
+	}
+	if p, ok := newExecutor(Config{Machines: 1, Workers: 6}).(Parallel); !ok || p.Workers != 6 {
+		t.Fatal("Workers=6 must select a 6-worker Parallel")
+	}
+	if p, ok := newExecutor(Config{Machines: 1, Workers: -1}).(Parallel); !ok || p.Workers != 0 {
+		t.Fatal("Workers=-1 must select a NumCPU-sized Parallel")
+	}
+	if _, ok := newExecutor(Config{Machines: 1, Workers: 5, Executor: Sequential{}}).(Sequential); !ok {
+		t.Fatal("an explicit Executor must win over Workers")
+	}
+}
+
+func TestParallelRoundsMatchSequential(t *testing.T) {
+	// Identical chatter on Sequential and Parallel clusters must produce an
+	// identical transcript (delivery order included) and identical metrics.
+	// The transcript is captured from the inboxes between rounds, where the
+	// cluster state is quiescent.
+	record := func(workers int) (string, Metrics) {
+		c := NewCluster(Config{Machines: 17, SpaceCap: 1000, Trace: true, Workers: workers})
+		m := c.M()
+		var transcript strings.Builder
+		for round := 0; round < 5; round++ {
+			// Capture each machine's inbox deterministically before the
+			// round, then run the senders.
+			for machine := 0; machine < m; machine++ {
+				for _, msg := range c.Inbox(machine) {
+					fmt.Fprintf(&transcript, "r%d m%d<-%d:%v;", round, machine, msg.From, msg.Ints)
+				}
+			}
+			err := c.Round(func(machine int, in []Message, out *Outbox) {
+				for k := 1; k <= 3; k++ {
+					to := (machine*7 + k*k + round) % m
+					out.SendInts(to, int64(machine*1000+to), int64(round))
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return transcript.String(), c.Metrics()
+	}
+	seqT, seqM := record(1)
+	parT, parM := record(8)
+	if seqT != parT {
+		t.Fatalf("transcripts diverge:\nseq: %.200s\npar: %.200s", seqT, parT)
+	}
+	if seqM != parM {
+		t.Fatalf("metrics diverge: %+v vs %+v", seqM, parM)
+	}
+}

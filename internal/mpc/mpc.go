@@ -62,6 +62,14 @@ type Config struct {
 	// Trace records a RoundStat per executed round, retrievable via
 	// Trace(). Off by default (it costs memory proportional to rounds).
 	Trace bool
+	// Workers selects the round executor: 0 or 1 runs machines sequentially
+	// on one goroutine (the default), > 1 runs each round's machines
+	// concurrently on a pool of that many goroutines, and < 0 sizes the
+	// pool to runtime.NumCPU(). Results and metrics are identical across
+	// executors for conforming RoundFuncs (see Executor).
+	Workers int
+	// Executor, when non-nil, overrides Workers with an explicit executor.
+	Executor Executor
 }
 
 // RoundStat is the per-round record captured when tracing is enabled.
@@ -86,6 +94,7 @@ type Metrics struct {
 // Cluster is a simulated MRC/MPC cluster.
 type Cluster struct {
 	cfg      Config
+	exec     Executor
 	resident []int
 	inbox    [][]Message
 	metrics  Metrics
@@ -99,6 +108,7 @@ func NewCluster(cfg Config) *Cluster {
 	}
 	return &Cluster{
 		cfg:      cfg,
+		exec:     newExecutor(cfg),
 		resident: make([]int, cfg.Machines),
 		inbox:    make([][]Message, cfg.Machines),
 	}
@@ -106,6 +116,12 @@ func NewCluster(cfg Config) *Cluster {
 
 // M returns the number of machines.
 func (c *Cluster) M() int { return c.cfg.Machines }
+
+// Exec returns the cluster's round executor. Algorithms may use it to run
+// per-machine local computation that happens between rounds (work the model
+// charges as free local computation) under the same parallelism policy as
+// the rounds themselves.
+func (c *Cluster) Exec() Executor { return c.exec }
 
 // Cap returns the per-machine space cap in words (<= 0 if disabled).
 func (c *Cluster) Cap() int { return c.cfg.SpaceCap }
@@ -141,12 +157,16 @@ func (c *Cluster) Resident(machine int) int { return c.resident[machine] }
 // current round. The slice must not be modified.
 func (c *Cluster) Inbox(machine int) []Message { return c.inbox[machine] }
 
-// Outbox collects the messages a machine emits during a round.
+// Outbox collects the messages a machine emits during a round, bucketed by
+// destination so the post-round merge can deliver to each inbox without
+// scanning every message.
 type Outbox struct {
 	from    int
 	cluster *Cluster
-	msgs    []Message
+	byDest  [][]Message
+	dests   []int // destinations with at least one message, in first-use order
 	words   int
+	count   int
 }
 
 // Send emits a message to machine `to` with the given payload. Payload
@@ -155,9 +175,16 @@ func (o *Outbox) Send(to int, ints []int64, floats []float64) {
 	if to < 0 || to >= o.cluster.cfg.Machines {
 		panic(fmt.Sprintf("mpc: send to invalid machine %d (M=%d)", to, o.cluster.cfg.Machines))
 	}
+	if o.byDest == nil {
+		o.byDest = make([][]Message, o.cluster.cfg.Machines)
+	}
+	if len(o.byDest[to]) == 0 {
+		o.dests = append(o.dests, to)
+	}
 	m := Message{From: o.from, To: to, Ints: ints, Floats: floats}
 	o.words += m.Words()
-	o.msgs = append(o.msgs, m)
+	o.count++
+	o.byDest[to] = append(o.byDest[to], m)
 }
 
 // SendInts is shorthand for Send(to, ints, nil).
@@ -165,28 +192,69 @@ func (o *Outbox) SendInts(to int, ints ...int64) { o.Send(to, ints, nil) }
 
 // RoundFunc is the local computation of one machine in one round: it reads
 // the machine's inbox and emits messages for the next round.
+//
+// Invocations for different machines may run concurrently (see
+// Config.Workers), so a RoundFunc must confine its writes to state owned by
+// its machine: its Outbox, elements of shared slices indexed by data the
+// machine owns, or per-machine structs. Shared state may be read freely —
+// the simulator never mutates cluster state while a round is executing.
 type RoundFunc func(machine int, in []Message, out *Outbox)
 
-// Round executes one synchronous round: it runs f on every machine (in
-// machine order — the simulation is deterministic), accounts space and
-// traffic, checks the cap, and delivers the emitted messages, which become
-// the inboxes of the next round.
+// Round executes one synchronous round: it runs f on every machine via the
+// configured executor, each machine writing to its own Outbox, then — after
+// the barrier — accounts space and traffic, checks the cap, and delivers the
+// emitted messages in machine order, so delivery, metrics, and traces are
+// deterministic and executor-independent.
 func (c *Cluster) Round(f RoundFunc) error {
 	c.metrics.Rounds++
+	outboxes := make([]*Outbox, c.cfg.Machines)
+	for machine := range outboxes {
+		outboxes[machine] = &Outbox{from: machine, cluster: c}
+	}
+	c.exec.Execute(c.cfg.Machines, func(machine int) {
+		f(machine, c.inbox[machine], outboxes[machine])
+	})
+	// Deterministic merge after the barrier: traffic totals come from the
+	// per-outbox counters, and each inbox is assembled from the outboxes in
+	// machine order, so it sees messages ordered by (sender, emission
+	// order) regardless of the executor's scheduling. Assembly is
+	// per-destination work and runs under the executor as well.
 	outWords := make([]int, c.cfg.Machines)
-	inWords := make([]int, c.cfg.Machines)
-	next := make([][]Message, c.cfg.Machines)
-	for machine := 0; machine < c.cfg.Machines; machine++ {
-		out := &Outbox{from: machine, cluster: c}
-		f(machine, c.inbox[machine], out)
+	senders := make([][]int, c.cfg.Machines) // dest -> sending machines, in machine order
+	var active []int                         // destinations with at least one sender
+	for machine, out := range outboxes {
 		outWords[machine] = out.words
-		for _, m := range out.msgs {
-			inWords[m.To] += m.Words()
-			next[m.To] = append(next[m.To], m)
-			c.metrics.WordsSent += int64(m.Words())
-			c.metrics.Messages++
+		c.metrics.WordsSent += int64(out.words)
+		c.metrics.Messages += int64(out.count)
+		for _, dest := range out.dests {
+			if len(senders[dest]) == 0 {
+				active = append(active, dest)
+			}
+			senders[dest] = append(senders[dest], machine)
 		}
 	}
+	inWords := make([]int, c.cfg.Machines)
+	next := make([][]Message, c.cfg.Machines)
+	// Assemble only the inboxes that received anything; in the common
+	// sample-to-central rounds that is a single destination, so the pool is
+	// sized by real work, not by M.
+	c.exec.Execute(len(active), func(k int) {
+		dest := active[k]
+		total := 0
+		for _, src := range senders[dest] {
+			total += len(outboxes[src].byDest[dest])
+		}
+		msgs := make([]Message, 0, total)
+		words := 0
+		for _, src := range senders[dest] {
+			for _, m := range outboxes[src].byDest[dest] {
+				words += m.Words()
+				msgs = append(msgs, m)
+			}
+		}
+		inWords[dest] = words
+		next[dest] = msgs
+	})
 	var violated bool
 	maxLoad := 0
 	for machine := 0; machine < c.cfg.Machines; machine++ {

@@ -14,11 +14,16 @@ import "fmt"
 // final round consumes the last in-flight messages, leaving the cluster's
 // inboxes empty for the caller.
 
-// Tree is a rooted d-ary tree over the machines of a cluster.
+// Tree is a rooted d-ary tree over the machines of a cluster. The tree
+// shape is fixed at construction: per-position depths and the height are
+// computed once in NewTree and cached, because the per-round closures of
+// Broadcast and AggregateSum consult them for every machine every round.
 type Tree struct {
 	root   int
 	degree int
 	m      int
+	depths []int // depth by tree position (position 0 = root)
+	height int   // max over positions of depths
 }
 
 // NewTree returns a d-ary tree over the cluster's machines rooted at root.
@@ -30,7 +35,18 @@ func NewTree(c *Cluster, root, degree int) *Tree {
 	if root < 0 || root >= c.M() {
 		panic(fmt.Sprintf("mpc: tree root %d out of range", root))
 	}
-	return &Tree{root: root, degree: degree, m: c.M()}
+	t := &Tree{root: root, degree: degree, m: c.M()}
+	// depths[p] follows from the parent recurrence p -> (p-1)/d; positions
+	// are numbered level by level, so the height is the last position's
+	// depth (the closed form ceil(log_d(p(d-1)+1)) without the float error).
+	t.depths = make([]int, t.m)
+	for p := 1; p < t.m; p++ {
+		t.depths[p] = t.depths[(p-1)/degree] + 1
+	}
+	if t.m > 1 {
+		t.height = t.depths[t.m-1]
+	}
+	return t
 }
 
 // pos maps a machine id to its position in the tree (root has position 0).
@@ -63,25 +79,11 @@ func (t *Tree) children(machine int) []int {
 }
 
 // depth returns the depth of machine in the tree (root = 0).
-func (t *Tree) depth(machine int) int {
-	d := 0
-	for p := t.pos(machine); p != 0; p = (p - 1) / t.degree {
-		d++
-	}
-	return d
-}
+func (t *Tree) depth(machine int) int { return t.depths[t.pos(machine)] }
 
 // Depth returns the height of the tree: the number of hops a broadcast
 // needs to reach the deepest machine.
-func (t *Tree) Depth() int {
-	max := 0
-	for machine := 0; machine < t.m; machine++ {
-		if d := t.depth(machine); d > max {
-			max = d
-		}
-	}
-	return max
-}
+func (t *Tree) Depth() int { return t.height }
 
 // Broadcast sends the payload from the tree's root to every machine over
 // Depth()+1 rounds. The payload itself is shared simulator-side; what the
