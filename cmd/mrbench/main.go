@@ -1,18 +1,23 @@
 // Command mrbench runs the Figure 1 reproduction experiments and the
 // ablations, and renders their result tables as markdown (the contents of
-// EXPERIMENTS.md).
+// EXPERIMENTS.md) or as machine-readable JSON.
 //
 // Usage:
 //
-//	mrbench [-quick] [-seed N] [-workers W] [-run F1.Match,F1.VC] [-list]
+//	mrbench [-quick] [-seed N] [-workers W] [-run F1.Match,F1.VC] [-list] [-json]
 //
 // With no -run flag, all experiments run in registry order. -quick shrinks
 // the parameter sweeps (used by CI); the recorded EXPERIMENTS.md numbers
 // come from a full run. -workers sets the simulator's round-executor pool
-// (-1 = one per CPU); it changes wall-clock only, never results.
+// (-1 = one per CPU); it changes wall-clock only, never results. -json
+// replaces the markdown with one JSON document carrying every experiment's
+// measurements plus wall-clock and the active worker count, so performance
+// trajectories can be tracked across commits (e.g.
+// `mrbench -quick -json > BENCH_quick.json`).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,12 +28,39 @@ import (
 	"repro/internal/bench"
 )
 
+// jsonExperiment is the machine-readable form of one experiment run.
+type jsonExperiment struct {
+	ID          string    `json:"id"`
+	Title       string    `json:"title"`
+	PaperClaim  string    `json:"paper_claim,omitempty"`
+	WallClockMS float64   `json:"wall_clock_ms"`
+	Columns     []string  `json:"columns"`
+	Rows        []jsonRow `json:"rows"`
+	Notes       []string  `json:"notes,omitempty"`
+}
+
+type jsonRow struct {
+	Config string            `json:"config"`
+	Cells  map[string]string `json:"cells"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Seed             uint64           `json:"seed"`
+	Quick            bool             `json:"quick"`
+	Workers          int              `json:"workers"`
+	GoMaxProcs       int              `json:"gomaxprocs"`
+	TotalWallClockMS float64          `json:"total_wall_clock_ms"`
+	Experiments      []jsonExperiment `json:"experiments"`
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "run reduced parameter sweeps")
 	seed := flag.Uint64("seed", 20180617, "root random seed (default: the paper's arXiv date)")
 	workers := flag.Int("workers", -1, "round-executor pool size: 0|1 sequential, >1 that many goroutines, -1 one per CPU")
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	asJSON := flag.Bool("json", false, "emit one machine-readable JSON document instead of markdown")
 	flag.Parse()
 
 	if *list {
@@ -59,7 +91,15 @@ func main() {
 	if activeWorkers == 0 {
 		activeWorkers = 1
 	}
-	fmt.Printf("# Experiment results (seed=%d, quick=%v, workers=%d)\n\n", *seed, *quick, activeWorkers)
+	if !*asJSON {
+		fmt.Printf("# Experiment results (seed=%d, quick=%v, workers=%d)\n\n", *seed, *quick, activeWorkers)
+	}
+	report := jsonReport{
+		Seed:       *seed,
+		Quick:      *quick,
+		Workers:    activeWorkers,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
 	total := time.Now()
 	for _, e := range selected {
 		// Per-experiment header line: id, wall-clock, and the active worker
@@ -70,12 +110,38 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mrbench: %s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
+		if *asJSON {
+			je := jsonExperiment{
+				ID:          tab.ID,
+				Title:       tab.Title,
+				PaperClaim:  tab.PaperClaim,
+				WallClockMS: float64(elapsed.Microseconds()) / 1000,
+				Columns:     tab.Columns,
+				Notes:       tab.Notes,
+			}
+			for _, row := range tab.Rows {
+				je.Rows = append(je.Rows, jsonRow{Config: row.Config, Cells: row.Cells})
+			}
+			report.Experiments = append(report.Experiments, je)
+			continue
+		}
 		if err := tab.WriteMarkdown(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "mrbench: write: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("_%s completed in %v (workers=%d)._\n\n",
-			e.ID, time.Since(start).Round(time.Millisecond), activeWorkers)
+			e.ID, elapsed.Round(time.Millisecond), activeWorkers)
+	}
+	if *asJSON {
+		report.TotalWallClockMS = float64(time.Since(total).Microseconds()) / 1000
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "mrbench: json: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	fmt.Printf("_total wall-clock %v across %d experiments (workers=%d)._\n",
 		time.Since(total).Round(time.Millisecond), len(selected), activeWorkers)

@@ -5,8 +5,9 @@
 // The library lives in internal packages:
 //
 //   - internal/mpc      — the MapReduce/MPC cluster simulator (rounds,
-//     per-machine space accounting, broadcast trees, and the pluggable
-//     sequential/parallel round executor);
+//     per-machine space accounting, broadcast trees, the pluggable
+//     sequential/parallel round executor, and the columnar zero-copy
+//     message plane that carries round traffic allocation-free);
 //   - internal/core     — the paper's eight MapReduce algorithms plus the
 //     Luby and filtering baselines;
 //   - internal/seq      — sequential local ratio / greedy algorithms and

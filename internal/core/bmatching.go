@@ -133,15 +133,14 @@ func BMatching(g *graph.Graph, p Params, opt BMatchingOptions) (*MatchingResult,
 				perVertex[v] = chosen
 			}
 		}
-		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			for _, v := range plan[machine] {
-				chosen := perVertex[v]
-				payload := make([]int64, 0, len(chosen)+1)
-				payload = append(payload, int64(v))
-				for _, id := range chosen {
-					payload = append(payload, int64(id))
+				out.Begin(0)
+				out.Int(int64(v))
+				for _, id := range perVertex[v] {
+					out.Int(int64(id))
 				}
-				out.Send(0, payload, nil)
+				out.End()
 			}
 		})
 		if err != nil {
@@ -188,12 +187,15 @@ func BMatching(g *graph.Graph, p Params, opt BMatchingOptions) (*MatchingResult,
 			changedList = append(changedList, v)
 		}
 		sort.Ints(changedList)
-		err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			if machine != 0 {
 				return
 			}
 			for _, v := range changedList {
-				out.Send(vertexOwner(v), []int64{int64(v)}, []float64{lr.Phi(v)})
+				out.Begin(vertexOwner(v))
+				out.Int(int64(v))
+				out.Float(lr.Phi(v))
+				out.End()
 			}
 		})
 		if err != nil {
@@ -201,13 +203,16 @@ func BMatching(g *graph.Graph, p Params, opt BMatchingOptions) (*MatchingResult,
 		}
 		// Owners receive the new potentials and forward them along their
 		// alive incident edges to the other endpoint's owner.
-		err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-			for _, msg := range in {
+		err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
+			for msg, ok := in.Next(); ok; msg, ok = in.Next() {
 				v := int(msg.Ints[0])
 				for _, id := range g.IncidentEdges(v) {
 					if alive[id] {
 						u := g.Edges[id].Other(v)
-						out.Send(vertexOwner(u), []int64{int64(id)}, []float64{msg.Floats[0]})
+						out.Begin(vertexOwner(u))
+						out.Int(int64(id))
+						out.Float(msg.Floats[0])
+						out.End()
 					}
 				}
 			}

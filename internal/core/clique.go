@@ -72,7 +72,7 @@ func MaximalClique(g *graph.Graph, p Params) (*CliqueResult, error) {
 	// are those of the real label exchange, which is what lets a vertex
 	// compute its complement list [k] \ σ(N_A(v)) in sublinear space.
 	relabelRounds := func() error {
-		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			if machine != 0 {
 				return
 			}
@@ -85,8 +85,8 @@ func MaximalClique(g *graph.Graph, p Params) (*CliqueResult, error) {
 		if err != nil {
 			return err
 		}
-		return cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-			for _, msg := range in {
+		return cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
+			for msg, ok := in.Next(); ok; msg, ok = in.Next() {
 				v := int(msg.Ints[0])
 				for _, id := range g.IncidentEdges(v) {
 					u := g.Edges[id].Other(v)
@@ -121,7 +121,7 @@ func MaximalClique(g *graph.Graph, p Params) (*CliqueResult, error) {
 	// The entries of removed are distinct and active, so the |A| update is
 	// applied once up front rather than from inside the concurrent round.
 	removeFromA := func(removed []int) error {
-		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			if machine != 0 {
 				return
 			}
@@ -133,8 +133,8 @@ func MaximalClique(g *graph.Graph, p Params) (*CliqueResult, error) {
 			return err
 		}
 		sizeA -= int64(len(removed))
-		err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-			for _, msg := range in {
+		err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
+			for msg, ok := in.Next(); ok; msg, ok = in.Next() {
 				v := int(msg.Ints[0])
 				if inA[v] {
 					inA[v] = false
@@ -148,8 +148,8 @@ func MaximalClique(g *graph.Graph, p Params) (*CliqueResult, error) {
 		if err != nil {
 			return err
 		}
-		return cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-			for _, msg := range in {
+		return cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
+			for msg, ok := in.Next(); ok; msg, ok = in.Next() {
 				u := int(msg.Ints[0])
 				if degA[u] > 0 {
 					degA[u]--
@@ -248,9 +248,12 @@ func MaximalClique(g *graph.Graph, p Params) (*CliqueResult, error) {
 					sample = append(sample, cand)
 				}
 			}
-			err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+			err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 				for _, cand := range plan[machine] {
-					out.Send(0, append([]int64{int64(cand.v)}, cand.comp...), nil)
+					out.Begin(0)
+					out.Int(int64(cand.v))
+					out.Ints(cand.comp...)
+					out.End()
 				}
 			})
 			if err != nil {
@@ -295,7 +298,7 @@ func MaximalClique(g *graph.Graph, p Params) (*CliqueResult, error) {
 			}
 		}
 	}
-	err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+	err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 		for _, v := range leftoverPlan[machine] {
 			out.SendInts(0, v)
 		}

@@ -100,7 +100,7 @@ func VertexColouring(g *graph.Graph, p Params) (*ColouringResult, error) {
 			}
 		}
 	}
-	err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+	err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 		for _, id := range ownedEdges[machine] {
 			e := g.Edges[id]
 			if group[e.U] == group[e.V] {
@@ -152,7 +152,7 @@ func VertexColouring(g *graph.Graph, p Params) (*ColouringResult, error) {
 		}
 	}
 	// Output round: group machines emit (v, group, local colour).
-	err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+	err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 		for v := 0; v < n; v++ {
 			if groupMachine(group[v]) == machine {
 				out.SendInts(0, int64(v), int64(group[v]), int64(localColour[v]))
@@ -218,7 +218,7 @@ func EdgeColouring(g *graph.Graph, p Params) (*ColouringResult, error) {
 			groupIDs[group[id]] = append(groupIDs[group[id]], id)
 		}
 	}
-	err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+	err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 		for _, id := range ownedEdges[machine] {
 			e := g.Edges[id]
 			out.SendInts(groupMachine(group[id]), int64(e.U), int64(e.V))
@@ -267,7 +267,7 @@ func EdgeColouring(g *graph.Graph, p Params) (*ColouringResult, error) {
 		}
 	}
 	// Output round.
-	err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+	err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 		for id := 0; id < m; id++ {
 			if groupMachine(group[id]) == machine {
 				out.SendInts(0, int64(id), int64(group[id]), int64(localColour[id]))

@@ -146,18 +146,18 @@ func dataMachines(inputWords, capWords int) int {
 // the space cap (the tree exists because a direct send of a large payload
 // could exceed the cap; a single word per machine cannot).
 func directAllReduce(c *mpc.Cluster, central int, value func(machine int) int64) (int64, error) {
-	err := c.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+	err := c.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 		out.SendInts(central, value(machine))
 	})
 	if err != nil {
 		return 0, err
 	}
 	total := int64(0)
-	err = c.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+	err = c.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 		if machine != central {
 			return
 		}
-		for _, msg := range in {
+		for msg, ok := in.Next(); ok; msg, ok = in.Next() {
 			total += msg.Ints[0]
 		}
 		for to := 0; to < c.M(); to++ {

@@ -106,7 +106,7 @@ func FilteringMatching(g *graph.Graph, p Params) (*FilteringResult, error) {
 				}
 			}
 		}
-		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			for _, id := range plan[machine] {
 				out.SendInts(0, id)
 			}

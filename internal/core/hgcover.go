@@ -137,7 +137,7 @@ func HGSetCover(inst *setcover.Instance, p Params, opt HGCoverOptions) (*CoverRe
 	// maxRatio aggregates the maximum eligible cost ratio to the central
 	// machine and back (two rounds, like the f=2 aggregation).
 	maxRatio := func() (float64, error) {
-		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			best := 0.0
 			for _, i := range ownedSets[machine] {
 				if inSolution[i] || excluded[i] || uncov[i] == 0 {
@@ -147,23 +147,27 @@ func HGSetCover(inst *setcover.Instance, p Params, opt HGCoverOptions) (*CoverRe
 					best = ratio
 				}
 			}
-			out.Send(0, nil, []float64{best})
+			out.Begin(0)
+			out.Float(best)
+			out.End()
 		})
 		if err != nil {
 			return 0, err
 		}
 		best := 0.0
-		err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			if machine != 0 {
 				return
 			}
-			for _, msg := range in {
+			for msg, ok := in.Next(); ok; msg, ok = in.Next() {
 				if msg.Floats[0] > best {
 					best = msg.Floats[0]
 				}
 			}
 			for to := 1; to < M; to++ {
-				out.Send(to, nil, []float64{best})
+				out.Begin(to)
+				out.Float(best)
+				out.End()
 			}
 		})
 		if err != nil {
@@ -288,7 +292,7 @@ func HGSetCover(inst *setcover.Instance, p Params, opt HGCoverOptions) (*CoverRe
 				}
 			}
 		}
-		err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			for _, payload := range plan[machine] {
 				out.Send(0, payload, nil)
 			}
@@ -400,7 +404,7 @@ func remark47Gamma(cluster *mpc.Cluster, tree *mpc.Tree, inst *setcover.Instance
 			}
 		}
 	}
-	err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+	err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 		if len(ints[machine]) > 0 {
 			out.Send(0, ints[machine], floats[machine])
 		}

@@ -95,7 +95,7 @@ func FilteringWeightedMatching(g *graph.Graph, p Params) (*MatchingResult, error
 					}
 				}
 			}
-			err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+			err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 				for _, id := range plan[machine] {
 					out.SendInts(0, id)
 				}
@@ -250,7 +250,7 @@ func LayeredParallelMatching(g *graph.Graph, p Params, eps float64) (*MatchingRe
 				}
 			}
 		}
-		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			for _, id := range plan[machine] {
 				out.SendInts(0, id)
 			}

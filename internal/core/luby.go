@@ -66,7 +66,7 @@ func LubyMIS(g *graph.Graph, p Params) (*MISResult, error) {
 				}
 			}
 		}
-		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			for _, v := range owned[machine] {
 				if !aliveVertex(v) {
 					continue
@@ -74,7 +74,11 @@ func LubyMIS(g *graph.Graph, p Params) (*MISResult, error) {
 				for _, id := range g.IncidentEdges(v) {
 					u := g.Edges[id].Other(v)
 					if aliveVertex(u) {
-						out.Send(vertexOwner(u), []int64{int64(u), int64(v)}, []float64{priority[v]})
+						out.Begin(vertexOwner(u))
+						out.Int(int64(u))
+						out.Int(int64(v))
+						out.Float(priority[v])
+						out.End()
 					}
 				}
 			}
@@ -91,9 +95,9 @@ func LubyMIS(g *graph.Graph, p Params) (*MISResult, error) {
 			return u < v
 		}
 		localMin := make([]bool, n)
-		err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			lowest := make(map[int]bool) // v -> seen a better neighbour
-			for _, msg := range in {
+			for msg, ok := in.Next(); ok; msg, ok = in.Next() {
 				u := int(msg.Ints[0]) // recipient vertex
 				v := int(msg.Ints[1]) // sending neighbour
 				if better(msg.Floats[0], v, priority[u], u) {
@@ -122,8 +126,8 @@ func LubyMIS(g *graph.Graph, p Params) (*MISResult, error) {
 		// Apply: local minima enter I, their alive neighbours become
 		// dominated. (Two adjacent local minima cannot both exist because
 		// the priority order is strict.)
-		err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-			for _, msg := range in {
+		err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
+			for msg, ok := in.Next(); ok; msg, ok = in.Next() {
 				u := int(msg.Ints[0])
 				if aliveVertex(u) && !localMin[u] {
 					dominated[u] = true

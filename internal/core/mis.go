@@ -106,7 +106,7 @@ type centralBatch struct {
 func (s *misState) disseminate(batch centralBatch) error {
 	// Round 1: central tells each owner which of its vertices entered I or
 	// became dominated.
-	err := s.cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+	err := s.cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 		if machine != 0 {
 			return
 		}
@@ -122,8 +122,8 @@ func (s *misState) disseminate(batch centralBatch) error {
 	}
 	// Round 2: owners record the status change and broadcast "v left the
 	// alive set" to the owners of v's neighbours.
-	err = s.cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-		for _, msg := range in {
+	err = s.cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
+		for msg, ok := in.Next(); ok; msg, ok = in.Next() {
 			v := int(msg.Ints[0])
 			if msg.Ints[1] == 1 {
 				s.inI[v] = true
@@ -142,8 +142,8 @@ func (s *misState) disseminate(batch centralBatch) error {
 	}
 	// Round 3: owners decrement dI of their still-alive vertices once per
 	// removed neighbour.
-	return s.cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-		for _, msg := range in {
+	return s.cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
+		for msg, ok := in.Next(); ok; msg, ok = in.Next() {
 			u := int(msg.Ints[0])
 			if s.aliveVertex(u) && s.dI[u] > 0 {
 				s.dI[u]--
@@ -189,9 +189,12 @@ func (s *misState) sampleToCentral(include func(v int) bool, prob float64) ([]ca
 			sample = append(sample, cand)
 		}
 	}
-	err := s.cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+	err := s.cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 		for _, cand := range plan[machine] {
-			out.Send(0, append([]int64{int64(cand.v)}, cand.aliveNbrs...), nil)
+			out.Begin(0)
+			out.Int(int64(cand.v))
+			out.Ints(cand.aliveNbrs...)
+			out.End()
 		}
 	})
 	if err != nil {
@@ -480,9 +483,12 @@ func MISFast(g *graph.Graph, p Params) (*MISResult, error) {
 				byClass[i] = append(byClass[i], cand)
 			}
 		}
-		err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			for _, cand := range plan[machine] {
-				out.Send(0, append([]int64{int64(cand.v)}, cand.aliveNbrs...), nil)
+				out.Begin(0)
+				out.Int(int64(cand.v))
+				out.Ints(cand.aliveNbrs...)
+				out.End()
 			}
 		})
 		if err != nil {

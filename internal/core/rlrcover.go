@@ -136,14 +136,14 @@ func RLRSetCover(inst *setcover.Instance, p Params, opt CoverOptions) (*CoverRes
 				}
 			}
 		}
-		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			for _, j := range plan[machine] {
-				payload := make([]int64, 0, len(dual[j])+1)
-				payload = append(payload, int64(j))
+				out.Begin(0)
+				out.Int(int64(j))
 				for _, i := range dual[j] {
-					payload = append(payload, int64(i))
+					out.Int(int64(i))
 				}
-				out.Send(0, payload, nil)
+				out.End()
 			}
 		})
 		if err != nil {
@@ -170,7 +170,7 @@ func RLRSetCover(inst *setcover.Instance, p Params, opt CoverOptions) (*CoverRes
 		if opt.VertexCoverMode {
 			// f = 2 fast path: central → set owner → element owner, two
 			// routed rounds, O(1) additional rounds per iteration.
-			err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+			err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 				if machine != 0 {
 					return
 				}
@@ -181,8 +181,8 @@ func RLRSetCover(inst *setcover.Instance, p Params, opt CoverOptions) (*CoverRes
 			if err != nil {
 				return nil, err
 			}
-			err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-				for _, msg := range in {
+			err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
+				for msg, ok := in.Next(); ok; msg, ok = in.Next() {
 					i := int(msg.Ints[0])
 					for _, j := range inst.Sets[i] {
 						if alive[j] {
@@ -195,8 +195,8 @@ func RLRSetCover(inst *setcover.Instance, p Params, opt CoverOptions) (*CoverRes
 				return nil, err
 			}
 			// Delivery round: element owners mark covered elements dead.
-			err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-				for _, msg := range in {
+			err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
+				for msg, ok := in.Next(); ok; msg, ok = in.Next() {
 					alive[int(msg.Ints[0])] = false
 				}
 			})

@@ -146,7 +146,7 @@ func RLRMatching(g *graph.Graph, p Params, opt MatchingOptions) (*MatchingResult
 				}
 			}
 		}
-		err := cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			for i := 0; i+1 < len(plan[machine]); i += 2 {
 				out.SendInts(0, plan[machine][i], plan[machine][i+1])
 			}
@@ -210,12 +210,15 @@ func RLRMatching(g *graph.Graph, p Params, opt MatchingOptions) (*MatchingResult
 			changedList = append(changedList, v)
 		}
 		sort.Ints(changedList)
-		err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
+		err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			if machine != 0 {
 				return
 			}
 			for _, v := range changedList {
-				out.Send(vertexOwner(v), []int64{int64(v)}, []float64{lr.Phi(v)})
+				out.Begin(vertexOwner(v))
+				out.Int(int64(v))
+				out.Float(lr.Phi(v))
+				out.End()
 			}
 			for _, id := range pushed {
 				out.SendInts(edgeOwner(int(id)), id)
@@ -228,14 +231,18 @@ func RLRMatching(g *graph.Graph, p Params, opt MatchingOptions) (*MatchingResult
 		// Update round B: vertex owners forward ϕ(v) to the machines owning
 		// v's alive incident edges; edge owners mark stacked edges dead and
 		// recompute aliveness from the received potentials.
-		err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-			for _, msg := range in {
+		err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
+			for msg, ok := in.Next(); ok; msg, ok = in.Next() {
 				if len(msg.Floats) == 1 {
 					v := int(msg.Ints[0])
 					phi := msg.Floats[0]
 					for _, id := range g.IncidentEdges(v) {
 						if alive[id] {
-							out.Send(edgeOwner(id), []int64{int64(id), int64(v)}, []float64{phi})
+							out.Begin(edgeOwner(id))
+							out.Int(int64(id))
+							out.Int(int64(v))
+							out.Float(phi)
+							out.End()
 						}
 					}
 				}
@@ -248,8 +255,8 @@ func RLRMatching(g *graph.Graph, p Params, opt MatchingOptions) (*MatchingResult
 		// edge receiving a potential recomputes its reduced weight (the
 		// simulator reads lr, which holds exactly the values the messages
 		// carry).
-		err = cluster.Round(func(machine int, in []mpc.Message, out *mpc.Outbox) {
-			for _, msg := range in {
+		err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
+			for msg, ok := in.Next(); ok; msg, ok = in.Next() {
 				if len(msg.Floats) == 1 && len(msg.Ints) == 2 {
 					id := int(msg.Ints[0])
 					if alive[id] && !lr.Alive(id) {

@@ -28,8 +28,8 @@ type Executor interface {
 	// Execute calls run(i) exactly once for every index in [0, n) and
 	// returns only after all invocations have completed. The index is an
 	// opaque task id: the Cluster passes machine ids when running a round's
-	// computations, but also destination counts (inbox assembly) and other
-	// work-item counts (e.g. colour groups), so implementations must not
+	// computations, but algorithms also pass other work-item counts (e.g.
+	// colour groups) via Cluster.Exec, so implementations must not
 	// interpret it as a machine identity. Implementations may run
 	// invocations concurrently; callers must not assume any ordering
 	// between them.

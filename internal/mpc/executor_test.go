@@ -72,11 +72,13 @@ func TestParallelRoundsMatchSequential(t *testing.T) {
 			// Capture each machine's inbox deterministically before the
 			// round, then run the senders.
 			for machine := 0; machine < m; machine++ {
-				for _, msg := range c.Inbox(machine) {
+				in := c.Inbox(machine)
+				for msg, ok := in.Next(); ok; msg, ok = in.Next() {
 					fmt.Fprintf(&transcript, "r%d m%d<-%d:%v;", round, machine, msg.From, msg.Ints)
 				}
+				in.Reset()
 			}
-			err := c.Round(func(machine int, in []Message, out *Outbox) {
+			err := c.Round(func(machine int, in *Inbox, out *Outbox) {
 				for k := 1; k <= 3; k++ {
 					to := (machine*7 + k*k + round) % m
 					out.SendInts(to, int64(machine*1000+to), int64(round))

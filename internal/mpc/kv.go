@@ -40,7 +40,7 @@ func RunJob(c *Cluster, input [][]KV, mapf MapFunc, reducef ReduceFunc) ([][]KV,
 		return d
 	}
 	// Round 1: map and shuffle.
-	err := c.Round(func(machine int, in []Message, out *Outbox) {
+	err := c.Round(func(machine int, in *Inbox, out *Outbox) {
 		for _, rec := range input[machine] {
 			for _, kv := range mapf(rec) {
 				out.SendInts(dest(kv.Key), kv.Key, kv.Value)
@@ -52,10 +52,10 @@ func RunJob(c *Cluster, input [][]KV, mapf MapFunc, reducef ReduceFunc) ([][]KV,
 	}
 	// Round 2: group by key and reduce.
 	output := make([][]KV, c.M())
-	err = c.Round(func(machine int, in []Message, out *Outbox) {
+	err = c.Round(func(machine int, in *Inbox, out *Outbox) {
 		groups := make(map[int64][]int64)
 		var order []int64
-		for _, msg := range in {
+		for msg, ok := in.Next(); ok; msg, ok = in.Next() {
 			for i := 0; i+1 < len(msg.Ints); i += 2 {
 				k, v := msg.Ints[i], msg.Ints[i+1]
 				if _, seen := groups[k]; !seen {

@@ -3,9 +3,9 @@
 // the paper under reproduction.
 //
 // A Cluster has M machines, each with a space cap of S words. Computation
-// proceeds in synchronous rounds: in a round every machine reads the messages
+// proceeds in synchronous rounds: in a round every machine reads the records
 // delivered to it, performs an arbitrary local computation, and emits
-// messages to be delivered at the start of the next round. The simulator
+// records to be delivered at the start of the next round. The simulator
 //
 //   - counts rounds (the model's primary efficiency measure),
 //   - counts every word communicated,
@@ -21,7 +21,10 @@
 // Resident state (the partition of the input held by each machine) lives in
 // the algorithm's own data structures for speed; algorithms declare its size
 // honestly via SetResident/AddResident. Message traffic is accounted
-// automatically.
+// automatically. Physically, traffic moves over the columnar message plane
+// of plane.go: records are framed into flat per-destination word buffers
+// that are pooled across rounds, so the steady-state cost of a logical
+// message is a few buffer appends, not an allocation.
 //
 // The broadcast and aggregation helpers implement the degree-d broadcast
 // tree of §2.2/§4.1 of the paper as real message rounds, so "send C to all
@@ -36,18 +39,6 @@ import (
 // ErrSpaceExceeded is returned when a machine exceeds its space cap in
 // strict mode.
 var ErrSpaceExceeded = errors.New("mpc: machine space cap exceeded")
-
-// Message is a bundle of words sent from one machine to another. Ints and
-// Floats each count one word per entry; a delivered message also carries one
-// header word (the sender).
-type Message struct {
-	From, To int
-	Ints     []int64
-	Floats   []float64
-}
-
-// Words returns the accounted size of the message in words.
-func (m *Message) Words() int { return 1 + len(m.Ints) + len(m.Floats) }
 
 // Config configures a Cluster.
 type Config struct {
@@ -76,7 +67,7 @@ type Config struct {
 type RoundStat struct {
 	Round    int   // 1-based round number
 	Words    int64 // words communicated in this round
-	Messages int   // messages delivered in this round
+	Messages int   // records delivered in this round
 	MaxLoad  int   // max over machines of resident+in+out this round
 }
 
@@ -85,7 +76,7 @@ type Metrics struct {
 	Machines    int   // cluster size M
 	Rounds      int   // synchronous rounds executed
 	WordsSent   int64 // total words communicated
-	Messages    int64 // total messages delivered
+	Messages    int64 // total records delivered
 	MaxSpace    int   // max over (machine, round) of resident+in+out words
 	MaxResident int   // max declared resident words on any machine
 	Violations  int   // number of (machine, round) space-cap violations
@@ -96,9 +87,16 @@ type Cluster struct {
 	cfg      Config
 	exec     Executor
 	resident []int
-	inbox    [][]Message
+	inbox    []Inbox
+	outboxes []Outbox
 	metrics  Metrics
 	trace    []RoundStat
+	// Per-round merge scratch, held across rounds so the steady-state round
+	// allocates nothing.
+	senders  [][]int // dest -> sending machines, in machine order; empty outside Round
+	active   []int   // destinations with at least one sender this round
+	inWords  []int
+	outWords []int
 }
 
 // NewCluster returns a cluster with the given configuration.
@@ -106,12 +104,20 @@ func NewCluster(cfg Config) *Cluster {
 	if cfg.Machines < 1 {
 		panic(fmt.Sprintf("mpc: need at least 1 machine, got %d", cfg.Machines))
 	}
-	return &Cluster{
+	c := &Cluster{
 		cfg:      cfg,
-		exec:     newExecutor(cfg),
 		resident: make([]int, cfg.Machines),
-		inbox:    make([][]Message, cfg.Machines),
+		inbox:    make([]Inbox, cfg.Machines),
+		outboxes: make([]Outbox, cfg.Machines),
+		senders:  make([][]int, cfg.Machines),
+		inWords:  make([]int, cfg.Machines),
+		outWords: make([]int, cfg.Machines),
 	}
+	c.exec = newExecutor(cfg)
+	for machine := range c.outboxes {
+		c.outboxes[machine] = Outbox{from: machine, cluster: c}
+	}
+	return c
 }
 
 // M returns the number of machines.
@@ -153,112 +159,83 @@ func (c *Cluster) AddResident(machine, delta int) {
 // Resident returns the declared resident words of a machine.
 func (c *Cluster) Resident(machine int) int { return c.resident[machine] }
 
-// Inbox returns the messages delivered to a machine at the start of the
-// current round. The slice must not be modified.
-func (c *Cluster) Inbox(machine int) []Message { return c.inbox[machine] }
-
-// Outbox collects the messages a machine emits during a round, bucketed by
-// destination so the post-round merge can deliver to each inbox without
-// scanning every message.
-type Outbox struct {
-	from    int
-	cluster *Cluster
-	byDest  [][]Message
-	dests   []int // destinations with at least one message, in first-use order
-	words   int
-	count   int
-}
-
-// Send emits a message to machine `to` with the given payload. Payload
-// slices are retained; callers must not reuse them.
-func (o *Outbox) Send(to int, ints []int64, floats []float64) {
-	if to < 0 || to >= o.cluster.cfg.Machines {
-		panic(fmt.Sprintf("mpc: send to invalid machine %d (M=%d)", to, o.cluster.cfg.Machines))
-	}
-	if o.byDest == nil {
-		o.byDest = make([][]Message, o.cluster.cfg.Machines)
-	}
-	if len(o.byDest[to]) == 0 {
-		o.dests = append(o.dests, to)
-	}
-	m := Message{From: o.from, To: to, Ints: ints, Floats: floats}
-	o.words += m.Words()
-	o.count++
-	o.byDest[to] = append(o.byDest[to], m)
-}
-
-// SendInts is shorthand for Send(to, ints, nil).
-func (o *Outbox) SendInts(to int, ints ...int64) { o.Send(to, ints, nil) }
+// Inbox returns a view over the records delivered to a machine at the start
+// of the current round. The cursor is rewound at the start of every round;
+// callers inspecting inboxes between rounds should Reset() after iterating.
+func (c *Cluster) Inbox(machine int) *Inbox { return &c.inbox[machine] }
 
 // RoundFunc is the local computation of one machine in one round: it reads
-// the machine's inbox and emits messages for the next round.
+// the machine's inbox and emits records for the next round.
 //
 // Invocations for different machines may run concurrently (see
 // Config.Workers), so a RoundFunc must confine its writes to state owned by
-// its machine: its Outbox, elements of shared slices indexed by data the
-// machine owns, or per-machine structs. Shared state may be read freely —
-// the simulator never mutates cluster state while a round is executing.
-type RoundFunc func(machine int, in []Message, out *Outbox)
+// its machine: its Outbox, its own Inbox cursor, elements of shared slices
+// indexed by data the machine owns, or per-machine structs. Shared state may
+// be read freely — the simulator never mutates cluster state while a round
+// is executing. Records read from the inbox are views into buffers recycled
+// when the round ends: consume them during the invocation, never retain.
+type RoundFunc func(machine int, in *Inbox, out *Outbox)
 
 // Round executes one synchronous round: it runs f on every machine via the
 // configured executor, each machine writing to its own Outbox, then — after
-// the barrier — accounts space and traffic, checks the cap, and delivers the
-// emitted messages in machine order, so delivery, metrics, and traces are
-// deterministic and executor-independent.
+// the barrier — accounts space and traffic, checks the cap, and assembles
+// each destination's inbox from the senders' columns in machine order, so
+// delivery order, metrics, and traces are deterministic and
+// executor-independent. The columns backing the inboxes consumed this round
+// are recycled into the column pool.
 func (c *Cluster) Round(f RoundFunc) error {
 	c.metrics.Rounds++
-	outboxes := make([]*Outbox, c.cfg.Machines)
-	for machine := range outboxes {
-		outboxes[machine] = &Outbox{from: machine, cluster: c}
+	M := c.cfg.Machines
+	for machine := range c.inbox {
+		c.inbox[machine].Reset()
 	}
-	c.exec.Execute(c.cfg.Machines, func(machine int) {
-		f(machine, c.inbox[machine], outboxes[machine])
+	c.exec.Execute(M, func(machine int) {
+		f(machine, &c.inbox[machine], &c.outboxes[machine])
 	})
 	// Deterministic merge after the barrier: traffic totals come from the
-	// per-outbox counters, and each inbox is assembled from the outboxes in
-	// machine order, so it sees messages ordered by (sender, emission
-	// order) regardless of the executor's scheduling. Assembly is
-	// per-destination work and runs under the executor as well.
-	outWords := make([]int, c.cfg.Machines)
-	senders := make([][]int, c.cfg.Machines) // dest -> sending machines, in machine order
-	var active []int                         // destinations with at least one sender
-	for machine, out := range outboxes {
-		outWords[machine] = out.words
-		c.metrics.WordsSent += int64(out.words)
-		c.metrics.Messages += int64(out.count)
-		for _, dest := range out.dests {
-			if len(senders[dest]) == 0 {
-				active = append(active, dest)
+	// per-outbox counters, and each inbox lists the senders' columns in
+	// machine order, so its cursor yields records ordered by (sender,
+	// emission order) regardless of the executor's scheduling.
+	c.active = c.active[:0]
+	for machine := 0; machine < M; machine++ {
+		o := &c.outboxes[machine]
+		if o.cur != nil {
+			panic(fmt.Sprintf("mpc: machine %d ended the round with an open record (Begin without End)", machine))
+		}
+		c.outWords[machine] = o.words
+		c.metrics.WordsSent += int64(o.words)
+		c.metrics.Messages += int64(o.count)
+		for _, dest := range o.dests {
+			if len(c.senders[dest]) == 0 {
+				c.active = append(c.active, dest)
 			}
-			senders[dest] = append(senders[dest], machine)
+			c.senders[dest] = append(c.senders[dest], machine)
 		}
 	}
-	inWords := make([]int, c.cfg.Machines)
-	next := make([][]Message, c.cfg.Machines)
-	// Assemble only the inboxes that received anything; in the common
-	// sample-to-central rounds that is a single destination, so the pool is
-	// sized by real work, not by M.
-	c.exec.Execute(len(active), func(k int) {
-		dest := active[k]
-		total := 0
-		for _, src := range senders[dest] {
-			total += len(outboxes[src].byDest[dest])
+	// The round's computations have consumed the previous inboxes; recycle
+	// their columns and empty them before handing over the new ones.
+	for machine := range c.inbox {
+		c.inbox[machine].clear()
+		c.inWords[machine] = 0
+	}
+	for _, dest := range c.active {
+		in := &c.inbox[dest]
+		for _, src := range c.senders[dest] {
+			col := c.outboxes[src].byDest[dest]
+			in.segs = append(in.segs, segment{from: src, col: col})
+			in.records += len(col.recs)
+			in.words += col.words
 		}
-		msgs := make([]Message, 0, total)
-		words := 0
-		for _, src := range senders[dest] {
-			for _, m := range outboxes[src].byDest[dest] {
-				words += m.Words()
-				msgs = append(msgs, m)
-			}
-		}
-		inWords[dest] = words
-		next[dest] = msgs
-	})
+		c.inWords[dest] = in.words
+		c.senders[dest] = c.senders[dest][:0]
+	}
+	for machine := 0; machine < M; machine++ {
+		c.outboxes[machine].reset()
+	}
 	var violated bool
 	maxLoad := 0
-	for machine := 0; machine < c.cfg.Machines; machine++ {
-		used := c.resident[machine] + inWords[machine] + outWords[machine]
+	for machine := 0; machine < M; machine++ {
+		used := c.resident[machine] + c.inWords[machine] + c.outWords[machine]
 		if used > maxLoad {
 			maxLoad = used
 		}
@@ -272,13 +249,12 @@ func (c *Cluster) Round(f RoundFunc) error {
 	}
 	if c.cfg.Trace {
 		stat := RoundStat{Round: c.metrics.Rounds, MaxLoad: maxLoad}
-		for machine := range inWords {
-			stat.Words += int64(inWords[machine])
-			stat.Messages += len(next[machine])
+		for machine := range c.inbox {
+			stat.Words += int64(c.inWords[machine])
+			stat.Messages += c.inbox[machine].records
 		}
 		c.trace = append(c.trace, stat)
 	}
-	c.inbox = next
 	if violated && c.cfg.Strict {
 		return fmt.Errorf("%w (cap %d words)", ErrSpaceExceeded, c.cfg.SpaceCap)
 	}
@@ -288,5 +264,5 @@ func (c *Cluster) Round(f RoundFunc) error {
 // Quiet runs a round in which no machine sends anything; useful to charge a
 // round of pure local computation.
 func (c *Cluster) Quiet() error {
-	return c.Round(func(int, []Message, *Outbox) {})
+	return c.Round(func(int, *Inbox, *Outbox) {})
 }

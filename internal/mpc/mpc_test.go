@@ -9,7 +9,7 @@ import (
 func TestRoundDelivery(t *testing.T) {
 	c := NewCluster(Config{Machines: 3})
 	// Round 1: machine 0 sends to 1 and 2.
-	err := c.Round(func(machine int, in []Message, out *Outbox) {
+	err := c.Round(func(machine int, in *Inbox, out *Outbox) {
 		if machine == 0 {
 			out.SendInts(1, 10)
 			out.SendInts(2, 20, 21)
@@ -20,8 +20,8 @@ func TestRoundDelivery(t *testing.T) {
 	}
 	// Round 2: check inboxes.
 	got := make(map[int][]int64)
-	err = c.Round(func(machine int, in []Message, out *Outbox) {
-		for _, m := range in {
+	err = c.Round(func(machine int, in *Inbox, out *Outbox) {
+		for m, ok := in.Next(); ok; m, ok = in.Next() {
 			got[machine] = append(got[machine], m.Ints...)
 			if m.From != 0 {
 				t.Errorf("From = %d", m.From)
@@ -57,7 +57,7 @@ func TestSendPanicsOnBadDestination(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	_ = c.Round(func(machine int, in []Message, out *Outbox) {
+	_ = c.Round(func(machine int, in *Inbox, out *Outbox) {
 		out.SendInts(5, 1)
 	})
 }
@@ -66,7 +66,7 @@ func TestSpaceAccounting(t *testing.T) {
 	c := NewCluster(Config{Machines: 2, SpaceCap: 10})
 	c.SetResident(0, 4)
 	c.SetResident(1, 2)
-	err := c.Round(func(machine int, in []Message, out *Outbox) {
+	err := c.Round(func(machine int, in *Inbox, out *Outbox) {
 		if machine == 0 {
 			out.Send(1, []int64{1, 2, 3}, nil) // 4 words
 		}
@@ -89,7 +89,7 @@ func TestSpaceAccounting(t *testing.T) {
 
 func TestStrictCapViolation(t *testing.T) {
 	c := NewCluster(Config{Machines: 2, SpaceCap: 3, Strict: true})
-	err := c.Round(func(machine int, in []Message, out *Outbox) {
+	err := c.Round(func(machine int, in *Inbox, out *Outbox) {
 		if machine == 0 {
 			out.Send(1, []int64{1, 2, 3, 4, 5}, nil) // 6 words > cap 3
 		}
@@ -104,7 +104,7 @@ func TestStrictCapViolation(t *testing.T) {
 
 func TestLenientCapViolation(t *testing.T) {
 	c := NewCluster(Config{Machines: 2, SpaceCap: 3, Strict: false})
-	err := c.Round(func(machine int, in []Message, out *Outbox) {
+	err := c.Round(func(machine int, in *Inbox, out *Outbox) {
 		if machine == 0 {
 			out.Send(1, []int64{1, 2, 3, 4, 5}, nil)
 		}
@@ -120,7 +120,7 @@ func TestLenientCapViolation(t *testing.T) {
 
 func TestFloatsAccounted(t *testing.T) {
 	c := NewCluster(Config{Machines: 2})
-	_ = c.Round(func(machine int, in []Message, out *Outbox) {
+	_ = c.Round(func(machine int, in *Inbox, out *Outbox) {
 		if machine == 0 {
 			out.Send(1, []int64{1}, []float64{2.5, 3.5})
 		}
@@ -129,8 +129,8 @@ func TestFloatsAccounted(t *testing.T) {
 		t.Fatalf("words = %d", c.Metrics().WordsSent)
 	}
 	var got []float64
-	_ = c.Round(func(machine int, in []Message, out *Outbox) {
-		for _, m := range in {
+	_ = c.Round(func(machine int, in *Inbox, out *Outbox) {
+		for m, ok := in.Next(); ok; m, ok = in.Next() {
 			got = append(got, m.Floats...)
 		}
 	})
@@ -220,7 +220,7 @@ func TestBroadcastChargesRounds(t *testing.T) {
 	}
 	// Inboxes are clean after the helper.
 	for machine := 0; machine < 9; machine++ {
-		if len(c.Inbox(machine)) != 0 {
+		if c.Inbox(machine).Len() != 0 {
 			t.Fatalf("machine %d inbox not drained", machine)
 		}
 	}
@@ -250,7 +250,7 @@ func TestAggregateSum(t *testing.T) {
 		t.Fatalf("total = %v, want [45 10]", total)
 	}
 	for machine := 0; machine < 10; machine++ {
-		if len(c.Inbox(machine)) != 0 {
+		if c.Inbox(machine).Len() != 0 {
 			t.Fatalf("machine %d inbox not drained", machine)
 		}
 	}
@@ -339,7 +339,7 @@ func TestResidentTracking(t *testing.T) {
 func TestTraceRecordsRounds(t *testing.T) {
 	c := NewCluster(Config{Machines: 2, Trace: true})
 	c.SetResident(0, 3)
-	_ = c.Round(func(machine int, in []Message, out *Outbox) {
+	_ = c.Round(func(machine int, in *Inbox, out *Outbox) {
 		if machine == 0 {
 			out.SendInts(1, 7, 8) // 3 words
 		}

@@ -1,0 +1,256 @@
+package mpc
+
+// This file implements the columnar message plane: the physical
+// representation of message traffic. Logical messages (records) are written
+// into flat per-destination word buffers instead of individual Message
+// structs, so the steady-state cost of a record is a few appends into
+// reused buffers — zero allocations per message.
+//
+// Physical layout. Each (sender, destination) pair that exchanges traffic
+// in a round owns one *column*: an []int64 buffer, a []float64 buffer, and
+// a record-framing index holding (intLen, floatLen) per record. A record's
+// accounted size is 1 header word (the sender) + intLen + floatLen, the
+// exact accounting the Message representation used. After the round's
+// barrier, each destination's Inbox is the ordered list of the columns sent
+// to it — senders in machine order — and a cursor walks records in (sender,
+// emission order) order, so delivery order, metrics, and traces are
+// bit-identical to the per-Message representation.
+//
+// Pooling. Columns are recycled through a sync.Pool: a column travels
+// outbox → inbox → pool → outbox. The columns backing a round's inboxes are
+// released when the round that consumed them ends, which is why Records are
+// views that must not be retained across rounds.
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Record is one delivered logical message: the sender and the payload
+// words. Ints and Floats are views into the round's column buffers — valid
+// only until the end of the round that delivered them, and must not be
+// modified or retained.
+type Record struct {
+	From   int
+	Ints   []int64
+	Floats []float64
+}
+
+// Words returns the accounted size of the record in words: one header word
+// (the sender) plus one word per int and float.
+func (r Record) Words() int { return 1 + len(r.Ints) + len(r.Floats) }
+
+// recMeta frames one record inside a column.
+type recMeta struct{ intLen, floatLen int32 }
+
+// column holds every record one machine sent to one destination in one
+// round: flat payload buffers plus the framing index.
+type column struct {
+	ints   []int64
+	floats []float64
+	recs   []recMeta
+	words  int // accounted words, including one header word per record
+}
+
+func (c *column) reset() {
+	c.ints, c.floats, c.recs, c.words = c.ints[:0], c.floats[:0], c.recs[:0], 0
+}
+
+// columnPool recycles columns across rounds (and clusters). Get/Put are
+// concurrency-safe, so outboxes may acquire columns from inside a parallel
+// round.
+var columnPool = sync.Pool{New: func() any { return new(column) }}
+
+func getColumn() *column { return columnPool.Get().(*column) }
+
+func putColumn(c *column) {
+	c.reset()
+	columnPool.Put(c)
+}
+
+// Outbox collects the records a machine emits during a round, written into
+// per-destination columns so the post-round merge hands whole buffers to
+// the inboxes without copying or scanning messages.
+//
+// The batched append API frames one record as
+//
+//	out.Begin(to); out.Int(x); out.Ints(xs...); out.Float(f); out.End()
+//
+// and Send/SendInts are one-call conveniences over it. Payloads are copied
+// into the columns at append time, so callers may freely reuse their own
+// buffers after the call (unlike the retired Message representation, which
+// retained payload slices).
+type Outbox struct {
+	from    int
+	cluster *Cluster
+	byDest  []*column // lazily allocated, one column per destination with traffic
+	dests   []int     // destinations with at least one record, in first-use order
+	words   int
+	count   int
+	cur     *column // column of the open record, nil outside Begin/End
+	curInt  int     // len(cur.ints) at Begin
+	curFlt  int     // len(cur.floats) at Begin
+}
+
+// Begin opens a record addressed to machine `to`. Every Begin must be
+// matched by an End before the round's computation returns.
+func (o *Outbox) Begin(to int) {
+	if o.cur != nil {
+		panic("mpc: Outbox.Begin with a record already open")
+	}
+	if to < 0 || to >= o.cluster.cfg.Machines {
+		panic(fmt.Sprintf("mpc: send to invalid machine %d (M=%d)", to, o.cluster.cfg.Machines))
+	}
+	if o.byDest == nil {
+		o.byDest = make([]*column, o.cluster.cfg.Machines)
+	}
+	col := o.byDest[to]
+	if col == nil {
+		col = getColumn()
+		o.byDest[to] = col
+		o.dests = append(o.dests, to)
+	}
+	o.cur = col
+	o.curInt = len(col.ints)
+	o.curFlt = len(col.floats)
+}
+
+// Int appends one int word to the open record.
+func (o *Outbox) Int(v int64) {
+	if o.cur == nil {
+		panic("mpc: Outbox.Int outside Begin/End")
+	}
+	o.cur.ints = append(o.cur.ints, v)
+}
+
+// Ints appends int words to the open record.
+func (o *Outbox) Ints(vs ...int64) {
+	if o.cur == nil {
+		panic("mpc: Outbox.Ints outside Begin/End")
+	}
+	o.cur.ints = append(o.cur.ints, vs...)
+}
+
+// Float appends one float word to the open record.
+func (o *Outbox) Float(v float64) {
+	if o.cur == nil {
+		panic("mpc: Outbox.Float outside Begin/End")
+	}
+	o.cur.floats = append(o.cur.floats, v)
+}
+
+// Floats appends float words to the open record.
+func (o *Outbox) Floats(vs ...float64) {
+	if o.cur == nil {
+		panic("mpc: Outbox.Floats outside Begin/End")
+	}
+	o.cur.floats = append(o.cur.floats, vs...)
+}
+
+// End closes the open record, framing it and charging its words (one header
+// word plus the appended payload words).
+func (o *Outbox) End() {
+	col := o.cur
+	if col == nil {
+		panic("mpc: Outbox.End without Begin")
+	}
+	intLen := len(col.ints) - o.curInt
+	floatLen := len(col.floats) - o.curFlt
+	col.recs = append(col.recs, recMeta{int32(intLen), int32(floatLen)})
+	w := 1 + intLen + floatLen
+	col.words += w
+	o.words += w
+	o.count++
+	o.cur = nil
+}
+
+// Send emits one record to machine `to` with the given payload. The slices
+// are copied into the column buffers; callers may reuse them.
+func (o *Outbox) Send(to int, ints []int64, floats []float64) {
+	o.Begin(to)
+	o.Ints(ints...)
+	o.Floats(floats...)
+	o.End()
+}
+
+// SendInts is shorthand for Send(to, ints, nil). It does not allocate.
+func (o *Outbox) SendInts(to int, ints ...int64) {
+	o.Begin(to)
+	o.Ints(ints...)
+	o.End()
+}
+
+// reset prepares the outbox for the next round. The columns it filled are
+// owned by the destination inboxes from the merge onwards, so only the
+// references are dropped here.
+func (o *Outbox) reset() {
+	for _, dest := range o.dests {
+		o.byDest[dest] = nil
+	}
+	o.dests = o.dests[:0]
+	o.words, o.count = 0, 0
+}
+
+// segment is one sender's column inside an inbox.
+type segment struct {
+	from int
+	col  *column
+}
+
+// Inbox is a cursor over the records delivered to one machine at the start
+// of the current round, in (sender machine, emission order) order:
+//
+//	for rec, ok := in.Next(); ok; rec, ok = in.Next() { ... }
+//
+// Records are views into pooled buffers that are recycled when the round
+// ends; they must not be retained or modified. Use Reset to iterate again
+// within the same round.
+type Inbox struct {
+	segs    []segment
+	records int
+	words   int
+	// cursor state
+	seg, rec   int
+	iOff, fOff int
+}
+
+// Len returns the number of records delivered.
+func (in *Inbox) Len() int { return in.records }
+
+// Words returns the accounted incoming words (headers included).
+func (in *Inbox) Words() int { return in.words }
+
+// Reset rewinds the cursor to the first record.
+func (in *Inbox) Reset() { in.seg, in.rec, in.iOff, in.fOff = 0, 0, 0, 0 }
+
+// Next returns the next record, or ok=false when the inbox is exhausted.
+func (in *Inbox) Next() (rec Record, ok bool) {
+	for in.seg < len(in.segs) {
+		s := &in.segs[in.seg]
+		if in.rec < len(s.col.recs) {
+			meta := s.col.recs[in.rec]
+			rec = Record{
+				From:   s.from,
+				Ints:   s.col.ints[in.iOff : in.iOff+int(meta.intLen)],
+				Floats: s.col.floats[in.fOff : in.fOff+int(meta.floatLen)],
+			}
+			in.rec++
+			in.iOff += int(meta.intLen)
+			in.fOff += int(meta.floatLen)
+			return rec, true
+		}
+		in.seg++
+		in.rec, in.iOff, in.fOff = 0, 0, 0
+	}
+	return Record{}, false
+}
+
+// clear releases the inbox's columns back to the pool and empties it.
+func (in *Inbox) clear() {
+	for _, seg := range in.segs {
+		putColumn(seg.col)
+	}
+	in.segs = in.segs[:0]
+	in.records, in.words = 0, 0
+	in.Reset()
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package mpc
+
+// steadyStateAllocBound is the per-round allocation budget the steady-state
+// gate enforces; generous enough for column-pool misses after a GC, two
+// orders of magnitude below per-message allocation.
+const steadyStateAllocBound = 8

@@ -1,0 +1,7 @@
+//go:build race
+
+package mpc
+
+// The race detector's instrumentation allocates on its own account, so the
+// steady-state gate only enforces the order of magnitude under -race.
+const steadyStateAllocBound = 64

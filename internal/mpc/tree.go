@@ -64,15 +64,25 @@ func (t *Tree) parent(machine int) int {
 	return t.machine((p - 1) / t.degree)
 }
 
+// childRange returns the half-open position range [lo, hi) of the children
+// of position p: the contiguous block p·d+1 .. p·d+d, clipped to the tree.
+func (t *Tree) childRange(p int) (lo, hi int) {
+	lo = p*t.degree + 1
+	hi = lo + t.degree
+	if lo > t.m {
+		lo = t.m
+	}
+	if hi > t.m {
+		hi = t.m
+	}
+	return lo, hi
+}
+
 // children returns the machine ids of the children of machine.
 func (t *Tree) children(machine int) []int {
-	p := t.pos(machine)
+	lo, hi := t.childRange(t.pos(machine))
 	var out []int
-	for i := 1; i <= t.degree; i++ {
-		q := p*t.degree + i
-		if q >= t.m {
-			break
-		}
+	for q := lo; q < hi; q++ {
 		out = append(out, t.machine(q))
 	}
 	return out
@@ -94,14 +104,19 @@ func (t *Tree) Broadcast(c *Cluster, ints []int64, floats []float64) error {
 		return nil
 	}
 	for r := 0; r <= depth; r++ {
-		err := c.Round(func(machine int, in []Message, out *Outbox) {
+		err := c.Round(func(machine int, in *Inbox, out *Outbox) {
 			// A machine at depth r has just received the payload (or is the
-			// root); it forwards to its children.
+			// root); it forwards to its children. Send copies the payload
+			// into the outbox's columns, so the shared slices need no
+			// defensive clone.
 			if t.depth(machine) != r {
 				return
 			}
-			for _, ch := range t.children(machine) {
-				out.Send(ch, append([]int64(nil), ints...), append([]float64(nil), floats...))
+			// Iterating the child position range directly avoids
+			// materializing a child list per machine per round.
+			lo, hi := t.childRange(t.pos(machine))
+			for q := lo; q < hi; q++ {
+				out.Send(t.machine(q), ints, floats)
 			}
 		})
 		if err != nil {
@@ -130,14 +145,14 @@ func (t *Tree) AggregateSum(c *Cluster, width int, value func(machine int) []int
 	}
 	for r := 0; r <= depth; r++ {
 		sendDepth := depth - r // machines at this depth send to their parent
-		err := c.Round(func(machine int, in []Message, out *Outbox) {
-			for _, m := range in {
+		err := c.Round(func(machine int, in *Inbox, out *Outbox) {
+			for m, ok := in.Next(); ok; m, ok = in.Next() {
 				for i, v := range m.Ints {
 					acc[machine][i] += v
 				}
 			}
 			if sendDepth >= 1 && t.depth(machine) == sendDepth {
-				out.Send(t.parent(machine), append([]int64(nil), acc[machine]...), nil)
+				out.Send(t.parent(machine), acc[machine], nil)
 			}
 		})
 		if err != nil {
