@@ -5,6 +5,7 @@
 // Usage:
 //
 //	mrbench [-quick] [-seed N] [-workers W] [-run F1.Match,F1.VC] [-list] [-json]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // With no -run flag, all experiments run in registry order. -quick shrinks
 // the parameter sweeps (used by CI); the recorded EXPERIMENTS.md numbers
@@ -14,6 +15,11 @@
 // measurements plus wall-clock and the active worker count, so performance
 // trajectories can be tracked across commits (e.g.
 // `mrbench -quick -json > BENCH_quick.json`).
+//
+// -cpuprofile and -memprofile write pprof profiles covering the selected
+// experiments (the heap profile is taken after a final GC), so performance
+// PRs can attach `go tool pprof` evidence from exactly the workloads the
+// tables report.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -55,19 +62,29 @@ type jsonReport struct {
 }
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain carries the program body so that deferred cleanup — stopping the
+// CPU profile and writing the heap profile — runs on every exit path,
+// including experiment failures. os.Exit in main would skip the defers and
+// leave a truncated -cpuprofile exactly when profiling a failing run.
+func realMain() int {
 	quick := flag.Bool("quick", false, "run reduced parameter sweeps")
 	seed := flag.Uint64("seed", 20180617, "root random seed (default: the paper's arXiv date)")
 	workers := flag.Int("workers", -1, "round-executor pool size: 0|1 sequential, >1 that many goroutines, -1 one per CPU")
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	asJSON := flag.Bool("json", false, "emit one machine-readable JSON document instead of markdown")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU pprof profile of the experiment runs to this file")
+	memProfile := flag.String("memprofile", "", "write a heap pprof profile (after a final GC) to this file")
 	flag.Parse()
 
 	if *list {
 		for _, e := range bench.All() {
 			fmt.Printf("%-16s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	var selected []bench.Experiment
@@ -78,7 +95,7 @@ func main() {
 			e, ok := bench.ByID(strings.TrimSpace(id))
 			if !ok {
 				fmt.Fprintf(os.Stderr, "mrbench: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			selected = append(selected, e)
 		}
@@ -90,6 +107,33 @@ func main() {
 	}
 	if activeWorkers == 0 {
 		activeWorkers = 1
+	}
+	if *cpuProfile != "" {
+		fh, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrbench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer fh.Close()
+		if err := pprof.StartCPUProfile(fh); err != nil {
+			fmt.Fprintf(os.Stderr, "mrbench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			fh, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mrbench: memprofile: %v\n", err)
+				return
+			}
+			defer fh.Close()
+			runtime.GC() // settle allocations so the heap profile is steady-state
+			if err := pprof.WriteHeapProfile(fh); err != nil {
+				fmt.Fprintf(os.Stderr, "mrbench: memprofile: %v\n", err)
+			}
+		}()
 	}
 	if !*asJSON {
 		fmt.Printf("# Experiment results (seed=%d, quick=%v, workers=%d)\n\n", *seed, *quick, activeWorkers)
@@ -108,7 +152,7 @@ func main() {
 		tab, err := e.Run(bench.RunConfig{Seed: *seed, Quick: *quick, Workers: *workers})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mrbench: %s failed: %v\n", e.ID, err)
-			os.Exit(1)
+			return 1
 		}
 		elapsed := time.Since(start)
 		if *asJSON {
@@ -128,7 +172,7 @@ func main() {
 		}
 		if err := tab.WriteMarkdown(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "mrbench: write: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("_%s completed in %v (workers=%d)._\n\n",
 			e.ID, elapsed.Round(time.Millisecond), activeWorkers)
@@ -139,10 +183,11 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
 			fmt.Fprintf(os.Stderr, "mrbench: json: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	fmt.Printf("_total wall-clock %v across %d experiments (workers=%d)._\n",
 		time.Since(total).Round(time.Millisecond), len(selected), activeWorkers)
+	return 0
 }

@@ -12,7 +12,9 @@
 //     Luby and filtering baselines;
 //   - internal/seq      — sequential local ratio / greedy algorithms and
 //     exact test oracles;
-//   - internal/graph    — graph types, generators, and solution validators;
+//   - internal/graph    — the CSR-native graph kernel (contiguous int32
+//     neighbour/weight/edge-id slabs, parallel deterministic Build and
+//     generators), plus solution validators;
 //   - internal/setcover — weighted set cover instances and generators;
 //   - internal/bench    — the Figure 1 reproduction experiments;
 //   - internal/rng      — deterministic splittable randomness.

@@ -32,6 +32,7 @@ func main() {
 		u := r.Float64()
 		g.Edges[i].W = 1 + 99*u*u
 	}
+	g.Invalidate() // direct weight writes bypass the CSR weight slab
 	fmt.Printf("ad network: %d advertisers, %d slots, %d bids, total bid value %.0f\n",
 		advertisers, slots, bids, g.TotalWeight())
 

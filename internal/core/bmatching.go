@@ -114,7 +114,7 @@ func BMatching(g *graph.Graph, p Params, opt BMatchingOptions) (*MatchingResult,
 				var aliveIDs []int
 				for _, id := range g.IncidentEdges(v) {
 					if alive[id] {
-						aliveIDs = append(aliveIDs, id)
+						aliveIDs = append(aliveIDs, int(id))
 					}
 				}
 				if len(aliveIDs) == 0 {
@@ -206,10 +206,14 @@ func BMatching(g *graph.Graph, p Params, opt BMatchingOptions) (*MatchingResult,
 		err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			for msg, ok := in.Next(); ok; msg, ok = in.Next() {
 				v := int(msg.Ints[0])
-				for _, id := range g.IncidentEdges(v) {
+				// IncidentEdges and Neighbors are positional: slot i of both
+				// describes the same incident edge, so the edge id and the
+				// other endpoint come from one scan with no Other() branch.
+				ids := g.IncidentEdges(v)
+				nbrs := g.Neighbors(v)
+				for i, id := range ids {
 					if alive[id] {
-						u := g.Edges[id].Other(v)
-						out.Begin(vertexOwner(u))
+						out.Begin(vertexOwner(int(nbrs[i])))
 						out.Int(int64(id))
 						out.Float(msg.Floats[0])
 						out.End()

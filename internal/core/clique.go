@@ -47,6 +47,7 @@ func MaximalClique(g *graph.Graph, p Params) (*CliqueResult, error) {
 
 	inA := make([]bool, n)
 	degA := make([]int, n)
+	nbrMark := make([]bool, n) // activeComplement scratch, reused per call
 	owned := partitionByOwner(n, M, vertexOwner)
 	for v := 0; v < n; v++ {
 		inA[v] = true
@@ -88,9 +89,8 @@ func MaximalClique(g *graph.Graph, p Params) (*CliqueResult, error) {
 		return cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			for msg, ok := in.Next(); ok; msg, ok = in.Next() {
 				v := int(msg.Ints[0])
-				for _, id := range g.IncidentEdges(v) {
-					u := g.Edges[id].Other(v)
-					out.SendInts(vertexOwner(u), int64(u), int64(v))
+				for _, u := range g.Neighbors(v) {
+					out.SendInts(vertexOwner(int(u)), int64(u), int64(v))
 				}
 			}
 		})
@@ -138,9 +138,8 @@ func MaximalClique(g *graph.Graph, p Params) (*CliqueResult, error) {
 				v := int(msg.Ints[0])
 				if inA[v] {
 					inA[v] = false
-					for _, id := range g.IncidentEdges(v) {
-						u := g.Edges[id].Other(v)
-						out.SendInts(vertexOwner(u), int64(u))
+					for _, u := range g.Neighbors(v) {
+						out.SendInts(vertexOwner(int(u)), int64(u))
 					}
 				}
 			}
@@ -243,7 +242,7 @@ func MaximalClique(g *graph.Graph, p Params) (*CliqueResult, error) {
 					if !inA[v] || compDeg(v) < threshold || !r.Bernoulli(prob) {
 						continue
 					}
-					cand := cliqueCand{v: v, comp: activeComplement(g, inA, v)}
+					cand := cliqueCand{v: v, comp: activeComplement(g, inA, v, nbrMark)}
 					plan[machine] = append(plan[machine], cand)
 					sample = append(sample, cand)
 				}
@@ -317,16 +316,22 @@ func MaximalClique(g *graph.Graph, p Params) (*CliqueResult, error) {
 }
 
 // activeComplement returns the active non-neighbours of v, excluding v.
-func activeComplement(g *graph.Graph, inA []bool, v int) []int64 {
-	nbr := make(map[int]bool, g.Degree(v))
-	for _, id := range g.IncidentEdges(v) {
-		nbr[g.Edges[id].Other(v)] = true
+// nbrMark is a caller-owned all-false scratch bitmap of size g.N; it is
+// marked from the contiguous neighbour slice and cleared again before
+// returning, replacing a per-call map build.
+func activeComplement(g *graph.Graph, inA []bool, v int, nbrMark []bool) []int64 {
+	nbrs := g.Neighbors(v)
+	for _, u := range nbrs {
+		nbrMark[u] = true
 	}
 	var out []int64
 	for u := 0; u < g.N; u++ {
-		if u != v && inA[u] && !nbr[u] {
+		if u != v && inA[u] && !nbrMark[u] {
 			out = append(out, int64(u))
 		}
+	}
+	for _, u := range nbrs {
+		nbrMark[u] = false
 	}
 	return out
 }

@@ -146,14 +146,11 @@ func FilteringMatching(g *graph.Graph, p Params) (*FilteringResult, error) {
 		aliveCount = total[0]
 	}
 
-	cover := make(map[int]bool)
-	for _, id := range matching {
-		cover[g.Edges[id].U] = true
-		cover[g.Edges[id].V] = true
-	}
+	// matched is exactly the endpoint set of the maximal matching, so the
+	// public cover map is one pre-sized conversion from the bitmap.
 	return &FilteringResult{
 		Edges:       matching,
-		VertexCover: cover,
+		VertexCover: graph.VertexSet(matched),
 		Iterations:  iterations,
 		Metrics:     cluster.Metrics(),
 	}, nil

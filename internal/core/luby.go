@@ -71,10 +71,9 @@ func LubyMIS(g *graph.Graph, p Params) (*MISResult, error) {
 				if !aliveVertex(v) {
 					continue
 				}
-				for _, id := range g.IncidentEdges(v) {
-					u := g.Edges[id].Other(v)
-					if aliveVertex(u) {
-						out.Begin(vertexOwner(u))
+				for _, u := range g.Neighbors(v) {
+					if !inI[u] && !dominated[u] {
+						out.Begin(vertexOwner(int(u)))
 						out.Int(int64(u))
 						out.Int(int64(v))
 						out.Float(priority[v])
@@ -110,10 +109,9 @@ func LubyMIS(g *graph.Graph, p Params) (*MISResult, error) {
 				}
 				if !lowest[v] {
 					localMin[v] = true
-					for _, id := range g.IncidentEdges(v) {
-						u := g.Edges[id].Other(v)
-						if aliveVertex(u) {
-							out.SendInts(vertexOwner(u), int64(u), int64(v))
+					for _, u := range g.Neighbors(v) {
+						if !inI[u] && !dominated[u] {
+							out.SendInts(vertexOwner(int(u)), int64(u), int64(v))
 						}
 					}
 				}
@@ -158,11 +156,5 @@ func LubyMIS(g *graph.Graph, p Params) (*MISResult, error) {
 		aliveCount = total[0]
 	}
 
-	set := make(map[int]bool)
-	for v, in := range inI {
-		if in {
-			set[v] = true
-		}
-	}
-	return &MISResult{Set: set, Iterations: iterations, Metrics: cluster.Metrics()}, nil
+	return &MISResult{Set: graph.VertexSet(inI), Iterations: iterations, Metrics: cluster.Metrics()}, nil
 }

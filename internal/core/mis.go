@@ -79,12 +79,12 @@ func newMISState(g *graph.Graph, cluster *mpc.Cluster, r *rng.RNG) *misState {
 	return s
 }
 
-// aliveNeighbours returns v's neighbours outside N+(I).
+// aliveNeighbours returns v's neighbours outside N+(I), scanning the
+// contiguous CSR neighbour slice (no edge-id indirection).
 func (s *misState) aliveNeighbours(v int) []int64 {
 	var out []int64
-	for _, id := range s.g.IncidentEdges(v) {
-		u := s.g.Edges[id].Other(v)
-		if s.aliveVertex(u) {
+	for _, u := range s.g.Neighbors(v) {
+		if !s.inI[u] && !s.dominated[u] {
 			out = append(out, int64(u))
 		}
 	}
@@ -131,9 +131,8 @@ func (s *misState) disseminate(batch centralBatch) error {
 				s.dominated[v] = true
 			}
 			s.dI[v] = 0
-			for _, id := range s.g.IncidentEdges(v) {
-				u := s.g.Edges[id].Other(v)
-				out.SendInts(s.vertexOwner(u), int64(u))
+			for _, u := range s.g.Neighbors(v) {
+				out.SendInts(s.vertexOwner(int(u)), int64(u))
 			}
 		}
 	})
@@ -264,16 +263,12 @@ func (s *misState) aliveEdgeCount(tree *mpc.Tree) (int64, error) {
 	return total[0] / 2, nil
 }
 
-// result assembles the final MISResult.
+// result assembles the final MISResult. The membership bitmap s.inI is the
+// internal representation; the public map shape is a single pre-sized
+// conversion (no per-insert rehash growth).
 func (s *misState) result(iterations, phases int) *MISResult {
-	set := make(map[int]bool)
-	for v, in := range s.inI {
-		if in {
-			set[v] = true
-		}
-	}
 	return &MISResult{
-		Set:        set,
+		Set:        graph.VertexSet(s.inI),
 		Iterations: iterations,
 		Phases:     phases,
 		Metrics:    s.cluster.Metrics(),

@@ -238,7 +238,7 @@ func RLRMatching(g *graph.Graph, p Params, opt MatchingOptions) (*MatchingResult
 					phi := msg.Floats[0]
 					for _, id := range g.IncidentEdges(v) {
 						if alive[id] {
-							out.Begin(edgeOwner(id))
+							out.Begin(edgeOwner(int(id)))
 							out.Int(int64(id))
 							out.Int(int64(v))
 							out.Float(phi)

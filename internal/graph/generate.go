@@ -9,8 +9,15 @@ import (
 
 // GNM returns an Erdős–Rényi G(n, m) graph: m distinct edges chosen uniformly
 // from all vertex pairs, with unit weights. It panics if m exceeds the number
-// of available pairs.
+// of available pairs. Large instances construct on the package's parallel
+// workers (SetParallelism) with output bit-identical to the sequential path,
+// including the final position of r.
 func GNM(n, m int, r *rng.RNG) *Graph {
+	if n > math.MaxInt32 {
+		// Candidates travel as int32 (the CSR kernel's id width); reject
+		// oversized universes up front rather than truncate silently.
+		panic("graph: GNM limited to n below 2^31")
+	}
 	maxM := n * (n - 1) / 2
 	if m > maxM {
 		panic(fmt.Sprintf("graph: GNM(%d, %d) exceeds %d possible edges", n, m, maxM))
@@ -20,30 +27,63 @@ func GNM(n, m int, r *rng.RNG) *Graph {
 		return g
 	}
 	if m > maxM/2 {
-		// Dense: enumerate pairs and sample without replacement.
+		// Dense: enumerate pairs and sample without replacement. The map-based
+		// sampling is inherently sequential; the triangular pair decode (a
+		// sqrt plus correction loop per index) is not, so it fans out.
 		idx := r.SampleWithoutReplacement(maxM, m)
-		for _, k := range idx {
-			u, v := pairFromIndex(k)
-			g.AddEdge(u, v, 1)
+		pairs := decodePairs(idx)
+		for _, p := range pairs {
+			g.AddEdge(int(p[0]), int(p[1]), 1)
 		}
 		return g
 	}
-	// Sparse: rejection sampling with a seen-set.
+	// Sparse: rejection sampling with a seen-set. The candidate draws fan
+	// out across workers; the accept loop replays them in attempt order.
 	seen := make(map[[2]int]bool, m)
-	for len(g.Edges) < m {
-		u := r.Intn(n)
-		v := r.Intn(n)
+	generatePairs(r, n, n, func() int { return m - len(g.Edges) }, func(u, v int) {
 		if u == v {
-			continue
+			return
 		}
 		p := normPair(u, v)
 		if seen[p] {
-			continue
+			return
 		}
 		seen[p] = true
 		g.AddEdge(u, v, 1)
-	}
+	})
 	return g
+}
+
+// decodePairs maps triangular pair indices to (u,v) endpoint pairs,
+// in parallel when the batch is large.
+func decodePairs(idx []int) [][2]int32 {
+	pairs := make([][2]int32, len(idx))
+	decode := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u, v := pairFromIndex(idx[i])
+			pairs[i] = [2]int32{int32(u), int32(v)}
+		}
+	}
+	if workers := parallelism(); workers > 1 && len(idx) >= genParallelMin {
+		runChunks(chunkRanges(len(idx), workers), func(_, lo, hi int) { decode(lo, hi) })
+	} else {
+		decode(0, len(idx))
+	}
+	return pairs
+}
+
+// generatePairs runs the generator attempt loop
+//
+//	for remaining() > 0 { accept(r.Intn(boundA), r.Intn(boundB)) }
+//
+// through the shared speculative driver: each attempt consumes exactly two
+// raw draws (modulo Intn's internal rejection, which the driver detects).
+func generatePairs(r *rng.RNG, boundA, boundB int, remaining func() int, accept func(a, b int)) {
+	speculativeLoop(r, 2, remaining,
+		func(rr *rng.RNG) [2]int32 {
+			return [2]int32{int32(rr.Intn(boundA)), int32(rr.Intn(boundB))}
+		},
+		func(p [2]int32) { accept(int(p[0]), int(p[1])) })
 }
 
 // pairFromIndex maps k in [0, n(n-1)/2) to the k-th pair (u,v), u < v, in the
@@ -118,6 +158,9 @@ func PreferentialAttachment(n, k int, r *rng.RNG) *Graph {
 // RandomBipartite returns a bipartite graph with left vertices 0..nl-1 and
 // right vertices nl..nl+nr-1 and m distinct edges chosen uniformly.
 func RandomBipartite(nl, nr, m int, r *rng.RNG) *Graph {
+	if nl > math.MaxInt32 || nr > math.MaxInt32 {
+		panic("graph: RandomBipartite limited to sides below 2^31")
+	}
 	maxM := nl * nr
 	if m > maxM {
 		panic(fmt.Sprintf("graph: RandomBipartite(%d,%d,%d) exceeds %d pairs", nl, nr, m, maxM))
@@ -134,16 +177,14 @@ func RandomBipartite(nl, nr, m int, r *rng.RNG) *Graph {
 		return g
 	}
 	seen := make(map[int]bool, m)
-	for len(g.Edges) < m {
-		l := r.Intn(nl)
-		rt := r.Intn(nr)
+	generatePairs(r, nl, nr, func() int { return m - len(g.Edges) }, func(l, rt int) {
 		key := l*nr + rt
 		if seen[key] {
-			continue
+			return
 		}
 		seen[key] = true
 		g.AddEdge(l, nl+rt, 1)
-	}
+	})
 	return g
 }
 

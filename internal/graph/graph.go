@@ -6,6 +6,23 @@
 // edges), and the per-machine space exponent µ. The generators in this
 // package produce graphs with a prescribed (n, m), which lets the benchmark
 // harness sweep exactly the parameters of the paper's Figure 1.
+//
+// # The CSR-native kernel
+//
+// Every algorithm in this repository is, per machine, dominated by one
+// primitive: scan the neighbours of a vertex and test or accumulate their
+// state. Build therefore lays the adjacency out as three parallel CSR slabs
+// indexed by the same offsets — neighbour vertex ids (int32), edge weights
+// (float64), and edge indices (int32) — so the hot form of that primitive,
+// Neighbors(v), is a contiguous int32 slice with no per-edge indirection,
+// no Other() branch, and half the memory per endpoint of an int-based
+// layout. IncidentEdges(v) remains for the call sites that need edge
+// identity (matching and b-matching pair records); its slice is positional
+// with Neighbors(v), so `nbrs[i]` is the other endpoint of edge `ids[i]`.
+//
+// Build itself is parallel on large graphs: per-chunk degree histograms are
+// merged in fixed chunk order, so the slab layout is bit-identical for
+// every worker count (see SetParallelism).
 package graph
 
 import (
@@ -24,7 +41,8 @@ type Edge struct {
 }
 
 // Other returns the endpoint of e that is not v. It panics if v is not an
-// endpoint of e.
+// endpoint of e. Hot loops should prefer the positional Neighbors slice
+// over calling Other per edge.
 func (e Edge) Other(v int) int {
 	switch v {
 	case e.U:
@@ -36,17 +54,27 @@ func (e Edge) Other(v int) int {
 }
 
 // Graph is an undirected weighted multigraph on vertices 0..N-1 stored as an
-// edge list with an optional CSR adjacency index. Self-loops are rejected by
+// edge list with a CSR adjacency index over three parallel slabs (neighbour
+// ids, weights, edge indices), built by Build. Self-loops are rejected by
 // AddEdge; parallel edges are permitted by the representation but the
 // generators never produce them.
 type Graph struct {
 	N     int
 	Edges []Edge
 
-	// CSR adjacency over edge indices, built by Build.
-	adjStart []int // len N+1
-	adjEdge  []int // len 2*len(Edges); values are edge indices
+	// CSR adjacency, built by Build: for vertex v the half-open slab range
+	// is adjStart[v]:adjStart[v+1]. The three slabs are positional: entry k
+	// of the range describes one incident edge — adjNbr[k] is the other
+	// endpoint, adjW[k] its weight, adjEdge[k] its index into Edges. The
+	// weight slab is filled lazily on first NeighborsW use (most algorithms
+	// never read weights through the adjacency, so Build skips the 2m
+	// float64 writes).
+	adjStart []int32   // len N+1
+	adjNbr   []int32   // len 2*len(Edges); neighbour vertex ids
+	adjW     []float64 // len 2*len(Edges); edge weights, lazily filled
+	adjEdge  []int32   // len 2*len(Edges); edge indices
 	built    bool
+	wBuilt   bool
 }
 
 // New returns an empty graph on n vertices.
@@ -73,55 +101,180 @@ func (g *Graph) AddEdge(u, v int, w float64) {
 // M returns the number of edges.
 func (g *Graph) M() int { return len(g.Edges) }
 
-// Build constructs the CSR adjacency index. It is idempotent and called
-// automatically by the accessors that need it.
+// Invalidate marks the CSR index stale, forcing the next accessor to
+// rebuild it. Callers that mutate g.Edges directly (endpoints or weights)
+// must call it; AddEdge, SortEdges and the Assign*Weights helpers do so
+// themselves.
+func (g *Graph) Invalidate() { g.built = false }
+
+// Build constructs the CSR adjacency slabs. It is idempotent and called
+// automatically by the accessors that need it. On graphs with at least
+// 2^14 edges and m ≥ n (the per-chunk histograms cost Θ(chunks·n)) it runs
+// on the package's parallel workers (SetParallelism) with a layout
+// bit-identical to the sequential pass.
 func (g *Graph) Build() {
 	if g.built {
 		return
 	}
-	deg := make([]int, g.N+1)
-	for _, e := range g.Edges {
-		deg[e.U+1]++
-		deg[e.V+1]++
+	m := len(g.Edges)
+	if g.N > math.MaxInt32 || 2*m > math.MaxInt32 {
+		panic("graph: int32 CSR kernel limited to n and 2m below 2^31")
 	}
-	for i := 0; i < g.N; i++ {
-		deg[i+1] += deg[i]
-	}
-	g.adjStart = deg
-	g.adjEdge = make([]int, 2*len(g.Edges))
-	fill := make([]int, g.N)
-	copy(fill, g.adjStart[:g.N])
-	for i, e := range g.Edges {
-		g.adjEdge[fill[e.U]] = i
-		fill[e.U]++
-		g.adjEdge[fill[e.V]] = i
-		fill[e.V]++
+	workers := parallelism()
+	// The parallel path spends Θ(chunks·N) on per-chunk histograms, so it
+	// only pays off when the edge count dominates the vertex count; a
+	// sparse N ≫ m graph builds faster (and far smaller) sequentially.
+	if workers > 1 && m >= buildParallelMin && m >= g.N {
+		g.buildParallel(workers)
+	} else {
+		g.buildSequential()
 	}
 	g.built = true
+	g.wBuilt = false
+}
+
+// buildWeights fills the positional weight slab from the edge-index slab.
+// Called lazily by NeighborsW; like Build it must not race with concurrent
+// accessors, so callers sharing a graph across goroutines should touch
+// NeighborsW once up front (the same contract as Build itself).
+func (g *Graph) buildWeights() {
+	if g.wBuilt {
+		return
+	}
+	if cap(g.adjW) < len(g.adjEdge) {
+		g.adjW = make([]float64, len(g.adjEdge))
+	} else {
+		g.adjW = g.adjW[:len(g.adjEdge)]
+	}
+	fill := func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			g.adjW[k] = g.Edges[g.adjEdge[k]].W
+		}
+	}
+	if workers := parallelism(); workers > 1 && len(g.adjEdge) >= buildParallelMin {
+		runChunks(chunkRanges(len(g.adjEdge), workers), func(_, lo, hi int) { fill(lo, hi) })
+	} else {
+		fill(0, len(g.adjEdge))
+	}
+	g.wBuilt = true
+}
+
+func (g *Graph) buildSequential() {
+	m := len(g.Edges)
+	start := make([]int32, g.N+1)
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		start[e.U+1]++
+		start[e.V+1]++
+	}
+	for v := 0; v < g.N; v++ {
+		start[v+1] += start[v]
+	}
+	g.adjStart = start
+	g.adjNbr = make([]int32, 2*m)
+	g.adjEdge = make([]int32, 2*m)
+	fill := make([]int32, g.N)
+	copy(fill, start[:g.N])
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		ku := fill[e.U]
+		g.adjNbr[ku] = int32(e.V)
+		g.adjEdge[ku] = int32(i)
+		fill[e.U] = ku + 1
+		kv := fill[e.V]
+		g.adjNbr[kv] = int32(e.U)
+		g.adjEdge[kv] = int32(i)
+		fill[e.V] = kv + 1
+	}
+}
+
+// buildParallel fills the same slabs as buildSequential using per-chunk
+// degree histograms: pass 1 counts each chunk's endpoints per vertex, the
+// prefix-sum merge assigns every (chunk, vertex) pair its write base in
+// fixed chunk order, and pass 2 lets each chunk scan its own edges again,
+// writing into disjoint slots. Within a vertex the slab order is (chunk
+// ascending, then in-chunk edge ascending) = global edge index ascending —
+// exactly the sequential layout.
+func (g *Graph) buildParallel(workers int) {
+	m := len(g.Edges)
+	bounds := chunkRanges(m, workers)
+	chunks := len(bounds) - 1
+	counts := make([][]int32, chunks)
+	runChunks(bounds, func(chunk, lo, hi int) {
+		cnt := make([]int32, g.N)
+		for i := lo; i < hi; i++ {
+			e := &g.Edges[i]
+			cnt[e.U]++
+			cnt[e.V]++
+		}
+		counts[chunk] = cnt
+	})
+	// Merge: per vertex, convert the chunk counts into chunk write bases and
+	// the global adjStart prefix sums.
+	start := make([]int32, g.N+1)
+	total := int32(0)
+	for v := 0; v < g.N; v++ {
+		start[v] = total
+		for c := 0; c < chunks; c++ {
+			base := total
+			total += counts[c][v]
+			counts[c][v] = base
+		}
+	}
+	start[g.N] = total
+	g.adjStart = start
+	g.adjNbr = make([]int32, 2*m)
+	g.adjEdge = make([]int32, 2*m)
+	runChunks(bounds, func(chunk, lo, hi int) {
+		fill := counts[chunk]
+		for i := lo; i < hi; i++ {
+			e := &g.Edges[i]
+			ku := fill[e.U]
+			g.adjNbr[ku] = int32(e.V)
+			g.adjEdge[ku] = int32(i)
+			fill[e.U] = ku + 1
+			kv := fill[e.V]
+			g.adjNbr[kv] = int32(e.U)
+			g.adjEdge[kv] = int32(i)
+			fill[e.V] = kv + 1
+		}
+	})
 }
 
 // IncidentEdges returns the indices (into g.Edges) of edges incident to v.
-// The returned slice aliases internal storage and must not be modified.
-func (g *Graph) IncidentEdges(v int) []int {
+// The returned slice aliases internal storage and must not be modified. It
+// is positional with Neighbors(v): entry i of both slices describes the
+// same incident edge.
+func (g *Graph) IncidentEdges(v int) []int32 {
 	g.Build()
 	return g.adjEdge[g.adjStart[v]:g.adjStart[v+1]]
 }
 
-// Neighbours returns the neighbours of v (with multiplicity for parallel
-// edges). The slice is freshly allocated.
-func (g *Graph) Neighbours(v int) []int {
-	ids := g.IncidentEdges(v)
-	out := make([]int, len(ids))
-	for i, id := range ids {
-		out[i] = g.Edges[id].Other(v)
-	}
-	return out
+// Neighbors returns the neighbours of v (with multiplicity for parallel
+// edges) as a contiguous slice of vertex ids. The slice aliases internal
+// storage and must not be modified. This is the hot neighbour-scan form:
+// no edge-id indirection, no Other() branch.
+func (g *Graph) Neighbors(v int) []int32 {
+	g.Build()
+	return g.adjNbr[g.adjStart[v]:g.adjStart[v+1]]
+}
+
+// NeighborsW returns the neighbours of v and, positionally, the weights of
+// the connecting edges. Both slices alias internal storage and must not be
+// modified. The weight slab is filled on first use; callers sharing g
+// across goroutines should call NeighborsW once before fanning out, the
+// same contract as Build.
+func (g *Graph) NeighborsW(v int) ([]int32, []float64) {
+	g.Build()
+	g.buildWeights()
+	lo, hi := g.adjStart[v], g.adjStart[v+1]
+	return g.adjNbr[lo:hi], g.adjW[lo:hi]
 }
 
 // Degree returns the degree of v.
 func (g *Graph) Degree(v int) int {
 	g.Build()
-	return g.adjStart[v+1] - g.adjStart[v]
+	return int(g.adjStart[v+1] - g.adjStart[v])
 }
 
 // Degrees returns the degree sequence.
@@ -129,7 +282,7 @@ func (g *Graph) Degrees() []int {
 	g.Build()
 	d := make([]int, g.N)
 	for v := range d {
-		d[v] = g.adjStart[v+1] - g.adjStart[v]
+		d[v] = int(g.adjStart[v+1] - g.adjStart[v])
 	}
 	return d
 }
@@ -212,17 +365,40 @@ func minmax(a, b int) (int, int) {
 	return a, b
 }
 
+// VertexSet converts a []bool membership bitmap into the map[int]bool shape
+// the validators and public results use. The map is pre-sized to the exact
+// member count, so assembly does a single allocation and no rehash growth.
+func VertexSet(bits []bool) map[int]bool {
+	count := 0
+	for _, b := range bits {
+		if b {
+			count++
+		}
+	}
+	set := make(map[int]bool, count)
+	for v, b := range bits {
+		if b {
+			set[v] = true
+		}
+	}
+	return set
+}
+
 // AssignUniformWeights overwrites every edge weight with a uniform draw from
-// [lo, hi).
+// [lo, hi) and invalidates the CSR weight slab (endpoints are untouched, so
+// the adjacency slabs stay valid).
 func (g *Graph) AssignUniformWeights(r *rng.RNG, lo, hi float64) {
 	for i := range g.Edges {
 		g.Edges[i].W = r.UniformWeight(lo, hi)
 	}
+	g.wBuilt = false
 }
 
-// AssignUnitWeights sets every edge weight to 1.
+// AssignUnitWeights sets every edge weight to 1 and invalidates the CSR
+// weight slab (endpoints are untouched, so the adjacency slabs stay valid).
 func (g *Graph) AssignUnitWeights() {
 	for i := range g.Edges {
 		g.Edges[i].W = 1
 	}
+	g.wBuilt = false
 }

@@ -65,13 +65,13 @@ func TestAdjacency(t *testing.T) {
 	if d := g.Degree(3); d != 1 {
 		t.Fatalf("deg(3) = %d", d)
 	}
-	nb := g.Neighbours(0)
+	nb := g.Neighbors(0)
 	if len(nb) != 2 {
-		t.Fatalf("neighbours(0) = %v", nb)
+		t.Fatalf("neighbors(0) = %v", nb)
 	}
-	set := map[int]bool{nb[0]: true, nb[1]: true}
+	set := map[int32]bool{nb[0]: true, nb[1]: true}
 	if !set[1] || !set[2] {
-		t.Fatalf("neighbours(0) = %v, want {1,2}", nb)
+		t.Fatalf("neighbors(0) = %v, want {1,2}", nb)
 	}
 	if g.MaxDegree() != 2 {
 		t.Fatalf("maxdeg = %d", g.MaxDegree())

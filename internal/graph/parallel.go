@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rng"
+)
+
+// This file holds the package's parallelism knob and the shared helpers the
+// parallel Build and generator paths use. Everything here is deterministic:
+// work is partitioned into fixed chunks, each chunk computes into its own
+// disjoint output range, and merges happen in a fixed (chunk-ascending)
+// order, so the result is bit-identical for every worker count.
+
+// parWorkers is the number of goroutines the package's parallel paths
+// (Build, GNM, RMAT, RandomBipartite) may use. 0 means "one per CPU"
+// (runtime.GOMAXPROCS). It is read atomically so tests can flip it.
+var parWorkers atomic.Int32
+
+// SetParallelism sets the worker count for the package's parallel paths:
+// 0 restores the default (one per CPU), 1 forces the sequential paths, and
+// w > 1 uses up to w goroutines. The output of every Build and generator is
+// bit-identical across all settings; only wall-clock changes. It returns
+// the previous setting so tests can restore it.
+func SetParallelism(w int) int {
+	if w < 0 {
+		w = 0
+	}
+	return int(parWorkers.Swap(int32(w)))
+}
+
+// parallelism resolves the active worker count.
+func parallelism() int {
+	w := int(parWorkers.Load())
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Minimum work-item counts below which the parallel paths fall back to the
+// sequential code: goroutine fan-out costs more than it saves on small
+// instances, and small instances dominate the test suite.
+const (
+	buildParallelMin = 1 << 14 // edges
+	genParallelMin   = 1 << 13 // edges still to generate
+)
+
+// chunkRanges splits [0, count) into at most workers near-equal contiguous
+// ranges and returns the boundaries (len = chunks+1). Every chunk is
+// non-empty; an empty range yields no chunks ([]int{0}).
+func chunkRanges(count, workers int) []int {
+	if workers > count {
+		workers = count
+	}
+	if workers < 1 {
+		return []int{0}
+	}
+	bounds := make([]int, workers+1)
+	for i := 0; i <= workers; i++ {
+		bounds[i] = count * i / workers
+	}
+	return bounds
+}
+
+// runChunks executes fn(chunk, lo, hi) for each chunk range concurrently.
+func runChunks(bounds []int, fn func(chunk, lo, hi int)) {
+	var wg sync.WaitGroup
+	for c := 0; c+1 < len(bounds); c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			fn(c, bounds[c], bounds[c+1])
+		}(c)
+	}
+	wg.Wait()
+}
+
+// speculateAttempts runs `count` generator attempts across workers, where
+// the sequential generator consumes exactly drawsPerAttempt raw Uint64
+// draws per attempt. base is the stream position of attempt 0; each chunk
+// gets a clone jumped to its first attempt's draw offset and runs
+// gen(r, lo, hi), which must write its candidates into indices [lo, hi) of
+// a caller-owned slice and consume exactly drawsPerAttempt draws per
+// attempt from r.
+//
+// The return value is the number of attempts whose candidates are valid: it
+// equals count unless some chunk's actual consumption diverged from the
+// speculation (possible only through Intn's internal rejection, probability
+// < n/2^64 per draw), in which case every attempt before the first dirty
+// chunk is still exact and the caller falls back to the sequential path for
+// the rest.
+func speculateAttempts(base *rng.RNG, count int, drawsPerAttempt uint64, gen func(r *rng.RNG, lo, hi int)) int {
+	workers := parallelism()
+	bounds := chunkRanges(count, workers)
+	dirty := make([]bool, len(bounds)-1)
+	runChunks(bounds, func(chunk, lo, hi int) {
+		r := base.Clone()
+		r.Jump(uint64(lo) * drawsPerAttempt)
+		start := r.Clone()
+		gen(r, lo, hi)
+		if r.DrawsSince(start) != uint64(hi-lo)*drawsPerAttempt {
+			dirty[chunk] = true
+		}
+	})
+	for c, d := range dirty {
+		if d {
+			return bounds[c]
+		}
+	}
+	return count
+}
+
+// speculativeLoop runs the generator attempt loop
+//
+//	for remaining() > 0 { accept(drawOne(r)) }
+//
+// parallelizing the draws when profitable: workers speculatively compute
+// candidates for disjoint chunks of the attempt stream (drawOne must
+// consume exactly drawsPerAttempt raw draws, so chunk positions are known
+// up front via rng.Jump), and accept replays them sequentially in attempt
+// order. The consumed stream — and therefore the generated output and the
+// final position of r — is bit-identical to the sequential loop for every
+// worker count. If a chunk's speculation is invalidated (an Intn internal
+// rejection, probability < bound/2^64 per draw), the valid candidate
+// prefix is kept and the rest falls back to the sequential loop from the
+// exact stream position.
+func speculativeLoop(r *rng.RNG, drawsPerAttempt uint64, remaining func() int,
+	drawOne func(r *rng.RNG) [2]int32, accept func(p [2]int32)) {
+	sequential := func(r *rng.RNG) {
+		for remaining() > 0 {
+			accept(drawOne(r))
+		}
+	}
+	if parallelism() <= 1 || remaining() < genParallelMin {
+		sequential(r)
+		return
+	}
+	origin := r.Clone()
+	attempts := uint64(0) // attempts the accept loop has consumed
+	for remaining() > 0 {
+		need := remaining()
+		batch := need + need/4 + 64 // oversample for rejected attempts
+		cand := make([][2]int32, batch)
+		base := origin.Clone()
+		base.Jump(attempts * drawsPerAttempt)
+		valid := speculateAttempts(base, batch, drawsPerAttempt, func(rr *rng.RNG, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				cand[i] = drawOne(rr)
+			}
+		})
+		for i := 0; i < valid && remaining() > 0; i++ {
+			attempts++
+			accept(cand[i])
+		}
+		if valid < batch && remaining() > 0 {
+			*r = *origin
+			r.Jump(attempts * drawsPerAttempt)
+			sequential(r)
+			return
+		}
+	}
+	*r = *origin
+	r.Jump(attempts * drawsPerAttempt)
+}

@@ -27,33 +27,48 @@ func RMAT(scale int, m int, a, b, c float64, r *rng.RNG) *Graph {
 	}
 	g := New(n)
 	seen := make(map[[2]int]bool, m)
-	for len(g.Edges) < m {
-		u, v := 0, 0
-		for level := 0; level < scale; level++ {
-			x := r.Float64()
-			switch {
-			case x < a:
-				// top-left: no bits set
-			case x < a+b:
-				v |= 1 << level
-			case x < a+b+c:
-				u |= 1 << level
-			default:
-				u |= 1 << level
-				v |= 1 << level
-			}
-		}
+	accept := func(u, v int) {
 		if u == v {
-			continue
+			return
 		}
 		p := normPair(u, v)
 		if seen[p] {
-			continue
+			return
 		}
 		seen[p] = true
 		g.AddEdge(u, v, 1)
 	}
+	// Every attempt consumes exactly `scale` Float64 draws (Float64 never
+	// rejects internally), so the quadrant descents — the expensive part —
+	// fan out across workers through the shared speculative driver.
+	speculativeLoop(r, uint64(scale), func() int { return m - len(g.Edges) },
+		func(rr *rng.RNG) [2]int32 {
+			u, v := rmatDescend(rr, scale, a, b, c)
+			return [2]int32{int32(u), int32(v)}
+		},
+		func(p [2]int32) { accept(int(p[0]), int(p[1])) })
 	return g
+}
+
+// rmatDescend draws one R-MAT candidate pair by descending `scale` levels
+// of the recursive quadrant matrix, consuming exactly scale Float64 draws.
+func rmatDescend(r *rng.RNG, scale int, a, b, c float64) (int, int) {
+	u, v := 0, 0
+	for level := 0; level < scale; level++ {
+		x := r.Float64()
+		switch {
+		case x < a:
+			// top-left: no bits set
+		case x < a+b:
+			v |= 1 << level
+		case x < a+b+c:
+			u |= 1 << level
+		default:
+			u |= 1 << level
+			v |= 1 << level
+		}
+	}
+	return u, v
 }
 
 // RMATDefault generates an R-MAT graph with the Graph500 parameters.

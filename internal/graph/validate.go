@@ -10,8 +10,8 @@ package graph
 // no two selected edges share an endpoint, and every index is valid and
 // distinct.
 func IsMatching(g *Graph, sel []int) bool {
-	used := make(map[int]bool)
-	seen := make(map[int]bool)
+	used := make([]bool, g.N)
+	seen := make([]bool, len(g.Edges))
 	for _, id := range sel {
 		if id < 0 || id >= len(g.Edges) || seen[id] {
 			return false
@@ -33,7 +33,7 @@ func IsMaximalMatching(g *Graph, sel []int) bool {
 	if !IsMatching(g, sel) {
 		return false
 	}
-	used := make(map[int]bool)
+	used := make([]bool, g.N)
 	for _, id := range sel {
 		used[g.Edges[id].U] = true
 		used[g.Edges[id].V] = true
@@ -58,8 +58,8 @@ func MatchingWeight(g *Graph, sel []int) float64 {
 // IsBMatching reports whether sel is a b-matching: each vertex v is covered
 // by at most b(v) selected edges.
 func IsBMatching(g *Graph, sel []int, b func(v int) int) bool {
-	load := make(map[int]int)
-	seen := make(map[int]bool)
+	load := make([]int, g.N)
+	seen := make([]bool, len(g.Edges))
 	for _, id := range sel {
 		if id < 0 || id >= len(g.Edges) || seen[id] {
 			return false
@@ -107,19 +107,29 @@ func IsIndependentSet(g *Graph, set map[int]bool) bool {
 }
 
 // IsMaximalIndependentSet reports whether set is independent and every vertex
-// outside it has a neighbour inside it.
+// outside it has a neighbour inside it. The map is converted to a bitmap
+// once up front so the per-edge and per-neighbour tests are slice loads,
+// not map lookups.
 func IsMaximalIndependentSet(g *Graph, set map[int]bool) bool {
-	if !IsIndependentSet(g, set) {
-		return false
+	in := make([]bool, g.N)
+	for v, ok := range set {
+		if ok && v >= 0 && v < g.N {
+			in[v] = true
+		}
+	}
+	for _, e := range g.Edges {
+		if in[e.U] && in[e.V] {
+			return false
+		}
 	}
 	g.Build()
 	for v := 0; v < g.N; v++ {
-		if set[v] {
+		if in[v] {
 			continue
 		}
 		dominated := false
-		for _, id := range g.IncidentEdges(v) {
-			if set[g.Edges[id].Other(v)] {
+		for _, u := range g.Neighbors(v) {
+			if in[u] {
 				dominated = true
 				break
 			}

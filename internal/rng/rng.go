@@ -43,6 +43,40 @@ func (r *RNG) Split() *RNG {
 	return &RNG{state: r.Uint64()}
 }
 
+// Clone returns a copy of r at its current stream position. The clone and
+// the original produce identical subsequent output and advance independently.
+func (r *RNG) Clone() *RNG {
+	return &RNG{state: r.state}
+}
+
+// Jump advances the generator by n raw Uint64 draws in O(1). Because
+// SplitMix64's state is an affine counter (state += golden per draw),
+// r.Jump(n) leaves r exactly where n calls to Uint64 would. This is what
+// lets parallel generators hand each worker chunk its own stream position
+// while staying bit-identical to a sequential draw sequence.
+func (r *RNG) Jump(n uint64) {
+	r.state += n * golden
+}
+
+// goldenInv is the multiplicative inverse of golden modulo 2^64 (golden is
+// odd, hence invertible), computed by Newton iteration: each step doubles
+// the number of correct low bits.
+var goldenInv = func() uint64 {
+	x := uint64(golden) // correct to 3 bits
+	for i := 0; i < 5; i++ {
+		x *= 2 - golden*x
+	}
+	return x
+}()
+
+// DrawsSince returns how many raw Uint64 draws (including Jumps) separate r
+// from the earlier position past. It is exact for any pair of positions on
+// the same stream: the state difference divided by the (odd, invertible)
+// Weyl increment.
+func (r *RNG) DrawsSince(past *RNG) uint64 {
+	return (r.state - past.state) * goldenInv
+}
+
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {

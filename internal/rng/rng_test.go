@@ -280,3 +280,57 @@ func BenchmarkIntn(b *testing.B) {
 		_ = r.Intn(1000003)
 	}
 }
+
+func TestJumpMatchesDraws(t *testing.T) {
+	for _, n := range []uint64{0, 1, 2, 7, 100, 12345} {
+		a := New(42)
+		b := New(42)
+		for i := uint64(0); i < n; i++ {
+			a.Uint64()
+		}
+		b.Jump(n)
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Jump(%d) diverges from %d sequential draws", n, n)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(7)
+	a.Uint64()
+	b := a.Clone()
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("clone not at the same position")
+	}
+	b.Uint64()
+	if a.Clone().Uint64() == b.Clone().Uint64() {
+		t.Fatal("clone positions should have diverged")
+	}
+}
+
+func TestDrawsSince(t *testing.T) {
+	r := New(99)
+	start := r.Clone()
+	draws := uint64(0)
+	for i := 0; i < 1000; i++ {
+		switch i % 3 {
+		case 0:
+			r.Uint64()
+			draws++
+		case 1:
+			r.Intn(1000) // may consume >1 draw on rejection; count via a probe
+			probe := start.Clone()
+			probe.Jump(r.DrawsSince(start))
+			if probe.Uint64() != r.Clone().Uint64() {
+				t.Fatal("DrawsSince inconsistent with Jump after Intn")
+			}
+			draws = r.DrawsSince(start)
+		case 2:
+			r.Jump(13)
+			draws += 13
+		}
+		if got := r.DrawsSince(start); got != draws {
+			t.Fatalf("DrawsSince = %d, want %d (step %d)", got, draws, i)
+		}
+	}
+}

@@ -22,16 +22,21 @@ func GreedyVertexColouring(g *graph.Graph, order []int) []int {
 	for i := range colour {
 		colour[i] = -1
 	}
-	for _, v := range order {
-		used := make(map[int]bool)
-		for _, id := range g.IncidentEdges(v) {
-			u := g.Edges[id].Other(v)
-			if colour[u] >= 0 {
-				used[colour[u]] = true
+	// usedAt[c] == step marks colour c as used by the current vertex's
+	// neighbours; the stamp replaces a per-vertex map and the greedy rule
+	// needs at most ∆+1 ≤ n palette slots.
+	usedAt := make([]int, g.N+1)
+	for i := range usedAt {
+		usedAt[i] = -1
+	}
+	for step, v := range order {
+		for _, u := range g.Neighbors(v) {
+			if cu := colour[u]; cu >= 0 {
+				usedAt[cu] = step
 			}
 		}
 		c := 0
-		for used[c] {
+		for usedAt[c] == step {
 			c++
 		}
 		colour[v] = c
@@ -50,16 +55,50 @@ func MisraGries(g *graph.Graph) []int {
 		return []int{}
 	}
 	colour := make([]int, g.M()) // 0 = uncoloured; valid colours 1..maxC
-	// at[v][c] = edge id coloured c at v.
-	at := make([]map[int]int, g.N)
-	for v := range at {
-		at[v] = make(map[int]int)
+	// The (vertex, colour) index stores edge id + 1 for the edge coloured c
+	// at v, 0 when the colour is free. On near-regular graphs it is a flat
+	// slab (at[v*stride+c]) — direct indexing, no hashing. A flat slab is
+	// Θ(n·∆) though, which a skewed degree sequence (one hub) can blow up
+	// to Θ(n²), so when the slab would exceed a constant factor of the
+	// graph's own size the index falls back to lazy per-vertex maps. Both
+	// layouts answer identical queries, so the colouring is the same.
+	stride := maxC + 1
+	var flat []int32
+	var sparse []map[int]int32
+	if g.N*stride <= 8*(g.N+2*g.M())+1024 {
+		flat = make([]int32, g.N*stride)
+	} else {
+		sparse = make([]map[int]int32, g.N)
+	}
+	atGet := func(v, c int) int32 {
+		if flat != nil {
+			return flat[v*stride+c]
+		}
+		return sparse[v][c] // nil map reads as 0
+	}
+	atPut := func(v, c int, id int32) {
+		if flat != nil {
+			flat[v*stride+c] = id
+			return
+		}
+		if id == 0 {
+			delete(sparse[v], c)
+			return
+		}
+		if sparse[v] == nil {
+			sparse[v] = make(map[int]int32)
+		}
+		sparse[v][c] = id
 	}
 
-	isFree := func(v, c int) bool { _, used := at[v][c]; return !used }
+	isFree := func(v, c int) bool { return atGet(v, c) == 0 }
+	edgeAt := func(v, c int) (int, bool) {
+		id := atGet(v, c)
+		return int(id) - 1, id != 0
+	}
 	freeColour := func(v int) int {
 		for c := 1; c <= maxC; c++ {
-			if isFree(v, c) {
+			if atGet(v, c) == 0 {
 				return c
 			}
 		}
@@ -68,13 +107,13 @@ func MisraGries(g *graph.Graph) []int {
 	setColour := func(id, c int) {
 		e := g.Edges[id]
 		if old := colour[id]; old != 0 {
-			delete(at[e.U], old)
-			delete(at[e.V], old)
+			atPut(e.U, old, 0)
+			atPut(e.V, old, 0)
 		}
 		colour[id] = c
 		if c != 0 {
-			at[e.U][c] = id
-			at[e.V][c] = id
+			atPut(e.U, c, int32(id)+1)
+			atPut(e.V, c, int32(id)+1)
 		}
 	}
 
@@ -84,11 +123,13 @@ func MisraGries(g *graph.Graph) []int {
 	makeFan := func(u, v int) []int {
 		fan := []int{v}
 		inFan := map[int]bool{v: true}
+		ids := g.IncidentEdges(u)
+		nbrs := g.Neighbors(u)
 		for {
 			last := fan[len(fan)-1]
 			extended := false
-			for _, id := range g.IncidentEdges(u) {
-				w := g.Edges[id].Other(u)
+			for i, id := range ids {
+				w := int(nbrs[i])
 				if inFan[w] || colour[id] == 0 {
 					continue
 				}
@@ -111,7 +152,7 @@ func MisraGries(g *graph.Graph) []int {
 		var path []int
 		cur, col := u, d
 		for {
-			id, ok := at[cur][col]
+			id, ok := edgeAt(cur, col)
 			if !ok {
 				break
 			}
@@ -143,12 +184,13 @@ func MisraGries(g *graph.Graph) []int {
 	// rotateFan shifts colours along the fan prefix F[0..w] and colours the
 	// last edge d.
 	rotateFan := func(u int, fan []int, w, d int) {
+		nbrs := g.Neighbors(u)
 		edgeTo := func(x int) int {
-			for _, id := range g.IncidentEdges(u) {
-				if g.Edges[id].Other(u) == x {
+			for i, nb := range nbrs {
+				if int(nb) == x {
 					// Prefer the edge currently carrying the fan colour; for
 					// simple graphs any incident edge to x is unique.
-					return id
+					return int(g.IncidentEdges(u)[i])
 				}
 			}
 			panic("seq: fan vertex not adjacent")
@@ -198,9 +240,10 @@ func MisraGries(g *graph.Graph) []int {
 					// Prefix validity: colour of (u, fan[i]) must be free on
 					// fan[i-1].
 					ci := 0
-					for _, eid := range g.IncidentEdges(u) {
-						if g.Edges[eid].Other(u) == fan[i] {
-							ci = colour[eid]
+					uIDs := g.IncidentEdges(u)
+					for k, nb := range g.Neighbors(u) {
+						if int(nb) == fan[i] {
+							ci = colour[uIDs[k]]
 							break
 						}
 					}

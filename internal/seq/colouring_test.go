@@ -59,6 +59,23 @@ func TestMisraGriesStar(t *testing.T) {
 	}
 }
 
+func TestMisraGriesSkewedUsesSparseIndex(t *testing.T) {
+	// A large hub makes the flat (vertex, colour) slab Θ(n·∆) = Θ(n²), so
+	// MisraGries must take the sparse per-vertex-map index path and still
+	// produce a proper ≤ ∆+1 colouring.
+	g := graph.Star(400) // n=400, ∆=399: 400·400 slots >> 8·(n+2m)
+	for v := 1; v+1 < g.N; v += 2 {
+		g.AddEdge(v, v+1, 1) // a ring of extra edges so ∆+1 is not forced tight
+	}
+	col := MisraGries(g)
+	if !graph.IsProperEdgeColouring(g, col) {
+		t.Fatal("skewed: improper colouring")
+	}
+	if nc := graph.NumColours(col); nc > g.MaxDegree()+1 {
+		t.Fatalf("skewed: %d colours exceeds ∆+1 = %d", nc, g.MaxDegree()+1)
+	}
+}
+
 func TestMisraGriesEmptyAndSingle(t *testing.T) {
 	if col := MisraGries(graph.New(3)); len(col) != 0 {
 		t.Fatal("empty graph")
@@ -145,8 +162,8 @@ func TestGreedyMISSubset(t *testing.T) {
 			continue
 		}
 		dominated := false
-		for _, u := range g.Neighbours(v) {
-			if set[u] {
+		for _, u := range g.Neighbors(v) {
+			if set[int(u)] {
 				dominated = true
 			}
 		}

@@ -13,19 +13,19 @@ func GreedyMIS(g *graph.Graph, order []int) map[int]bool {
 			order[v] = v
 		}
 	}
-	set := make(map[int]bool)
+	inSet := make([]bool, g.N)
 	blocked := make([]bool, g.N)
 	for _, v := range order {
 		if blocked[v] {
 			continue
 		}
-		set[v] = true
+		inSet[v] = true
 		blocked[v] = true
-		for _, u := range g.Neighbours(v) {
+		for _, u := range g.Neighbors(v) {
 			blocked[u] = true
 		}
 	}
-	return set
+	return graph.VertexSet(inSet)
 }
 
 // GreedyMISSubset is GreedyMIS restricted to the induced subgraph on the
@@ -38,19 +38,19 @@ func GreedyMISSubset(g *graph.Graph, active func(v int) bool, order []int) map[i
 			order[v] = v
 		}
 	}
-	set := make(map[int]bool)
+	inSet := make([]bool, g.N)
 	blocked := make([]bool, g.N)
 	for _, v := range order {
 		if !active(v) || blocked[v] {
 			continue
 		}
-		set[v] = true
+		inSet[v] = true
 		blocked[v] = true
-		for _, u := range g.Neighbours(v) {
+		for _, u := range g.Neighbors(v) {
 			blocked[u] = true
 		}
 	}
-	return set
+	return graph.VertexSet(inSet)
 }
 
 // GreedyMaximalClique grows a clique from seed by scanning vertices in index

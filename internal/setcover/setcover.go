@@ -168,7 +168,11 @@ func FromVertexCover(g *graph.Graph, w []float64) *Instance {
 	in.Weights = append([]float64(nil), w...)
 	for v := 0; v < g.N; v++ {
 		ids := g.IncidentEdges(v)
-		in.Sets[v] = append([]int(nil), ids...)
+		set := make([]int, len(ids))
+		for i, id := range ids {
+			set[i] = int(id)
+		}
+		in.Sets[v] = set
 	}
 	return in
 }
