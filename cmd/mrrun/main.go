@@ -1,176 +1,126 @@
-// Command mrrun runs a single MapReduce algorithm on a generated instance
-// and prints the solution summary plus the measured model costs (rounds,
-// words, space per machine).
+// Command mrrun runs a single MapReduce algorithm on a generated or loaded
+// instance and prints the solution summary plus the measured model costs
+// (rounds, words, space per machine). It dispatches through the algorithm
+// registry of internal/core and builds instances through the same
+// deterministic spec builder the mrserve daemon uses, so its output for a
+// given (instance spec, algorithm, seed) is bit-identical to a served job.
 //
 // Usage:
 //
 //	mrrun -alg matching -n 1000 -c 0.3 -mu 0.2 [-seed 1] [-b 3] [-eps 0.2] [-workers W]
-//
-// Algorithms: matching, bmatching, vertexcover, setcover-f, setcover-greedy,
-// mis, mis-simple, luby, clique, filtering, vcolour, ecolour.
+//	mrrun -alg list            # list registered algorithms
+//	mrrun -load g.txt.gz ...   # run on a saved instance (gzip transparent)
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
 
 	"repro/internal/core"
 	"repro/internal/graph"
-	"repro/internal/mpc"
 	"repro/internal/rng"
+	"repro/internal/service"
 	"repro/internal/setcover"
 )
 
 func main() {
-	alg := flag.String("alg", "matching", "algorithm to run")
+	alg := flag.String("alg", "matching", "algorithm to run, or \"list\"")
 	n := flag.Int("n", 1000, "number of vertices / sets")
 	c := flag.Float64("c", 0.3, "density exponent: m = n^{1+c}")
 	mu := flag.Float64("mu", 0.2, "space exponent: machines have ~n^{1+mu} words")
-	seed := flag.Uint64("seed", 1, "random seed")
+	seed := flag.Uint64("seed", 1, "random seed (instance generation and algorithm)")
 	bcap := flag.Int("b", 2, "b-matching capacity")
 	eps := flag.Float64("eps", 0.2, "epsilon (b-matching, greedy set cover)")
 	f := flag.Int("f", 3, "set cover max frequency (setcover-f)")
-	load := flag.String("load", "", "load the graph from a file (format of internal/graph.Encode) instead of generating one")
-	save := flag.String("save", "", "save the generated graph to a file before running")
+	load := flag.String("load", "", "load the graph from a file (graph.Encode format, .gz transparent) instead of generating one")
+	save := flag.String("save", "", "save the generated graph to a file before running (gzip when the path ends in .gz)")
 	workers := flag.Int("workers", 0, "round-executor pool size: 0|1 sequential, >1 that many goroutines, -1 one per CPU")
 	flag.Parse()
 
-	r := rng.New(*seed)
-	p := core.Params{Mu: *mu, Seed: r.Uint64(), Workers: *workers}
-
-	newGraph := func() *graph.Graph {
-		if *load != "" {
-			fh, err := os.Open(*load)
-			exitOn(err)
-			defer fh.Close()
-			g, err := graph.Decode(fh)
-			exitOn(err)
-			return g
+	if *alg == "list" {
+		for _, a := range core.Algorithms() {
+			params := ""
+			for _, p := range a.Params {
+				params += fmt.Sprintf(" -%s=%g", p.Name, p.Default)
+			}
+			fmt.Printf("%-16s%-14s %s\n", a.Name, params, a.Summary)
 		}
-		g := graph.Density(*n, *c, r.Split())
-		g.AssignUniformWeights(r.Split(), 1, 100)
-		if *save != "" {
-			fh, err := os.Create(*save)
-			exitOn(err)
-			exitOn(graph.Encode(fh, g))
-			exitOn(fh.Close())
-		}
-		return g
+		return
 	}
 
-	var metrics mpc.Metrics
-	switch *alg {
-	case "matching":
-		g := newGraph()
-		res, err := core.RLRMatching(g, p, core.MatchingOptions{})
-		exitOn(err)
-		fmt.Printf("matching: %d edges, weight %.2f, valid=%v, iters=%d\n",
-			len(res.Edges), res.Weight, graph.IsMatching(g, res.Edges), res.Iterations)
-		metrics = res.Metrics
-	case "bmatching":
-		g := newGraph()
-		bf := func(int) int { return *bcap }
-		res, err := core.BMatching(g, p, core.BMatchingOptions{B: bf, Eps: *eps})
-		exitOn(err)
-		fmt.Printf("b-matching (b=%d): %d edges, weight %.2f, valid=%v, iters=%d\n",
-			*bcap, len(res.Edges), res.Weight, graph.IsBMatching(g, res.Edges, bf), res.Iterations)
-		metrics = res.Metrics
-	case "vertexcover":
-		g := newGraph()
-		w := make([]float64, g.N)
-		wr := r.Split()
-		for i := range w {
-			w[i] = wr.UniformWeight(1, 10)
-		}
-		inst := setcover.FromVertexCover(g, w)
-		res, err := core.RLRSetCover(inst, p, core.CoverOptions{VertexCoverMode: true})
-		exitOn(err)
-		cover := map[int]bool{}
-		for _, v := range res.Cover {
-			cover[v] = true
-		}
-		fmt.Printf("vertex cover: %d vertices, weight %.2f, valid=%v, ratio-vs-LB %.3f, iters=%d\n",
-			len(res.Cover), res.Weight, graph.IsVertexCover(g, cover), res.Weight/res.LowerBound, res.Iterations)
-		metrics = res.Metrics
-	case "setcover-f":
-		m := int(math.Pow(float64(*n), 1+*c))
-		inst := setcover.RandomFrequency(*n, m, *f, 10, r.Split())
-		res, err := core.RLRSetCover(inst, p, core.CoverOptions{})
-		exitOn(err)
-		fmt.Printf("set cover (f=%d): %d sets, weight %.2f, valid=%v, ratio-vs-LB %.3f, iters=%d\n",
-			inst.MaxFrequency(), len(res.Cover), res.Weight, inst.IsCover(res.Cover),
-			res.Weight/res.LowerBound, res.Iterations)
-		metrics = res.Metrics
-	case "setcover-greedy":
-		m := *n / 10
-		if m < 10 {
-			m = 10
-		}
-		inst := setcover.RandomSized(*n, m, 12, 8, r.Split())
-		res, err := core.HGSetCover(inst, p, core.HGCoverOptions{Eps: *eps})
-		exitOn(err)
-		fmt.Printf("set cover (hungry-greedy): %d sets, weight %.2f, valid=%v, iters=%d\n",
-			len(res.Cover), res.Weight, inst.IsCover(res.Cover), res.Iterations)
-		metrics = res.Metrics
-	case "mis":
-		g := newGraph()
-		res, err := core.MISFast(g, p)
-		exitOn(err)
-		fmt.Printf("MIS (Algorithm 6): |I|=%d, valid=%v, iters=%d\n",
-			len(res.Set), graph.IsMaximalIndependentSet(g, res.Set), res.Iterations)
-		metrics = res.Metrics
-	case "mis-simple":
-		g := newGraph()
-		res, err := core.MIS(g, p)
-		exitOn(err)
-		fmt.Printf("MIS (Algorithm 2): |I|=%d, valid=%v, iters=%d\n",
-			len(res.Set), graph.IsMaximalIndependentSet(g, res.Set), res.Iterations)
-		metrics = res.Metrics
-	case "luby":
-		g := newGraph()
-		res, err := core.LubyMIS(g, p)
-		exitOn(err)
-		fmt.Printf("MIS (Luby): |I|=%d, valid=%v, iters=%d\n",
-			len(res.Set), graph.IsMaximalIndependentSet(g, res.Set), res.Iterations)
-		metrics = res.Metrics
-	case "clique":
-		g := newGraph()
-		res, err := core.MaximalClique(g, p)
-		exitOn(err)
-		fmt.Printf("maximal clique: |K|=%d, valid=%v, iters=%d\n",
-			len(res.Clique), graph.IsMaximalClique(g, res.Clique), res.Iterations)
-		metrics = res.Metrics
-	case "filtering":
-		g := newGraph()
-		res, err := core.FilteringMatching(g, p)
-		exitOn(err)
-		fmt.Printf("filtering maximal matching: %d edges, maximal=%v, iters=%d\n",
-			len(res.Edges), graph.IsMaximalMatching(g, res.Edges), res.Iterations)
-		metrics = res.Metrics
-	case "vcolour":
-		g := newGraph()
-		res, err := core.VertexColouring(g, p)
-		exitOn(err)
-		fmt.Printf("vertex colouring: %d colours (∆=%d, κ=%d), proper=%v\n",
-			res.NumColours, g.MaxDegree(), res.Groups, graph.IsProperVertexColouring(g, res.Colours))
-		metrics = res.Metrics
-	case "ecolour":
-		g := newGraph()
-		res, err := core.EdgeColouring(g, p)
-		exitOn(err)
-		fmt.Printf("edge colouring: %d colours (∆=%d, κ=%d), proper=%v\n",
-			res.NumColours, g.MaxDegree(), res.Groups, graph.IsProperEdgeColouring(g, res.Colours))
-		metrics = res.Metrics
-	default:
-		fmt.Fprintf(os.Stderr, "mrrun: unknown algorithm %q\n", *alg)
+	entry, ok := core.LookupAlgorithm(*alg)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mrrun: unknown algorithm %q (use -alg list)\n", *alg)
 		os.Exit(2)
 	}
 
+	// Map the flags onto the instance spec the service layer also builds:
+	// the algorithm's input kind picks the generator family, the shared
+	// seed drives both generation and the algorithm.
+	spec := service.InstanceSpec{Seed: *seed}
+	switch entry.Input {
+	case core.InputGraph:
+		spec.Type = "density"
+		spec.N, spec.C = *n, *c
+	case core.InputVertexCover:
+		spec.Type = "vertexcover"
+		spec.N, spec.C = *n, *c
+	case core.InputSetCover:
+		if *alg == "setcover-greedy" {
+			spec.Type = "setcover-greedy"
+			spec.N = *n
+		} else {
+			spec.Type = "setcover-f"
+			spec.N, spec.C, spec.F = *n, *c, *f
+		}
+	}
+
+	var in core.Input
+	if *load != "" {
+		if entry.Input == core.InputSetCover {
+			exitOn(fmt.Errorf("-load carries a graph; %q needs a set cover instance", *alg))
+		}
+		g, err := graph.ReadFile(*load)
+		exitOn(err)
+		in = core.Input{Graph: g}
+		if entry.Input == core.InputVertexCover {
+			// Derive the vertex weights a generated instance would carry:
+			// deterministic in -seed, uniform in [1,10) as in the
+			// "vertexcover" spec.
+			wr := rng.New(*seed).Split()
+			w := make([]float64, g.N)
+			for i := range w {
+				w[i] = wr.UniformWeight(1, 10)
+			}
+			in.Cover = setcover.FromVertexCover(g, w)
+		}
+	} else {
+		var err error
+		in, err = service.BuildInstance(spec)
+		exitOn(err)
+		if *save != "" && in.Graph != nil {
+			exitOn(graph.WriteFile(*save, in.Graph))
+		}
+	}
+
+	args := map[string]float64{}
+	for _, p := range entry.Params {
+		switch p.Name {
+		case "b":
+			args["b"] = float64(*bcap)
+		case "eps":
+			args["eps"] = *eps
+		}
+	}
+
+	res, err := entry.Run(in, core.Params{Mu: *mu, Seed: *seed, Workers: *workers}, args)
+	exitOn(err)
+	fmt.Println(res.Summary)
+	m := res.Metrics
 	fmt.Printf("cluster: machines=%d rounds=%d words=%d messages=%d maxSpace=%d maxResident=%d violations=%d\n",
-		metrics.Machines, metrics.Rounds, metrics.WordsSent, metrics.Messages,
-		metrics.MaxSpace, metrics.MaxResident, metrics.Violations)
+		m.Machines, m.Rounds, m.WordsSent, m.Messages,
+		m.MaxSpace, m.MaxResident, m.Violations)
 }
 
 func exitOn(err error) {

@@ -1,0 +1,83 @@
+// Command mrserve is the job-serving daemon: a long-lived HTTP service
+// that caches built problem instances and runs MapReduce algorithm jobs
+// concurrently on a bounded worker pool, with single-flight batching of
+// identical requests and an LRU result cache (internal/service).
+//
+// Usage:
+//
+//	mrserve [-addr :8080] [-pool P] [-workers W] [-results R] [-instances I]
+//
+// API:
+//
+//	POST /v1/jobs        {"instance": {...}, "alg": "...", "seed": N, "wait": true}
+//	GET  /v1/jobs/{id}   poll a submitted job
+//	GET  /v1/instances   list cached instances
+//	POST /v1/instances   upload a graph (graph.Encode text; gzip accepted)
+//	GET  /v1/algorithms  the algorithm registry and parameter schemas
+//	GET  /metrics        plain-text counters and job-latency histogram
+//
+// Jobs are deterministic: the same (instance spec, alg, args, µ, seed)
+// returns bit-identical solution summaries and model metrics whether
+// served cold, batched with concurrent identical requests, or from cache —
+// and identical to cmd/mrrun run with the same spec and seed.
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, drains in-flight
+// jobs, and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	pool := flag.Int("pool", 0, "concurrent jobs (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 1, "per-job round-executor pool size: 0|1 sequential, >1 that many goroutines, -1 one per CPU")
+	results := flag.Int("results", 256, "LRU result-store capacity")
+	instances := flag.Int("instances", 64, "instance-cache capacity")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "mrserve: ", log.LstdFlags)
+	engine := service.NewEngine(service.Config{
+		Pool:      *pool,
+		Workers:   *workers,
+		Results:   *results,
+		Instances: *instances,
+	})
+	server := &http.Server{Addr: *addr, Handler: service.NewServer(engine)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (pool=%d workers=%d)", *addr, *pool, *workers)
+		errc <- server.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatal(err)
+		}
+	case <-ctx.Done():
+		logger.Print("shutting down: draining in-flight jobs")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := server.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("http shutdown: %v", err)
+		}
+		engine.Close()
+		logger.Print("bye")
+	}
+}

@@ -9,7 +9,8 @@
 //     sequential/parallel round executor, and the columnar zero-copy
 //     message plane that carries round traffic allocation-free);
 //   - internal/core     — the paper's eight MapReduce algorithms plus the
-//     Luby and filtering baselines;
+//     Luby and filtering baselines, dispatched through the algorithm
+//     registry (name → runner + parameter schema);
 //   - internal/seq      — sequential local ratio / greedy algorithms and
 //     exact test oracles;
 //   - internal/graph    — the CSR-native graph kernel (contiguous int32
@@ -17,10 +18,14 @@
 //     generators), plus solution validators;
 //   - internal/setcover — weighted set cover instances and generators;
 //   - internal/bench    — the Figure 1 reproduction experiments;
+//   - internal/service  — the concurrent job-serving subsystem (instance
+//     cache keyed by spec hash, single-flight request batcher, bounded
+//     worker pool, LRU result store, HTTP JSON API, metrics);
 //   - internal/rng      — deterministic splittable randomness.
 //
 // Entry points: cmd/mrbench (regenerate every Figure 1 row), cmd/mrrun (run
-// one algorithm), examples/ (runnable scenarios), and the root-level
-// benchmarks in bench_test.go (one per Figure 1 row). See README.md,
-// DESIGN.md and EXPERIMENTS.md.
+// one algorithm), cmd/mrserve (the job-serving daemon), examples/ (runnable
+// scenarios), and the root-level benchmarks in bench_test.go (one per
+// Figure 1 row, plus the service throughput pair). See README.md, DESIGN.md
+// and EXPERIMENTS.md.
 package repro

@@ -2,21 +2,27 @@ package graph
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
+	"math"
+	"os"
 	"strconv"
 	"strings"
 )
 
 // This file implements a small deterministic text format for graphs so that
-// instances can be saved, shared and re-run (cmd/mrrun accepts them). The
-// format is line-oriented:
+// instances can be saved, shared and re-run (cmd/mrrun accepts them, and
+// cmd/mrserve serves uploaded instances). The format is line-oriented:
 //
 //	graph <n> <m>
 //	e <u> <v> <w>
 //	...
 //
-// Weights are serialized with full float64 round-trip precision.
+// Weights are serialized with full float64 round-trip precision. The file
+// helpers speak gzip transparently: ReadFile and DecodeAuto sniff the gzip
+// magic bytes, WriteFile compresses when the path ends in ".gz". Big
+// instances are roughly an order of magnitude smaller compressed.
 
 // Encode writes g to w in the text format, with edges in their current
 // order. Call SortEdges first for a canonical encoding.
@@ -70,8 +76,14 @@ func Decode(r io.Reader) (*Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("graph: bad weight %q", fields[3])
 		}
+		if math.IsNaN(wt) || math.IsInf(wt, 0) {
+			return nil, fmt.Errorf("graph: non-finite weight %q on edge (%d,%d)", fields[3], u, v)
+		}
 		if u < 0 || u >= n || v < 0 || v >= n || u == v {
 			return nil, fmt.Errorf("graph: invalid edge (%d,%d) for n=%d", u, v, n)
+		}
+		if g.M() >= m {
+			return nil, fmt.Errorf("graph: header promises %d edges, found more", m)
 		}
 		g.AddEdge(u, v, wt)
 	}
@@ -82,4 +94,65 @@ func Decode(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: header promises %d edges, found %d", m, g.M())
 	}
 	return g, nil
+}
+
+// gzipMagic is the two-byte gzip member header (RFC 1952).
+var gzipMagic = [2]byte{0x1f, 0x8b}
+
+// DecodeAuto reads a graph in the Encode text format, transparently
+// decompressing gzip input. The format is sniffed from the first two bytes,
+// so callers need not know whether the stream is compressed.
+func DecodeAuto(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(2)
+	if err == nil && head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("graph: gzip: %v", err)
+		}
+		defer zr.Close()
+		g, err := Decode(zr)
+		if err != nil {
+			return nil, err
+		}
+		if err := zr.Close(); err != nil {
+			return nil, fmt.Errorf("graph: gzip: %v", err)
+		}
+		return g, nil
+	}
+	return Decode(br)
+}
+
+// ReadFile loads a graph from path, gzip or plain text.
+func ReadFile(path string) (*Graph, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return DecodeAuto(fh)
+}
+
+// WriteFile saves g to path in the Encode text format, gzip-compressed when
+// the path ends in ".gz".
+func WriteFile(path string, g *Graph) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".gz") {
+		zw := gzip.NewWriter(fh)
+		if err := Encode(zw, g); err != nil {
+			fh.Close()
+			return err
+		}
+		if err := zw.Close(); err != nil {
+			fh.Close()
+			return err
+		}
+	} else if err := Encode(fh, g); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
 }

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 
@@ -53,11 +54,76 @@ func TestDecodeErrors(t *testing.T) {
 		"out of range":  "graph 3 1\ne 0 5 1\n",
 		"self loop":     "graph 3 1\ne 1 1 1\n",
 		"count miss":    "graph 3 5\ne 0 1 1\n",
+		"excess edges":  "graph 3 1\ne 0 1 1\ne 1 2 1\n",
+		"negative u":    "graph 3 1\ne -1 1 1\n",
+		"nan weight":    "graph 3 1\ne 0 1 NaN\n",
+		"+inf weight":   "graph 3 1\ne 0 1 +Inf\n",
+		"-inf weight":   "graph 3 1\ne 0 1 -Inf\n",
+		"inf weight":    "graph 3 1\ne 0 1 Infinity\n",
 	}
 	for name, in := range cases {
 		if _, err := Decode(strings.NewReader(in)); err == nil {
 			t.Fatalf("%s: expected error", name)
 		}
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	r := rng.New(7)
+	g := GNM(40, 120, r)
+	g.AssignUniformWeights(r, 0.5, 50)
+
+	dir := t.TempDir()
+	for _, name := range []string{"g.txt", "g.txt.gz"} {
+		path := dir + "/" + name
+		if err := WriteFile(path, g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		h, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if h.N != g.N || h.M() != g.M() {
+			t.Fatalf("%s: dims (%d,%d), want (%d,%d)", name, h.N, h.M(), g.N, g.M())
+		}
+		for i := range g.Edges {
+			if g.Edges[i] != h.Edges[i] {
+				t.Fatalf("%s: edge %d: got %+v, want %+v", name, i, h.Edges[i], g.Edges[i])
+			}
+		}
+	}
+
+	// The .gz file really is gzip: sniffable magic, and decodes through
+	// DecodeAuto from a plain reader too.
+	raw, err := os.ReadFile(dir + "/g.txt.gz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatalf("g.txt.gz does not start with the gzip magic: % x", raw[:2])
+	}
+	h, err := DecodeAuto(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.M() != g.M() {
+		t.Fatalf("DecodeAuto(gzip bytes): m=%d, want %d", h.M(), g.M())
+	}
+}
+
+func TestDecodeAutoPlain(t *testing.T) {
+	g, err := DecodeAuto(strings.NewReader("graph 2 1\ne 0 1 3.25\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 || g.Edges[0].W != 3.25 {
+		t.Fatalf("decoded %+v", g.Edges)
+	}
+}
+
+func TestDecodeAutoTruncatedGzip(t *testing.T) {
+	if _, err := DecodeAuto(bytes.NewReader([]byte{0x1f, 0x8b})); err == nil {
+		t.Fatal("expected error for truncated gzip input")
 	}
 }
 

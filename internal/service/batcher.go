@@ -1,0 +1,61 @@
+package service
+
+// The single-flight batcher: concurrent jobs with identical keys — same
+// (instance spec, algorithm, canonical args, µ, seed) — coalesce into one
+// flight. The first job becomes the flight leader and is the one the
+// worker pool executes; later identical jobs attach to the open flight and
+// receive the leader's result when it lands (fan-out). Because jobs are
+// deterministic, coalescing is invisible in the result: a batched job
+// carries bit-identical output to a cold run, it just cost nothing extra.
+//
+// The batcher's state is guarded by the engine mutex (not its own): the
+// engine must check "result cached? flight open?" and act atomically, or a
+// completing flight could slip between the two checks and a fresh
+// identical request would re-execute needlessly.
+
+// flight is one in-flight execution and the jobs awaiting its result.
+type flight struct {
+	key    string
+	alg    string
+	spec   InstanceSpec
+	instID string // SpecID(spec), computed once at submit time
+	args   map[string]float64
+	mu     float64
+	seed   uint64
+	jobs   []*Job
+}
+
+// batcher indexes open flights by job key. All methods require the engine
+// mutex.
+type batcher struct {
+	flights map[string]*flight
+}
+
+func newBatcher() *batcher {
+	return &batcher{flights: make(map[string]*flight)}
+}
+
+// attach adds j to the flight for key, opening one if needed. It returns
+// the flight and whether j is its leader (leader == the flight is new and
+// must be handed to the worker pool).
+func (b *batcher) attach(key string, j *Job, open func() *flight) (f *flight, leader bool) {
+	if f, ok := b.flights[key]; ok {
+		f.jobs = append(f.jobs, j)
+		return f, false
+	}
+	f = open()
+	f.key = key
+	f.jobs = []*Job{j}
+	b.flights[key] = f
+	return f, true
+}
+
+// complete closes the flight for key and returns it for result fan-out.
+func (b *batcher) complete(key string) *flight {
+	f := b.flights[key]
+	delete(b.flights, key)
+	return f
+}
+
+// open reports the number of open flights.
+func (b *batcher) open() int { return len(b.flights) }

@@ -1,0 +1,381 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// JobRequest is one job submission: run an algorithm on an instance with a
+// seed. The tuple (Instance, Alg, canonical Args, Mu, Seed) fully
+// determines the Result.
+type JobRequest struct {
+	Instance InstanceSpec       `json:"instance"`
+	Alg      string             `json:"alg"`
+	Args     map[string]float64 `json:"args,omitempty"`
+	// Mu is the space exponent µ (core.Params.Mu). nil means the default
+	// 0.2; explicit 0 selects the linear-space regime.
+	Mu   *float64 `json:"mu,omitempty"`
+	Seed uint64   `json:"seed"`
+}
+
+// defaultMu mirrors cmd/mrrun's -mu default.
+const defaultMu = 0.2
+
+// ErrQueueFull reports transient backpressure: the execution queue is at
+// capacity. Unlike validation errors, the same request can succeed once
+// in-flight work drains (the HTTP layer maps it to 503).
+var ErrQueueFull = errors.New("service: job queue full")
+
+// Result is the deterministic outcome of a job: identical for the same
+// request whether served cold, coalesced, or from the result cache.
+type Result struct {
+	InstanceID string             `json:"instance_id"`
+	Alg        string             `json:"alg"`
+	Args       map[string]float64 `json:"args,omitempty"`
+	Mu         float64            `json:"mu"`
+	Seed       uint64             `json:"seed"`
+	core.RunResult
+}
+
+// JobStatus is the lifecycle state of a job.
+type JobStatus string
+
+const (
+	StatusQueued  JobStatus = "queued"
+	StatusRunning JobStatus = "running"
+	StatusDone    JobStatus = "done"
+	StatusFailed  JobStatus = "failed"
+)
+
+// Source records which serving path answered a job.
+type Source string
+
+const (
+	SourceRun   Source = "run"   // this job's flight executed the algorithm
+	SourceBatch Source = "batch" // coalesced into an identical in-flight job
+	SourceCache Source = "cache" // answered from the LRU result store
+)
+
+// Job is one submitted job's mutable record. Fields are guarded by the
+// engine mutex; Snapshot returns a consistent copy and Done signals
+// completion.
+type Job struct {
+	ID     string
+	Key    string
+	Source Source
+	Status JobStatus
+	Result *Result
+	Err    string
+
+	created  time.Time
+	finished time.Time
+	done     chan struct{}
+}
+
+// JobView is the JSON projection of a Job.
+type JobView struct {
+	ID       string    `json:"id"`
+	Status   JobStatus `json:"status"`
+	Source   Source    `json:"source,omitempty"`
+	Result   *Result   `json:"result,omitempty"`
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
+	Finished time.Time `json:"finished"`
+}
+
+// Engine is the concurrent job engine: a bounded worker pool over the
+// instance cache, the single-flight batcher, and the LRU result store.
+type Engine struct {
+	cfg       Config
+	metrics   *Metrics
+	instances *instanceCache
+
+	mu      sync.Mutex
+	closed  bool
+	batch   *batcher
+	results *resultStore
+	jobs    map[string]*Job
+	jobSeq  uint64
+	history []string // job ids in creation order, for bounded retention
+
+	queue chan *flight
+	wg    sync.WaitGroup
+}
+
+// NewEngine starts an engine with cfg's worker pool.
+func NewEngine(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	m := NewMetrics()
+	e := &Engine{
+		cfg:       cfg,
+		metrics:   m,
+		instances: newInstanceCache(cfg.Instances, m),
+		batch:     newBatcher(),
+		results:   newResultStore(cfg.Results),
+		jobs:      make(map[string]*Job),
+		queue:     make(chan *flight, cfg.QueueDepth),
+	}
+	for i := 0; i < cfg.Pool; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Metrics exposes the engine's metrics set (for GET /metrics).
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// jobKey canonicalizes a request into the batching/caching key.
+func jobKey(instanceID, alg string, args map[string]float64, mu float64, seed uint64) string {
+	keys := make([]string, 0, len(args))
+	for k := range args {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "inst=%s alg=%s mu=%g seed=%d", instanceID, alg, mu, seed)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%g", k, args[k])
+	}
+	return b.String()
+}
+
+// Submit validates a request and enqueues (or instantly answers) a job.
+// The returned Job's Done channel closes on completion.
+func (e *Engine) Submit(req JobRequest) (*Job, error) {
+	alg, ok := core.LookupAlgorithm(req.Alg)
+	if !ok {
+		return nil, fmt.Errorf("service: unknown algorithm %q", req.Alg)
+	}
+	args, err := alg.CanonArgs(req.Args)
+	if err != nil {
+		return nil, err
+	}
+	if err := req.Instance.Validate(); err != nil {
+		return nil, err
+	}
+	if !req.Instance.Provides(alg.Input) {
+		return nil, fmt.Errorf("service: instance type %q does not provide the %s input algorithm %q needs",
+			req.Instance.Type, alg.Input, req.Alg)
+	}
+	instID, err := SpecID(req.Instance)
+	if err != nil {
+		return nil, err
+	}
+	mu := defaultMu
+	if req.Mu != nil {
+		mu = *req.Mu
+	}
+	key := jobKey(instID, req.Alg, args, mu, req.Seed)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("service: engine is shut down")
+	}
+	e.jobSeq++
+	j := &Job{
+		ID:      fmt.Sprintf("j-%08d", e.jobSeq),
+		Key:     key,
+		Status:  StatusQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	e.jobs[j.ID] = j
+	e.history = append(e.history, j.ID)
+	e.pruneHistoryLocked()
+	e.metrics.inc("jobs_submitted_total", 1)
+
+	if res, ok := e.results.get(key); ok {
+		j.Source = SourceCache
+		e.finishLocked(j, res, nil)
+		e.metrics.inc("jobs_cache_hits_total", 1)
+		return j, nil
+	}
+	f, leader := e.batch.attach(key, j, func() *flight {
+		return &flight{alg: req.Alg, spec: req.Instance, instID: instID,
+			args: args, mu: mu, seed: req.Seed}
+	})
+	if leader {
+		j.Source = SourceRun
+		select {
+		case e.queue <- f:
+		default:
+			// Queue full: roll back the flight and the job record.
+			e.batch.complete(key)
+			delete(e.jobs, j.ID)
+			e.history = e.history[:len(e.history)-1]
+			e.metrics.inc("jobs_rejected_total", 1)
+			return nil, fmt.Errorf("%w (%d queued)", ErrQueueFull, e.cfg.QueueDepth)
+		}
+	} else {
+		j.Source = SourceBatch
+		e.metrics.inc("jobs_coalesced_total", 1)
+	}
+	return j, nil
+}
+
+// Wait blocks until the job completes and returns its final snapshot.
+func (j *Job) Wait() { <-j.done }
+
+// Done returns the completion channel.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Get returns a snapshot of the job with the given id.
+func (e *Engine) Get(id string) (JobView, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.viewLocked(), true
+}
+
+// Snapshot returns the job's current view.
+func (e *Engine) Snapshot(j *Job) JobView {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return j.viewLocked()
+}
+
+// viewLocked projects the job; requires the engine mutex.
+func (j *Job) viewLocked() JobView {
+	return JobView{
+		ID: j.ID, Status: j.Status, Source: j.Source,
+		Result: j.Result, Error: j.Err,
+		Created: j.created, Finished: j.finished,
+	}
+}
+
+// Instances lists the instance cache (GET /v1/instances).
+func (e *Engine) Instances() []InstanceInfo { return e.instances.list() }
+
+// Upload decodes graph bytes, stores the built instance in the cache, and
+// returns its content-hash id. Jobs may then reference it as
+// {"type": "upload", "id": id}.
+func (e *Engine) Upload(data []byte) (string, InstanceInfo, error) {
+	spec := InstanceSpec{Type: "upload", Data: data}
+	id, err := SpecID(spec)
+	if err != nil {
+		return "", InstanceInfo{}, err
+	}
+	in, err := BuildInstance(spec)
+	if err != nil {
+		return "", InstanceInfo{}, err
+	}
+	e.instances.put(id, spec, in)
+	info := InstanceInfo{ID: id, Type: "upload", Words: instanceWords(in), Uploaded: true}
+	if g := in.Graph; g != nil {
+		info.N, info.M = g.N, g.M()
+	}
+	return id, info, nil
+}
+
+// worker executes flights until the queue closes.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for f := range e.queue {
+		e.execute(f)
+	}
+}
+
+// execute runs one flight's algorithm and fans the result out to every
+// attached job.
+func (e *Engine) execute(f *flight) {
+	start := time.Now()
+	e.mu.Lock()
+	for _, j := range f.jobs {
+		if j.Status == StatusQueued {
+			j.Status = StatusRunning
+		}
+	}
+	e.mu.Unlock()
+
+	var res *Result
+	in, err := e.instances.get(f.instID, f.spec)
+	if err == nil {
+		var run *core.RunResult
+		alg, _ := core.LookupAlgorithm(f.alg)
+		run, err = alg.Run(in, core.Params{Mu: f.mu, Seed: f.seed, Workers: e.cfg.Workers}, f.args)
+		if err == nil {
+			res = &Result{
+				InstanceID: f.instID, Alg: f.alg, Args: f.args,
+				Mu: f.mu, Seed: f.seed, RunResult: *run,
+			}
+		}
+	}
+
+	e.mu.Lock()
+	fl := e.batch.complete(f.key)
+	if res != nil {
+		e.results.put(f.key, res)
+	}
+	for _, j := range fl.jobs {
+		e.finishLocked(j, res, err)
+	}
+	e.mu.Unlock()
+	e.metrics.observeLatency(time.Since(start))
+	if err != nil {
+		e.metrics.inc("flights_failed_total", 1)
+	} else {
+		e.metrics.inc("flights_executed_total", 1)
+	}
+}
+
+// finishLocked completes a job; requires the engine mutex.
+func (e *Engine) finishLocked(j *Job, res *Result, err error) {
+	if err != nil {
+		j.Status = StatusFailed
+		j.Err = err.Error()
+		e.metrics.inc("jobs_failed_total", 1)
+	} else {
+		j.Status = StatusDone
+		j.Result = res
+		e.metrics.inc("jobs_completed_total", 1)
+	}
+	j.finished = time.Now()
+	close(j.done)
+}
+
+// pruneHistoryLocked drops the oldest finished job records beyond the
+// retention cap so a long-lived daemon's job map stays bounded.
+func (e *Engine) pruneHistoryLocked() {
+	if len(e.history) <= e.cfg.JobHistory {
+		return
+	}
+	kept := e.history[:0]
+	excess := len(e.history) - e.cfg.JobHistory
+	for i, id := range e.history {
+		j := e.jobs[id]
+		if excess > 0 && i < len(e.history)-1 && j != nil &&
+			(j.Status == StatusDone || j.Status == StatusFailed) {
+			delete(e.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	e.history = kept
+}
+
+// Close drains the queue — every accepted job still completes — then stops
+// the workers. Subsequent Submits fail.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.queue)
+	e.wg.Wait()
+}

@@ -1,0 +1,148 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// Server is the HTTP JSON API over an Engine.
+//
+//	POST /v1/jobs        submit a job; {"wait": true} blocks until done
+//	GET  /v1/jobs/{id}   poll a job
+//	GET  /v1/instances   list cached instances
+//	POST /v1/instances   upload a graph (graph.Encode text, gzip accepted)
+//	GET  /v1/algorithms  list the algorithm registry with param schemas
+//	GET  /metrics        plain-text counters and latency histogram
+type Server struct {
+	engine *Engine
+	mux    *http.ServeMux
+}
+
+// maxUploadBytes bounds instance uploads (decompressed text can be much
+// larger; the decoder's own header checks bound the result).
+const maxUploadBytes = 256 << 20
+
+// NewServer wires the routes.
+func NewServer(e *Engine) *Server {
+	s := &Server{engine: e, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.submitJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
+	s.mux.HandleFunc("GET /v1/instances", s.listInstances)
+	s.mux.HandleFunc("POST /v1/instances", s.uploadInstance)
+	s.mux.HandleFunc("GET /v1/algorithms", s.listAlgorithms)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// jobSubmission is the POST /v1/jobs body: a JobRequest plus transport
+// options.
+type jobSubmission struct {
+	JobRequest
+	Wait bool `json:"wait,omitempty"`
+}
+
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
+	var sub jobSubmission
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sub); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	j, err := s.engine.Submit(sub.JobRequest)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrQueueFull) {
+			// Transient backpressure, not a malformed request: clients
+			// should retry, so it must not look like a 4xx validation
+			// failure.
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	if sub.Wait {
+		select {
+		case <-j.Done():
+		case <-r.Context().Done():
+			// The job keeps running; the client just stopped waiting.
+			writeJSON(w, http.StatusAccepted, s.engine.Snapshot(j))
+			return
+		}
+		writeJSON(w, http.StatusOK, s.engine.Snapshot(j))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.engine.Snapshot(j))
+}
+
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.engine.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) listInstances(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"instances": s.engine.Instances()})
+}
+
+func (s *Server) uploadInstance(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("upload: %v", err))
+		return
+	}
+	_, info, err := s.engine.Upload(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// algorithmView is one GET /v1/algorithms row.
+type algorithmView struct {
+	Name    string           `json:"name"`
+	Summary string           `json:"summary"`
+	Input   string           `json:"input"`
+	Params  []core.ParamSpec `json:"params,omitempty"`
+}
+
+func (s *Server) listAlgorithms(w http.ResponseWriter, r *http.Request) {
+	algs := core.Algorithms()
+	out := make([]algorithmView, 0, len(algs))
+	for _, a := range algs {
+		out = append(out, algorithmView{
+			Name: a.Name, Summary: a.Summary,
+			Input: a.Input.String(), Params: a.Params,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"algorithms": out})
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = s.engine.Metrics().WritePlain(w)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics collects service counters and a job-latency histogram, rendered
+// as a deterministic plain-text document by WritePlain (GET /metrics).
+// All methods are safe for concurrent use.
+type Metrics struct {
+	mu sync.Mutex
+
+	counters map[string]uint64
+
+	// latencyBuckets[i] counts jobs with latency <= 2^i milliseconds;
+	// latencyOver counts the rest. latencySum/latencyCount feed the mean.
+	latencyBuckets [latencyBucketCount]uint64
+	latencyOver    uint64
+	latencySum     float64 // milliseconds
+	latencyCount   uint64
+}
+
+// latencyBucketCount covers 1ms .. 2^17ms (~2 minutes) in power-of-two
+// buckets; slower jobs land in the +Inf bucket.
+const latencyBucketCount = 18
+
+// NewMetrics returns an empty metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{counters: make(map[string]uint64)}
+}
+
+// inc adds delta to the named counter.
+func (m *Metrics) inc(name string, delta uint64) {
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// observeLatency records one completed-job latency in the histogram.
+func (m *Metrics) observeLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.mu.Lock()
+	m.latencySum += ms
+	m.latencyCount++
+	bound := 1.0
+	placed := false
+	for i := 0; i < latencyBucketCount; i++ {
+		if ms <= bound {
+			m.latencyBuckets[i]++
+			placed = true
+			break
+		}
+		bound *= 2
+	}
+	if !placed {
+		m.latencyOver++
+	}
+	m.mu.Unlock()
+}
+
+// counter reads one counter (testing helper).
+func (m *Metrics) counter(name string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// WritePlain renders every counter (sorted by name) and the latency
+// histogram in a Prometheus-style plain-text format.
+func (m *Metrics) WritePlain(w io.Writer) error {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.counters))
+	for name := range m.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	lines := make([]string, 0, len(names)+latencyBucketCount+4)
+	for _, name := range names {
+		lines = append(lines, fmt.Sprintf("mrserve_%s %d", name, m.counters[name]))
+	}
+	cum := uint64(0)
+	bound := 1
+	for i := 0; i < latencyBucketCount; i++ {
+		cum += m.latencyBuckets[i]
+		lines = append(lines, fmt.Sprintf("mrserve_job_latency_ms_bucket{le=%q} %d", fmt.Sprint(bound), cum))
+		bound *= 2
+	}
+	lines = append(lines,
+		fmt.Sprintf("mrserve_job_latency_ms_bucket{le=\"+Inf\"} %d", cum+m.latencyOver),
+		fmt.Sprintf("mrserve_job_latency_ms_sum %.3f", m.latencySum),
+		fmt.Sprintf("mrserve_job_latency_ms_count %d", m.latencyCount))
+	m.mu.Unlock()
+
+	for _, line := range lines {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+// Package service is the concurrent job-serving subsystem over the MPC
+// simulator: the layer that turns "run one algorithm once per process"
+// (cmd/mrrun) into "serve many algorithm jobs from one long-lived daemon"
+// (cmd/mrserve), the ROADMAP's serving north star.
+//
+// The pieces, bottom to top:
+//
+//   - InstanceSpec + BuildInstance (spec.go): a declarative, hashable
+//     description of a problem instance — generator parameters or uploaded
+//     graph bytes. Building is deterministic: one spec, one instance,
+//     bit-identical everywhere.
+//   - the instance cache (instances.go): builds each distinct spec once
+//     (single-flight) and shares the immutable instance across all jobs
+//     that reference it, with LRU eviction beyond a capacity.
+//   - the job engine (engine.go) with its single-flight batcher
+//     (batcher.go) and LRU result store (store.go): a bounded worker pool
+//     executes jobs, identical in-flight requests coalesce into one
+//     execution whose result fans out to every waiter, and completed
+//     results are served from cache.
+//   - Metrics (metrics.go): plain-text counters and a job-latency
+//     histogram for GET /metrics.
+//   - Server (http.go): the HTTP JSON API (POST /v1/jobs, GET
+//     /v1/jobs/{id}, GET/POST /v1/instances, GET /v1/algorithms,
+//     GET /metrics).
+//
+// # Determinism
+//
+// A job is the tuple (instance spec, algorithm, canonical args, µ, seed).
+// Its Result is a pure function of that tuple: the same job served cold,
+// coalesced into a concurrent identical request, or answered from the
+// result cache carries bit-identical solution summaries and model metrics
+// (rounds, words, max space). Only the Job envelope (id, source, timing)
+// differs between serving paths. This is the same executor-independence
+// contract the simulator already guarantees (DESIGN.md): the engine's
+// worker pool and per-job round executor change wall-clock, never results.
+package service
+
+import "runtime"
+
+// Config sizes the engine.
+type Config struct {
+	// Pool is the number of jobs executed concurrently (the worker pool
+	// size). Default: GOMAXPROCS.
+	Pool int
+	// Workers is the per-job round-executor pool handed to core.Params
+	// (0|1 sequential, >1 that many goroutines, <0 one per CPU). It never
+	// changes results, only wall-clock. Default: 1 (sequential) — with
+	// several jobs in flight, cross-job parallelism usually beats
+	// within-job parallelism.
+	Workers int
+	// Results caps the LRU result store. Default: 256.
+	Results int
+	// Instances caps the instance cache entry count. Default: 64.
+	Instances int
+	// QueueDepth bounds the number of queued (not yet running)
+	// executions; submissions beyond it are rejected. Default: 1024.
+	QueueDepth int
+	// JobHistory caps retained completed job records. Default: 4096.
+	JobHistory int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Pool <= 0 {
+		c.Pool = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.Results <= 0 {
+		c.Results = 256
+	}
+	if c.Instances <= 0 {
+		c.Instances = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 4096
+	}
+	return c
+}

@@ -1,0 +1,428 @@
+package service
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// directRun executes a request the way cmd/mrrun does — build the instance
+// from the spec, run the algorithm through the registry — bypassing the
+// engine entirely. It is the reference for the serving-path determinism
+// tests.
+func directRun(t testing.TB, req JobRequest) *core.RunResult {
+	t.Helper()
+	in, err := BuildInstance(req.Instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, ok := core.LookupAlgorithm(req.Alg)
+	if !ok {
+		t.Fatalf("unknown algorithm %q", req.Alg)
+	}
+	mu := defaultMu
+	if req.Mu != nil {
+		mu = *req.Mu
+	}
+	res, err := alg.Run(in, core.Params{Mu: mu, Seed: req.Seed, Workers: 0}, req.Args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// mustSubmit submits and fails the test on error.
+func mustSubmit(t testing.TB, e *Engine, req JobRequest) *Job {
+	t.Helper()
+	j, err := e.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// finished waits for the job and returns its final view, failing on error.
+func finished(t testing.TB, e *Engine, j *Job) JobView {
+	t.Helper()
+	j.Wait()
+	v := e.Snapshot(j)
+	if v.Status != StatusDone {
+		t.Fatalf("job %s: status %s, error %q", v.ID, v.Status, v.Error)
+	}
+	return v
+}
+
+// assertSameResult asserts the deterministic payload matches the direct
+// reference bit for bit: summary string, scalars, and model metrics.
+func assertSameResult(t *testing.T, label string, got *Result, want *core.RunResult) {
+	t.Helper()
+	if got == nil {
+		t.Fatalf("%s: nil result", label)
+	}
+	if got.Summary != want.Summary {
+		t.Errorf("%s: summary %q, want %q", label, got.Summary, want.Summary)
+	}
+	if got.Size != want.Size || got.Weight != want.Weight || got.Valid != want.Valid ||
+		got.Iterations != want.Iterations {
+		t.Errorf("%s: scalars (%d, %v, %v, %d), want (%d, %v, %v, %d)", label,
+			got.Size, got.Weight, got.Valid, got.Iterations,
+			want.Size, want.Weight, want.Valid, want.Iterations)
+	}
+	if got.Metrics != want.Metrics {
+		t.Errorf("%s: metrics %+v, want %+v", label, got.Metrics, want.Metrics)
+	}
+}
+
+// TestServingPathsDeterminism is the end-to-end determinism check: the
+// same (instance spec, alg, args, µ, seed) must return bit-identical
+// results served cold, coalesced into a concurrent identical request,
+// repeated from cache, and on an engine with a parallel round executor —
+// all equal to the direct (mrrun-style) run.
+func TestServingPathsDeterminism(t *testing.T) {
+	reqs := []JobRequest{
+		{Instance: InstanceSpec{Type: "density", N: 150, C: 0.3, Seed: 7}, Alg: "matching", Seed: 7},
+		{Instance: InstanceSpec{Type: "density", N: 120, C: 0.3, Seed: 4}, Alg: "mis", Seed: 4},
+		{Instance: InstanceSpec{Type: "vertexcover", N: 100, C: 0.3, Seed: 3}, Alg: "vertexcover", Seed: 3},
+		{Instance: InstanceSpec{Type: "setcover-f", N: 60, C: 0.3, F: 3, Seed: 2}, Alg: "setcover-f", Seed: 2},
+		{Instance: InstanceSpec{Type: "setcover-greedy", N: 120, Seed: 9}, Alg: "setcover-greedy",
+			Args: map[string]float64{"eps": 0.3}, Seed: 9},
+		{Instance: InstanceSpec{Type: "density", N: 100, C: 0.3, Seed: 5}, Alg: "bmatching",
+			Args: map[string]float64{"b": 3}, Seed: 5},
+	}
+	for _, req := range reqs {
+		req := req
+		t.Run(req.Alg, func(t *testing.T) {
+			want := directRun(t, req)
+
+			// Cold.
+			e := NewEngine(Config{Pool: 2})
+			defer e.Close()
+			cold := finished(t, e, mustSubmit(t, e, req))
+			if cold.Source != SourceRun {
+				t.Fatalf("cold source %q", cold.Source)
+			}
+			assertSameResult(t, "cold", cold.Result, want)
+
+			// Repeated: served from the LRU result store.
+			cached := finished(t, e, mustSubmit(t, e, req))
+			if cached.Source != SourceCache {
+				t.Fatalf("repeat source %q, want cache", cached.Source)
+			}
+			assertSameResult(t, "cached", cached.Result, want)
+
+			// Coalesced: on a fresh single-worker engine, occupy the
+			// worker, then submit the job twice; the second submission
+			// must attach to the first's flight.
+			e2 := NewEngine(Config{Pool: 1})
+			defer e2.Close()
+			blocker := mustSubmit(t, e2, JobRequest{
+				Instance: InstanceSpec{Type: "density", N: 200, C: 0.3, Seed: 99},
+				Alg:      "luby", Seed: 99,
+			})
+			leader := mustSubmit(t, e2, req)
+			follower := mustSubmit(t, e2, req)
+			blocker.Wait()
+			lv, fv := finished(t, e2, leader), finished(t, e2, follower)
+			if lv.Source != SourceRun || fv.Source != SourceBatch {
+				t.Fatalf("coalesced sources (%q, %q), want (run, batch)", lv.Source, fv.Source)
+			}
+			assertSameResult(t, "leader", lv.Result, want)
+			assertSameResult(t, "follower", fv.Result, want)
+
+			// Parallel round executor: wall-clock-only by contract.
+			e3 := NewEngine(Config{Pool: 1, Workers: -1})
+			defer e3.Close()
+			par := finished(t, e3, mustSubmit(t, e3, req))
+			assertSameResult(t, "parallel-executor", par.Result, want)
+		})
+	}
+}
+
+// TestEngineHammer floods the engine with concurrent identical and
+// distinct jobs (run under -race by CI). Every job must complete with the
+// result of its key's reference run — no cross-job interference in
+// results or model metrics — and each distinct key must execute exactly
+// once (single-flight + cache).
+func TestEngineHammer(t *testing.T) {
+	reqs := []JobRequest{
+		{Instance: InstanceSpec{Type: "density", N: 90, C: 0.3, Seed: 1}, Alg: "mis", Seed: 1},
+		{Instance: InstanceSpec{Type: "density", N: 90, C: 0.3, Seed: 1}, Alg: "luby", Seed: 8},
+		{Instance: InstanceSpec{Type: "density", N: 80, C: 0.3, Seed: 2}, Alg: "matching", Seed: 5},
+		{Instance: InstanceSpec{Type: "setcover-f", N: 40, C: 0.3, F: 3, Seed: 3}, Alg: "setcover-f", Seed: 2},
+		{Instance: InstanceSpec{Type: "density", N: 70, C: 0.3, Seed: 4}, Alg: "vcolour", Seed: 6},
+	}
+	want := make([]*core.RunResult, len(reqs))
+	for i, req := range reqs {
+		want[i] = directRun(t, req)
+	}
+
+	e := NewEngine(Config{Pool: 4, Results: 64, Instances: 16})
+	defer e.Close()
+
+	const waves = 8
+	var wg sync.WaitGroup
+	views := make([]JobView, waves*len(reqs))
+	errs := make([]error, waves*len(reqs))
+	for w := 0; w < waves; w++ {
+		for i, req := range reqs {
+			wg.Add(1)
+			go func(slot int, req JobRequest) {
+				defer wg.Done()
+				j, err := e.Submit(req)
+				if err != nil {
+					errs[slot] = err
+					return
+				}
+				j.Wait()
+				views[slot] = e.Snapshot(j)
+			}(w*len(reqs)+i, req)
+		}
+	}
+	wg.Wait()
+	for slot, err := range errs {
+		if err != nil {
+			t.Fatalf("slot %d: %v", slot, err)
+		}
+	}
+	for slot, v := range views {
+		i := slot % len(reqs)
+		if v.Status != StatusDone {
+			t.Fatalf("slot %d (%s): status %s, error %q", slot, reqs[i].Alg, v.Status, v.Error)
+		}
+		assertSameResult(t, fmt.Sprintf("slot %d (%s, source %s)", slot, reqs[i].Alg, v.Source),
+			v.Result, want[i])
+	}
+
+	m := e.Metrics()
+	if got := m.counter("flights_executed_total"); got != uint64(len(reqs)) {
+		t.Errorf("flights executed %d, want %d (single-flight per distinct key)", got, len(reqs))
+	}
+	if got := m.counter("jobs_completed_total"); got != waves*uint64(len(reqs)) {
+		t.Errorf("jobs completed %d, want %d", got, waves*len(reqs))
+	}
+	coalesced := m.counter("jobs_coalesced_total")
+	hits := m.counter("jobs_cache_hits_total")
+	if coalesced+hits != (waves-1)*uint64(len(reqs)) {
+		t.Errorf("coalesced %d + cache hits %d = %d, want %d",
+			coalesced, hits, coalesced+hits, (waves-1)*len(reqs))
+	}
+	// The instance cache must have built each distinct spec exactly once
+	// (two reqs share a spec).
+	if got := m.counter("instances_built_total"); got != 4 {
+		t.Errorf("instances built %d, want 4", got)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	e := NewEngine(Config{Pool: 1})
+	defer e.Close()
+	spec := InstanceSpec{Type: "density", N: 50, C: 0.3, Seed: 1}
+	cases := []struct {
+		name string
+		req  JobRequest
+	}{
+		{"unknown alg", JobRequest{Instance: spec, Alg: "nope"}},
+		{"unknown arg", JobRequest{Instance: spec, Alg: "matching", Args: map[string]float64{"zeta": 1}}},
+		{"bad spec type", JobRequest{Instance: InstanceSpec{Type: "wat", N: 5}, Alg: "matching"}},
+		{"zero n", JobRequest{Instance: InstanceSpec{Type: "density"}, Alg: "matching"}},
+		{"huge n", JobRequest{Instance: InstanceSpec{Type: "density", N: 1 << 30, C: 0.3}, Alg: "matching"}},
+		{"incompatible input", JobRequest{Instance: spec, Alg: "setcover-f"}},
+		{"graph alg on setcover", JobRequest{Instance: InstanceSpec{Type: "setcover-greedy", N: 40}, Alg: "mis"}},
+		{"upload without data", JobRequest{Instance: InstanceSpec{Type: "upload"}, Alg: "mis"}},
+	}
+	for _, tc := range cases {
+		if _, err := e.Submit(tc.req); err == nil {
+			t.Errorf("%s: expected a submit error", tc.name)
+		}
+	}
+	// A valid bmatching b must be >= 1; that is a run-time failure (the
+	// job fails, the submit succeeds).
+	j := mustSubmit(t, e, JobRequest{Instance: spec, Alg: "bmatching",
+		Args: map[string]float64{"b": 0}, Seed: 1})
+	j.Wait()
+	if v := e.Snapshot(j); v.Status != StatusFailed || v.Error == "" {
+		t.Errorf("b=0 job: status %s, error %q; want failed", v.Status, v.Error)
+	}
+}
+
+func TestSpecIDs(t *testing.T) {
+	a := InstanceSpec{Type: "density", N: 100, C: 0.3, Seed: 1}
+	b := InstanceSpec{Type: "density", N: 100, C: 0.3, Seed: 2}
+	idA1, err := SpecID(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA2, _ := SpecID(a)
+	idB, _ := SpecID(b)
+	if idA1 != idA2 {
+		t.Errorf("spec id unstable: %s vs %s", idA1, idA2)
+	}
+	if idA1 == idB {
+		t.Errorf("distinct seeds share id %s", idA1)
+	}
+	if _, err := SpecID(InstanceSpec{Type: "density", N: -1}); err == nil {
+		t.Error("negative n: expected error")
+	}
+}
+
+func TestJobKeyCanonicalization(t *testing.T) {
+	// Argument order and absent-vs-explicit defaults must not change the
+	// key: both submissions below coalesce or cache-hit.
+	e := NewEngine(Config{Pool: 1})
+	defer e.Close()
+	spec := InstanceSpec{Type: "density", N: 60, C: 0.3, Seed: 3}
+	j1 := finished(t, e, mustSubmit(t, e, JobRequest{Instance: spec, Alg: "bmatching",
+		Args: map[string]float64{"b": 2, "eps": 0.2}, Seed: 3}))
+	j2 := finished(t, e, mustSubmit(t, e, JobRequest{Instance: spec, Alg: "bmatching", Seed: 3}))
+	if j2.Source != SourceCache {
+		t.Fatalf("defaulted-args resubmit source %q, want cache", j2.Source)
+	}
+	if j1.Result.Summary != j2.Result.Summary {
+		t.Fatalf("summaries differ: %q vs %q", j1.Result.Summary, j2.Result.Summary)
+	}
+}
+
+func TestInstanceEviction(t *testing.T) {
+	e := NewEngine(Config{Pool: 1, Instances: 2})
+	defer e.Close()
+	submit := func(specSeed, jobSeed uint64) {
+		finished(t, e, mustSubmit(t, e, JobRequest{
+			Instance: InstanceSpec{Type: "density", N: 50, C: 0.3, Seed: specSeed},
+			Alg:      "mis", Seed: jobSeed,
+		}))
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		submit(seed, seed)
+	}
+	if got := len(e.Instances()); got > 2 {
+		t.Errorf("instance cache holds %d entries, cap 2", got)
+	}
+	if got := e.Metrics().counter("instances_evicted_total"); got < 1 {
+		t.Errorf("expected at least one eviction, got %d", got)
+	}
+	// Eviction must victimize the LRU entry, never the entry being
+	// inserted: spec 3 (just requested) stays cached, so a new job on it
+	// builds nothing.
+	found := false
+	for _, info := range e.Instances() {
+		id, _ := SpecID(InstanceSpec{Type: "density", N: 50, C: 0.3, Seed: 3})
+		if info.ID == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("most recently used instance was evicted")
+	}
+	built := e.Metrics().counter("instances_built_total")
+	submit(3, 99) // distinct job key, same instance
+	if got := e.Metrics().counter("instances_built_total"); got != built {
+		t.Errorf("cached instance rebuilt: builds %d -> %d", built, got)
+	}
+}
+
+func TestResultStoreLRU(t *testing.T) {
+	s := newResultStore(2)
+	r := func(i int) *Result { return &Result{Seed: uint64(i)} }
+	s.put("a", r(1))
+	s.put("b", r(2))
+	if _, ok := s.get("a"); !ok { // refresh a
+		t.Fatal("a missing")
+	}
+	s.put("c", r(3)) // evicts b
+	if _, ok := s.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := s.get(k); !ok {
+			t.Errorf("%s missing", k)
+		}
+	}
+	if s.len() != 2 {
+		t.Errorf("len %d, want 2", s.len())
+	}
+}
+
+func TestUploadServesJobs(t *testing.T) {
+	// Upload a graph, run on it by id, and check the result equals the
+	// direct run on inline data.
+	in, err := BuildInstance(InstanceSpec{Type: "density", N: 80, C: 0.3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := encodeGraph(t, in)
+
+	e := NewEngine(Config{Pool: 1})
+	defer e.Close()
+	id, info, err := e.Upload(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.N != 80 || info.M != in.Graph.M() {
+		t.Fatalf("upload info %+v", info)
+	}
+	want := directRun(t, JobRequest{Instance: InstanceSpec{Type: "upload", Data: data}, Alg: "luby", Seed: 2})
+	v := finished(t, e, mustSubmit(t, e, JobRequest{
+		Instance: InstanceSpec{Type: "upload", ID: id}, Alg: "luby", Seed: 2,
+	}))
+	assertSameResult(t, "upload-by-id", v.Result, want)
+
+	// Unknown (or evicted) id: submit succeeds, job fails gracefully.
+	j := mustSubmit(t, e, JobRequest{Instance: InstanceSpec{Type: "upload", ID: "feedbeef"}, Alg: "luby", Seed: 2})
+	j.Wait()
+	if view := e.Snapshot(j); view.Status != StatusFailed {
+		t.Fatalf("unknown id: status %s, want failed", view.Status)
+	}
+}
+
+func TestEngineCloseDrains(t *testing.T) {
+	e := NewEngine(Config{Pool: 1})
+	jobs := make([]*Job, 0, 4)
+	for seed := uint64(1); seed <= 4; seed++ {
+		jobs = append(jobs, mustSubmit(t, e, JobRequest{
+			Instance: InstanceSpec{Type: "density", N: 60, C: 0.3, Seed: 1},
+			Alg:      "mis", Seed: seed,
+		}))
+	}
+	e.Close()
+	for _, j := range jobs {
+		select {
+		case <-j.Done():
+		default:
+			t.Fatalf("job %s not completed by Close", j.ID)
+		}
+		if v := e.Snapshot(j); v.Status != StatusDone {
+			t.Fatalf("job %s: status %s after drain", j.ID, v.Status)
+		}
+	}
+	if _, err := e.Submit(JobRequest{
+		Instance: InstanceSpec{Type: "density", N: 60, C: 0.3, Seed: 1},
+		Alg:      "mis", Seed: 9,
+	}); err == nil {
+		t.Fatal("submit after Close should fail")
+	}
+}
+
+func TestAlgorithmsRegistry(t *testing.T) {
+	algs := core.Algorithms()
+	if len(algs) != 12 {
+		t.Fatalf("registry has %d algorithms, want 12", len(algs))
+	}
+	names := make([]string, len(algs))
+	for i, a := range algs {
+		names[i] = a.Name
+	}
+	if !reflect.DeepEqual(names, []string{
+		"bmatching", "clique", "ecolour", "filtering", "luby", "matching",
+		"mis", "mis-simple", "setcover-f", "setcover-greedy", "vcolour", "vertexcover",
+	}) {
+		t.Fatalf("registry names %v", names)
+	}
+	for _, a := range algs {
+		if _, ok := core.LookupAlgorithm(a.Name); !ok {
+			t.Errorf("lookup %q failed", a.Name)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/setcover"
+)
+
+// InstanceSpec declares a problem instance. Specs are pure data: building
+// one is deterministic (BuildInstance), so a spec's canonical hash (ID)
+// names the instance it produces, and the instance cache can share one
+// built instance across every job that references the same spec.
+//
+// Types and their fields:
+//
+//	density          n, c, seed   — graph.Density(n, c): m = n^{1+c} edges,
+//	                                uniform edge weights in [1,100)
+//	vertexcover      n, c, seed   — the density graph plus uniform vertex
+//	                                weights in [1,10), converted to the
+//	                                f = 2 set cover instance
+//	setcover-f       n, c, f, seed — setcover.RandomFrequency: n sets,
+//	                                m = n^{1+c} elements, frequency ≤ f
+//	setcover-greedy  n, seed      — setcover.RandomSized: n sets over
+//	                                max(n/10, 10) elements, ∆ ≈ 12
+//	upload           data | id    — a graph in the graph.Encode text format
+//	                                (gzip transparently accepted); id
+//	                                references a previously uploaded
+//	                                instance by its content hash
+//
+// The generator seed discipline mirrors cmd/mrrun: a root rng.New(seed)
+// split once per generator draw, in a fixed order.
+type InstanceSpec struct {
+	Type string  `json:"type"`
+	N    int     `json:"n,omitempty"`
+	C    float64 `json:"c,omitempty"`
+	F    int     `json:"f,omitempty"`
+	Seed uint64  `json:"seed,omitempty"`
+	// Data carries uploaded graph bytes (base64 in JSON) for type
+	// "upload". ID references an instance already in the cache instead;
+	// when Data is set, ID is ignored and recomputed from the content.
+	Data []byte `json:"data,omitempty"`
+	ID   string `json:"id,omitempty"`
+}
+
+// maxInstanceN bounds generator sizes so a malformed request cannot ask the
+// daemon for a terabyte instance.
+const maxInstanceN = 1 << 22
+
+// Validate checks the spec's parameters without building anything.
+func (s InstanceSpec) Validate() error {
+	switch s.Type {
+	case "density", "vertexcover":
+		if s.N < 1 || s.N > maxInstanceN {
+			return fmt.Errorf("service: %s spec needs 1 <= n <= %d, got %d", s.Type, maxInstanceN, s.N)
+		}
+		if s.C < 0 || s.C > 1 {
+			return fmt.Errorf("service: %s spec needs 0 <= c <= 1, got %g", s.Type, s.C)
+		}
+	case "setcover-f":
+		if s.N < 1 || s.N > maxInstanceN {
+			return fmt.Errorf("service: setcover-f spec needs 1 <= n <= %d, got %d", maxInstanceN, s.N)
+		}
+		if s.C < 0 || s.C > 1 {
+			return fmt.Errorf("service: setcover-f spec needs 0 <= c <= 1, got %g", s.C)
+		}
+		if s.F < 1 || s.F > s.N {
+			return fmt.Errorf("service: setcover-f spec needs 1 <= f <= n, got f=%d n=%d", s.F, s.N)
+		}
+	case "setcover-greedy":
+		if s.N < 1 || s.N > maxInstanceN {
+			return fmt.Errorf("service: setcover-greedy spec needs 1 <= n <= %d, got %d", maxInstanceN, s.N)
+		}
+	case "upload":
+		if len(s.Data) == 0 && s.ID == "" {
+			return fmt.Errorf("service: upload spec needs data or id")
+		}
+	case "":
+		return fmt.Errorf("service: instance spec missing type")
+	default:
+		return fmt.Errorf("service: unknown instance type %q", s.Type)
+	}
+	return nil
+}
+
+// Provides reports whether instances of this spec satisfy an algorithm's
+// input requirement.
+func (s InstanceSpec) Provides(kind core.InputKind) bool {
+	switch s.Type {
+	case "density", "upload":
+		return kind == core.InputGraph
+	case "vertexcover":
+		// The built input carries both the graph and the derived set
+		// cover instance, so plain graph algorithms can run on it too.
+		return kind == core.InputGraph || kind == core.InputVertexCover
+	case "setcover-f", "setcover-greedy":
+		return kind == core.InputSetCover
+	}
+	return false
+}
+
+// canonical returns the deterministic serialization hashed into the spec
+// ID. Only the fields that affect the built instance participate.
+func (s InstanceSpec) canonical() (string, error) {
+	switch s.Type {
+	case "density", "vertexcover":
+		return fmt.Sprintf("%s n=%d c=%g seed=%d", s.Type, s.N, s.C, s.Seed), nil
+	case "setcover-f":
+		return fmt.Sprintf("setcover-f n=%d c=%g f=%d seed=%d", s.N, s.C, s.F, s.Seed), nil
+	case "setcover-greedy":
+		return fmt.Sprintf("setcover-greedy n=%d seed=%d", s.N, s.Seed), nil
+	case "upload":
+		if len(s.Data) == 0 {
+			if s.ID == "" {
+				return "", fmt.Errorf("service: upload spec needs data or id")
+			}
+			return "", errUploadByID
+		}
+		// Hash the decoded, re-encoded content so the id is invariant
+		// under gzip and formatting, but sensitive to edge order (edge
+		// order is part of the algorithms' determinism contract).
+		g, err := graph.DecodeAuto(bytes.NewReader(s.Data))
+		if err != nil {
+			return "", err
+		}
+		var buf bytes.Buffer
+		if err := graph.Encode(&buf, g); err != nil {
+			return "", err
+		}
+		sum := sha256.Sum256(buf.Bytes())
+		return "upload sha256=" + hex.EncodeToString(sum[:]), nil
+	}
+	return "", fmt.Errorf("service: unknown instance type %q", s.Type)
+}
+
+// errUploadByID marks a spec that references an uploaded instance by id:
+// it cannot be built from the spec alone, only found in the cache.
+var errUploadByID = fmt.Errorf("service: upload spec references an instance by id")
+
+// SpecID returns the canonical content hash naming the instance the spec
+// builds. For upload-by-id specs it returns the referenced id verbatim.
+func SpecID(s InstanceSpec) (string, error) {
+	if err := s.Validate(); err != nil {
+		return "", err
+	}
+	canon, err := s.canonical()
+	if err == errUploadByID {
+		return s.ID, nil
+	}
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256([]byte(canon))
+	return hex.EncodeToString(sum[:16]), nil
+}
+
+// BuildInstance deterministically builds the instance a spec describes and
+// pre-materializes every lazily-built index (CSR adjacency, weight slab,
+// set cover dual), so the returned Input is safe to share across concurrent
+// readers. Upload-by-id specs cannot be built here; the instance cache
+// resolves them.
+func BuildInstance(s InstanceSpec) (core.Input, error) {
+	if err := s.Validate(); err != nil {
+		return core.Input{}, err
+	}
+	r := rng.New(s.Seed)
+	var in core.Input
+	switch s.Type {
+	case "density":
+		g := graph.Density(s.N, s.C, r.Split())
+		g.AssignUniformWeights(r.Split(), 1, 100)
+		in = core.Input{Graph: g}
+	case "vertexcover":
+		g := graph.Density(s.N, s.C, r.Split())
+		g.AssignUniformWeights(r.Split(), 1, 100)
+		wr := r.Split()
+		w := make([]float64, g.N)
+		for i := range w {
+			w[i] = wr.UniformWeight(1, 10)
+		}
+		in = core.Input{Graph: g, Cover: setcover.FromVertexCover(g, w)}
+	case "setcover-f":
+		m := int(math.Pow(float64(s.N), 1+s.C))
+		in = core.Input{Cover: setcover.RandomFrequency(s.N, m, s.F, 10, r.Split())}
+	case "setcover-greedy":
+		m := s.N / 10
+		if m < 10 {
+			m = 10
+		}
+		in = core.Input{Cover: setcover.RandomSized(s.N, m, 12, 8, r.Split())}
+	case "upload":
+		if len(s.Data) == 0 {
+			return core.Input{}, errUploadByID
+		}
+		g, err := graph.DecodeAuto(bytes.NewReader(s.Data))
+		if err != nil {
+			return core.Input{}, err
+		}
+		in = core.Input{Graph: g}
+	default:
+		return core.Input{}, fmt.Errorf("service: unknown instance type %q", s.Type)
+	}
+	materialize(in)
+	return in, nil
+}
+
+// materialize forces every lazily-built index so concurrent jobs only ever
+// read. Graph.Build/buildWeights and Instance.Dual mutate on first use —
+// done here, once, before the instance is shared.
+func materialize(in core.Input) {
+	if g := in.Graph; g != nil {
+		g.Build()
+		if g.N > 0 {
+			g.NeighborsW(0)
+		}
+	}
+	if c := in.Cover; c != nil {
+		c.Dual()
+	}
+}
+
+// instanceWords approximates the resident size of an instance in words,
+// for the instance listing.
+func instanceWords(in core.Input) int64 {
+	var w int64
+	if g := in.Graph; g != nil {
+		w += int64(g.N) + 4*int64(g.M())
+	}
+	if c := in.Cover; c != nil {
+		w += int64(c.NumSets()) + 2*int64(c.TotalSize())
+	}
+	return w
+}

@@ -1,0 +1,50 @@
+package service
+
+import "container/list"
+
+// resultStore is a small LRU cache from job key to completed Result.
+// Results are immutable once stored, so a cache hit can be handed to a
+// caller without copying. Guarded by the engine mutex.
+type resultStore struct {
+	cap   int
+	order *list.List               // front = most recently used
+	items map[string]*list.Element // key -> element whose Value is *storedResult
+}
+
+type storedResult struct {
+	key string
+	res *Result
+}
+
+func newResultStore(cap int) *resultStore {
+	return &resultStore{cap: cap, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (s *resultStore) get(key string) (*Result, bool) {
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*storedResult).res, true
+}
+
+// put inserts (or refreshes) a result, evicting the least recently used
+// entry beyond capacity.
+func (s *resultStore) put(key string, res *Result) {
+	if el, ok := s.items[key]; ok {
+		el.Value.(*storedResult).res = res
+		s.order.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.order.PushFront(&storedResult{key: key, res: res})
+	for s.order.Len() > s.cap {
+		last := s.order.Back()
+		s.order.Remove(last)
+		delete(s.items, last.Value.(*storedResult).key)
+	}
+}
+
+// len reports the number of cached results.
+func (s *resultStore) len() int { return s.order.Len() }
