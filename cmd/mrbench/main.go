@@ -12,9 +12,12 @@
 // come from a full run. -workers sets the simulator's round-executor pool
 // (-1 = one per CPU); it changes wall-clock only, never results. -json
 // replaces the markdown with one JSON document carrying every experiment's
-// measurements plus wall-clock and the active worker count, so performance
-// trajectories can be tracked across commits (e.g.
-// `mrbench -quick -json > BENCH_quick.json`).
+// measurements plus wall-clock, the active worker count, and the
+// experiment's mean/max active machines per simulator round (the measured
+// per-round work under sparse scheduling), so performance trajectories can
+// be tracked across commits (e.g. `mrbench -quick -json >
+// BENCH_quick.json`). The per-experiment text footer reports the same
+// activity numbers.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the selected
 // experiments (the heap profile is taken after a final GC), so performance
@@ -36,14 +39,20 @@ import (
 )
 
 // jsonExperiment is the machine-readable form of one experiment run.
+// ActiveMeanPerRound/ActiveMaxPerRound aggregate the simulator's sparse
+// scheduling activity (machines actually run per round) across the
+// experiment's algorithm runs; like the result cells they are deterministic
+// given the seed, so the CI trajectory check covers them.
 type jsonExperiment struct {
-	ID          string    `json:"id"`
-	Title       string    `json:"title"`
-	PaperClaim  string    `json:"paper_claim,omitempty"`
-	WallClockMS float64   `json:"wall_clock_ms"`
-	Columns     []string  `json:"columns"`
-	Rows        []jsonRow `json:"rows"`
-	Notes       []string  `json:"notes,omitempty"`
+	ID                 string    `json:"id"`
+	Title              string    `json:"title"`
+	PaperClaim         string    `json:"paper_claim,omitempty"`
+	WallClockMS        float64   `json:"wall_clock_ms"`
+	ActiveMeanPerRound float64   `json:"active_mean_per_round"`
+	ActiveMaxPerRound  int       `json:"active_max_per_round"`
+	Columns            []string  `json:"columns"`
+	Rows               []jsonRow `json:"rows"`
+	Notes              []string  `json:"notes,omitempty"`
 }
 
 type jsonRow struct {
@@ -157,12 +166,14 @@ func realMain() int {
 		elapsed := time.Since(start)
 		if *asJSON {
 			je := jsonExperiment{
-				ID:          tab.ID,
-				Title:       tab.Title,
-				PaperClaim:  tab.PaperClaim,
-				WallClockMS: float64(elapsed.Microseconds()) / 1000,
-				Columns:     tab.Columns,
-				Notes:       tab.Notes,
+				ID:                 tab.ID,
+				Title:              tab.Title,
+				PaperClaim:         tab.PaperClaim,
+				WallClockMS:        float64(elapsed.Microseconds()) / 1000,
+				ActiveMeanPerRound: tab.ActiveMeanPerRound(),
+				ActiveMaxPerRound:  tab.ActiveMaxPerRound(),
+				Columns:            tab.Columns,
+				Notes:              tab.Notes,
 			}
 			for _, row := range tab.Rows {
 				je.Rows = append(je.Rows, jsonRow{Config: row.Config, Cells: row.Cells})
@@ -174,8 +185,9 @@ func realMain() int {
 			fmt.Fprintf(os.Stderr, "mrbench: write: %v\n", err)
 			return 1
 		}
-		fmt.Printf("_%s completed in %v (workers=%d)._\n\n",
-			e.ID, elapsed.Round(time.Millisecond), activeWorkers)
+		fmt.Printf("_%s completed in %v (workers=%d, active machines/round: mean %.1f, max %d)._\n\n",
+			e.ID, elapsed.Round(time.Millisecond), activeWorkers,
+			tab.ActiveMeanPerRound(), tab.ActiveMaxPerRound())
 	}
 	if *asJSON {
 		report.TotalWallClockMS = float64(time.Since(total).Microseconds()) / 1000

@@ -4,10 +4,12 @@
 //
 // The library lives in internal packages:
 //
-//   - internal/mpc      — the MapReduce/MPC cluster simulator (rounds,
-//     per-machine space accounting, broadcast trees, the pluggable
-//     sequential/parallel round executor, and the columnar zero-copy
-//     message plane that carries round traffic allocation-free);
+//   - internal/mpc      — the MapReduce/MPC cluster simulator (sparse
+//     round scheduling that charges each round O(active machines) via the
+//     Arm/ArmAll contract, per-machine space accounting over incremental
+//     aggregates, broadcast trees, the pluggable round executor — a
+//     persistent chunked worker pool in parallel mode — and the columnar
+//     zero-copy message plane that carries round traffic allocation-free);
 //   - internal/core     — the paper's eight MapReduce algorithms plus the
 //     Luby and filtering baselines, dispatched through the algorithm
 //     registry (name → runner + parameter schema);

@@ -68,6 +68,7 @@ func runAblationSampleSize(rc RunConfig) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		t.Observe(res.Metrics)
 		t.Rows = append(t.Rows, Row{
 			Config: cfg("n=%d µ=%.2f η=%d", n, mu, etaW),
 			Cells: map[string]string{
@@ -110,6 +111,8 @@ func runAblationGroupSize(rc RunConfig) (*Table, error) {
 		if !graph.IsMaximalIndependentSet(g, r2.Set) || !graph.IsMaximalIndependentSet(g, r6.Set) {
 			return nil, errInvalid("MIS ablation")
 		}
+		t.Observe(r2.Metrics)
+		t.Observe(r6.Metrics)
 		t.Rows = append(t.Rows, Row{
 			Config: cfg("n=%d c=0.30 µ=%.2f", n, mu),
 			Cells: map[string]string{
@@ -188,6 +191,7 @@ func runAblationBroadcast(rc RunConfig) (*Table, error) {
 		if deg < 2 {
 			deg = 2
 		}
+		t.Observe(res.Metrics)
 		t.Rows = append(t.Rows, Row{
 			Config: cfg("n=%d f=4 µ=%.2f", n, mu),
 			Cells: map[string]string{
@@ -224,6 +228,7 @@ func runAblationBucketing(rc RunConfig) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		t.Observe(res.Metrics)
 		t.Rows = append(t.Rows, Row{
 			Config: cfg("n=%d m=%d ε=%.2f", n, m, eps),
 			Cells: map[string]string{

@@ -19,6 +19,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"repro/internal/mpc"
 )
 
 // Row is one measured configuration of an experiment.
@@ -43,7 +45,40 @@ type Table struct {
 	Rows []Row
 	// Notes carries caveats (failure rates, substitutions).
 	Notes []string
+
+	// Per-experiment scheduling-activity aggregate, fed by Observe: across
+	// every algorithm run of the experiment, the mean and max number of
+	// machines that actually ran per simulator round (RoundStat.Active /
+	// Metrics.ActiveSum). Under sparse scheduling this is the experiment's
+	// measured per-round work, the quantity the paper's geometric decay
+	// shrinks; mrbench reports it per experiment in text and JSON output.
+	activeSum int64
+	roundSum  int64
+	activeMax int
 }
+
+// Observe folds one run's measured scheduling activity into the table's
+// per-experiment aggregate. Experiments call it once per algorithm run.
+func (t *Table) Observe(m mpc.Metrics) {
+	t.activeSum += m.ActiveSum
+	t.roundSum += int64(m.Rounds)
+	if m.ActiveMax > t.activeMax {
+		t.activeMax = m.ActiveMax
+	}
+}
+
+// ActiveMeanPerRound returns the mean number of machines that ran per round
+// across every observed run (0 if nothing was observed).
+func (t *Table) ActiveMeanPerRound() float64 {
+	if t.roundSum == 0 {
+		return 0
+	}
+	return float64(t.activeSum) / float64(t.roundSum)
+}
+
+// ActiveMaxPerRound returns the largest single-round machine activity seen
+// across every observed run.
+func (t *Table) ActiveMaxPerRound() int { return t.activeMax }
 
 // RunConfig carries the knobs shared by every experiment run.
 type RunConfig struct {

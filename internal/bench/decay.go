@@ -80,6 +80,7 @@ func runDecay(rc RunConfig) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.Observe(cres.Metrics)
 	t.Rows = append(t.Rows, Row{
 		Config: cfg("Alg 1 |U_r|, n=%d m=%d µ=%.2f", n, g.M(), mu),
 		Cells: map[string]string{
@@ -96,6 +97,7 @@ func runDecay(rc RunConfig) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.Observe(mres.Metrics)
 	t.Rows = append(t.Rows, Row{
 		Config: cfg("Alg 4 |E_i|, n=%d m=%d µ=%.2f", n, g2.M(), mu),
 		Cells: map[string]string{
@@ -111,6 +113,7 @@ func runDecay(rc RunConfig) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.Observe(lres.Metrics)
 	t.Rows = append(t.Rows, Row{
 		Config: cfg("App C |E_i|, η=n, n=%d m=%d", n, g2.M()),
 		Cells: map[string]string{
@@ -125,6 +128,7 @@ func runDecay(rc RunConfig) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.Observe(ires.Metrics)
 	if len(ires.History) > 0 {
 		t.Rows = append(t.Rows, Row{
 			Config: cfg("Alg 6 |E_k|, n=%d m=%d µ=%.2f", n, g2.M(), mu),

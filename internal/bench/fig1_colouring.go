@@ -55,6 +55,7 @@ func runFig1VertexColouring(rc RunConfig) (*Table, error) {
 		if !graph.IsProperVertexColouring(g, res.Colours) {
 			return nil, errInvalid("vertex colouring")
 		}
+		t.Observe(res.Metrics)
 		delta := g.MaxDegree()
 		t.Rows = append(t.Rows, Row{
 			Config: cfg("n=%d c=%.2f µ=%.2f", cf.n, cf.c, cf.mu),
@@ -93,6 +94,7 @@ func runFig1EdgeColouring(rc RunConfig) (*Table, error) {
 		if !graph.IsProperEdgeColouring(g, res.Colours) {
 			return nil, errInvalid("edge colouring")
 		}
+		t.Observe(res.Metrics)
 		delta := g.MaxDegree()
 		t.Rows = append(t.Rows, Row{
 			Config: cfg("n=%d c=%.2f µ=%.2f", cf.n, cf.c, cf.mu),

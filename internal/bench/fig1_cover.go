@@ -59,6 +59,7 @@ func runFig1VertexCover(rc RunConfig) (*Table, error) {
 					return nil, err
 				}
 				cap := 2 * math.Pow(float64(n), 1+mu) // f·n^{1+µ}, f=2
+				t.Observe(res.Metrics)
 				t.Rows = append(t.Rows, Row{
 					Config: cfg("n=%d c=%.2f µ=%.2f", n, c, mu),
 					Cells: map[string]string{
@@ -105,6 +106,7 @@ func runFig1SetCoverF(rc RunConfig) (*Table, error) {
 			return nil, err
 		}
 		ff := float64(inst.MaxFrequency())
+		t.Observe(res.Metrics)
 		t.Rows = append(t.Rows, Row{
 			Config: cfg("n=%d m=%d µ=%.2f f=%d", n, m, mu, f),
 			Cells: map[string]string{
@@ -152,6 +154,7 @@ func runFig1SetCoverLnDelta(rc RunConfig) (*Table, error) {
 			return nil, err
 		}
 		greedy := inst.Weight(seq.GreedySetCover(inst, 0))
+		t.Observe(res.Metrics)
 		hd := 0.0
 		for i := 1; i <= inst.MaxSetSize(); i++ {
 			hd += 1 / float64(i)

@@ -59,6 +59,8 @@ func runFig1Matching(rc RunConfig) (*Table, error) {
 				}
 				best := math.Max(ps, gr)
 				cap := math.Pow(float64(n), 1+mu)
+				t.Observe(res.Metrics)
+				t.Observe(lay.Metrics)
 				t.Rows = append(t.Rows, Row{
 					Config: cfg("n=%d c=%.2f µ=%.2f", n, c, mu),
 					Cells: map[string]string{
@@ -106,6 +108,7 @@ func runFig1MatchingLinear(rc RunConfig) (*Table, error) {
 			return nil, err
 		}
 		ps := graph.MatchingWeight(g, seq.LocalRatioMatching(g))
+		t.Observe(res.Metrics)
 		t.Rows = append(t.Rows, Row{
 			Config: cfg("n=%d c=%.2f η=n", n, c),
 			Cells: map[string]string{
@@ -150,6 +153,7 @@ func runFig1BMatching(rc RunConfig) (*Table, error) {
 			return nil, errInvalid("b-matching")
 		}
 		sw := graph.MatchingWeight(g, seq.LocalRatioBMatching(g, bf, eps))
+		t.Observe(res.Metrics)
 		t.Rows = append(t.Rows, Row{
 			Config: cfg("n=%d c=%.2f µ=%.2f ε=%.2f b=%d", n, c, mu, eps, bcap),
 			Cells: map[string]string{

@@ -65,6 +65,7 @@ func runFig1MIS(rc RunConfig) (*Table, error) {
 			if !graph.IsMaximalIndependentSet(g, res.Set) {
 				return nil, errInvalid("MIS (" + a.name + ")")
 			}
+			t.Observe(res.Metrics)
 			t.Rows = append(t.Rows, Row{
 				Config: cfg("n=%d c=%.2f µ=%.2f", cf.n, cf.c, cf.mu),
 				Cells: map[string]string{
@@ -114,6 +115,7 @@ func runFig1Clique(rc RunConfig) (*Table, error) {
 		if !graph.IsMaximalClique(g, res.Clique) {
 			return nil, errInvalid("maximal clique")
 		}
+		t.Observe(res.Metrics)
 		cap := math.Pow(float64(cf.n), 1+mu)
 		t.Rows = append(t.Rows, Row{
 			Config: cfg("n=%d c=%.2f µ=%.2f planted=%d", cf.n, cf.c, mu, cf.plant),

@@ -61,6 +61,7 @@ func runVariance(rc RunConfig) (*Table, error) {
 		if res.Metrics.Violations > 0 {
 			failures++
 		}
+		t.Observe(res.Metrics)
 		ratios = append(ratios, res.Weight/ps)
 		iters = append(iters, float64(res.Iterations))
 		rounds = append(rounds, float64(res.Metrics.Rounds))
@@ -89,6 +90,7 @@ func runVariance(rc RunConfig) (*Table, error) {
 		if res.Metrics.Violations > 0 {
 			failures++
 		}
+		t.Observe(res.Metrics)
 		ratios = append(ratios, res.Weight/res.LowerBound)
 		iters = append(iters, float64(res.Iterations))
 		rounds = append(rounds, float64(res.Metrics.Rounds))
@@ -117,6 +119,7 @@ func runVariance(rc RunConfig) (*Table, error) {
 		if !graph.IsMaximalIndependentSet(g, res.Set) {
 			return nil, errInvalid("MIS in variance trial")
 		}
+		t.Observe(res.Metrics)
 		sizes = append(sizes, float64(len(res.Set)))
 		iters = append(iters, float64(res.Iterations))
 		rounds = append(rounds, float64(res.Metrics.Rounds))

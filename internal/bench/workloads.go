@@ -75,6 +75,9 @@ func runWorkloads(rc RunConfig) (*Table, error) {
 		if !graph.IsProperVertexColouring(g, cres.Colours) {
 			return nil, errInvalid("colouring on " + fam.name)
 		}
+		t.Observe(mres.Metrics)
+		t.Observe(ires.Metrics)
+		t.Observe(cres.Metrics)
 		violations := mres.Metrics.Violations + ires.Metrics.Violations + cres.Metrics.Violations
 		t.Rows = append(t.Rows, Row{
 			Config: cfg("%s n=%d", fam.name, g.N),

@@ -65,6 +65,7 @@ func BMatching(g *graph.Graph, p Params, opt BMatchingOptions) (*MatchingResult,
 	// hold each vertex's incident edge ids with weights and alive bits.
 	M := dataMachines(3*n+3*m, 4*etaWords)
 	cluster := newCluster(M, etaWords*maxB(g, b), p, capSlack)
+	defer cluster.Close()
 	tree := mpc.NewTree(cluster, 0, treeDegree(n, p.Mu))
 	r := rng.New(p.Seed)
 	vertexOwner := func(v int) int { return 1 + v%(M-1) }
@@ -133,6 +134,7 @@ func BMatching(g *graph.Graph, p Params, opt BMatchingOptions) (*MatchingResult,
 				perVertex[v] = chosen
 			}
 		}
+		armPlanned(cluster, plan)
 		err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			for _, v := range plan[machine] {
 				out.Begin(0)
@@ -187,6 +189,7 @@ func BMatching(g *graph.Graph, p Params, opt BMatchingOptions) (*MatchingResult,
 			changedList = append(changedList, v)
 		}
 		sort.Ints(changedList)
+		cluster.Arm(0) // the forwarding round runs off its delivered records
 		err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			if machine != 0 {
 				return

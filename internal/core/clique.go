@@ -42,6 +42,7 @@ func MaximalClique(g *graph.Graph, p Params) (*CliqueResult, error) {
 	etaWords := eta(n, p.Mu, 8)
 	M := dataMachines(3*n+2*g.M(), 4*etaWords)
 	cluster := newCluster(M, etaWords, p, capSlack)
+	defer cluster.Close()
 	r := rng.New(p.Seed)
 	vertexOwner := func(v int) int { return 1 + v%(M-1) }
 
@@ -73,6 +74,7 @@ func MaximalClique(g *graph.Graph, p Params) (*CliqueResult, error) {
 	// are those of the real label exchange, which is what lets a vertex
 	// compute its complement list [k] \ σ(N_A(v)) in sublinear space.
 	relabelRounds := func() error {
+		cluster.Arm(0) // only the central machine acts on an empty inbox
 		err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			if machine != 0 {
 				return
@@ -121,6 +123,7 @@ func MaximalClique(g *graph.Graph, p Params) (*CliqueResult, error) {
 	// The entries of removed are distinct and active, so the |A| update is
 	// applied once up front rather than from inside the concurrent round.
 	removeFromA := func(removed []int) error {
+		cluster.Arm(0) // rounds 2 and 3 run off their delivered records
 		err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			if machine != 0 {
 				return
@@ -247,6 +250,7 @@ func MaximalClique(g *graph.Graph, p Params) (*CliqueResult, error) {
 					sample = append(sample, cand)
 				}
 			}
+			armPlanned(cluster, plan)
 			err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 				for _, cand := range plan[machine] {
 					out.Begin(0)
@@ -297,6 +301,7 @@ func MaximalClique(g *graph.Graph, p Params) (*CliqueResult, error) {
 			}
 		}
 	}
+	armPlanned(cluster, leftoverPlan)
 	err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 		for _, v := range leftoverPlan[machine] {
 			out.SendInts(0, v)

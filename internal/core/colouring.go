@@ -67,6 +67,7 @@ func VertexColouring(g *graph.Graph, p Params) (*ColouringResult, error) {
 		M = dm
 	}
 	cluster := newCluster(M, etaWords, p, capSlack)
+	defer cluster.Close()
 	r := rng.New(p.Seed)
 	edgeOwner := func(id int) int { return 1 + id%(M-1) }
 	groupMachine := func(grp int) int { return 1 + grp%(M-1) }
@@ -90,13 +91,15 @@ func VertexColouring(g *graph.Graph, p Params) (*ColouringResult, error) {
 	// Route round: every monochromatic edge goes to its group's machine.
 	// The per-group edge lists are assembled up front in machine order,
 	// then edge order — the order they arrive in — because groups are
-	// shared destinations that concurrent senders could not append to.
+	// shared destinations that concurrent senders could not append to. The
+	// same pass arms the machines that will send (Arm deduplicates).
 	groupEdges := make([][]graph.Edge, kappa)
 	for machine := 1; machine < M; machine++ {
 		for _, id := range ownedEdges[machine] {
 			e := g.Edges[id]
 			if group[e.U] == group[e.V] {
 				groupEdges[group[e.U]] = append(groupEdges[group[e.U]], e)
+				cluster.Arm(machine)
 			}
 		}
 	}
@@ -151,7 +154,12 @@ func VertexColouring(g *graph.Graph, p Params) (*ColouringResult, error) {
 			maxLocal = groupMaxLocal[i]
 		}
 	}
-	// Output round: group machines emit (v, group, local colour).
+	// Output round: group machines emit (v, group, local colour). A machine
+	// hosting a group whose induced subgraph has no edges received no route
+	// traffic, so every machine hosting any vertex's group is armed.
+	for v := 0; v < n; v++ {
+		cluster.Arm(groupMachine(group[v]))
+	}
 	err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 		for v := 0; v < n; v++ {
 			if groupMachine(group[v]) == machine {
@@ -192,6 +200,7 @@ func EdgeColouring(g *graph.Graph, p Params) (*ColouringResult, error) {
 		M = dm
 	}
 	cluster := newCluster(M, etaWords, p, capSlack)
+	defer cluster.Close()
 	r := rng.New(p.Seed)
 	edgeOwner := func(id int) int { return 1 + id%(M-1) }
 	groupMachine := func(grp int) int { return 1 + grp%(M-1) }
@@ -210,10 +219,16 @@ func EdgeColouring(g *graph.Graph, p Params) (*ColouringResult, error) {
 		group[id] = r.Intn(kappa)
 	}
 
-	// Route round: each edge goes to its group's machine. Group edge lists
-	// are assembled up front in arrival (machine, then edge) order.
+	// Route round: each edge goes to its group's machine, so every machine
+	// owning an edge sends and is armed. The output round needs no arming:
+	// a machine emits only for groups with edges, and those received route
+	// traffic. Group edge lists are assembled up front in arrival (machine,
+	// then edge) order.
 	groupIDs := make([][]int, kappa)
 	for machine := 1; machine < M; machine++ {
+		if len(ownedEdges[machine]) > 0 {
+			cluster.Arm(machine)
+		}
 		for _, id := range ownedEdges[machine] {
 			groupIDs[group[id]] = append(groupIDs[group[id]], id)
 		}

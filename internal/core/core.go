@@ -54,6 +54,13 @@ type Params struct {
 	// pool of that many goroutines, < 0 uses one per CPU. Results and
 	// metrics are identical for every setting; only wall-clock changes.
 	Workers int
+	// Dense disables the simulator's sparse round scheduling, invoking
+	// every machine's RoundFunc every round as the pre-arming simulator
+	// did. The algorithms arm exactly the machines that must act on empty
+	// inboxes, so results and model metrics are identical either way (the
+	// equivalence tests enforce it); sparse is the default because tail
+	// rounds then cost O(active machines) instead of O(M).
+	Dense bool
 }
 
 func (p Params) maxIter() int {
@@ -108,6 +115,7 @@ func newCluster(machines, cap int, p Params, slack float64) *mpc.Cluster {
 		SpaceCap: enforced,
 		Strict:   p.Strict,
 		Workers:  p.Workers,
+		Sparse:   !p.Dense,
 	})
 }
 
@@ -130,6 +138,17 @@ func partitionByOwner(count, machines int, owner func(id int) int) [][]int {
 	return out
 }
 
+// armPlanned arms every machine whose pre-drawn per-machine plan is
+// non-empty — the common sparse-scheduling pattern of the sampling rounds,
+// where the driver already knows exactly which machines will send.
+func armPlanned[T any](c *mpc.Cluster, plan [][]T) {
+	for machine, p := range plan {
+		if len(p) > 0 {
+			c.Arm(machine)
+		}
+	}
+}
+
 // dataMachines returns the cluster size for a layout with a dedicated
 // central machine (machine 0) plus enough data machines to hold inputWords
 // under capWords each. The paper's blue-line computations run on a single
@@ -146,6 +165,7 @@ func dataMachines(inputWords, capWords int) int {
 // the space cap (the tree exists because a direct send of a large payload
 // could exceed the cap; a single word per machine cannot).
 func directAllReduce(c *mpc.Cluster, central int, value func(machine int) int64) (int64, error) {
+	c.ArmAll() // every machine contributes a word, empty inbox or not
 	err := c.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 		out.SendInts(central, value(machine))
 	})

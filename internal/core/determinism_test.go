@@ -141,12 +141,44 @@ func TestDeterminismAllAlgorithms(t *testing.T) {
 	}
 }
 
-// TestExecutorEquivalence runs every algorithm once on the sequential
-// executor and once on a 4-worker parallel executor and requires identical
-// results (full result structs, including histories and solution sets) and
-// identical measured metrics (rounds, words, messages, space high-water).
-// Run under -race this is also the enforcement that every RoundFunc in this
-// package confines its writes to machine-owned state.
+// scrubActive zeroes the scheduling-activity fields, which are the only
+// metrics allowed to differ between sparse and dense execution; everything
+// the paper's theorems bound (rounds, words, messages, space high-water,
+// violations) must be bit-identical.
+func scrubActive(m mpc.Metrics) mpc.Metrics {
+	m.ActiveSum, m.ActiveMax = 0, 0
+	return m
+}
+
+// scrubResultActive zeroes the activity fields inside a result struct so
+// full-result comparisons across scheduling modes see only model-level data.
+func scrubResultActive(res interface{}) {
+	switch r := res.(type) {
+	case *MISResult:
+		r.Metrics = scrubActive(r.Metrics)
+	case *CoverResult:
+		r.Metrics = scrubActive(r.Metrics)
+	case *MatchingResult:
+		r.Metrics = scrubActive(r.Metrics)
+	case *ColouringResult:
+		r.Metrics = scrubActive(r.Metrics)
+	case *CliqueResult:
+		r.Metrics = scrubActive(r.Metrics)
+	case *FilteringResult:
+		r.Metrics = scrubActive(r.Metrics)
+	}
+}
+
+// TestExecutorEquivalence runs every algorithm across the full scheduling
+// matrix — {dense, sparse} × {sequential, 4-worker parallel pool} — and
+// requires results (full result structs, including histories and solution
+// sets) and model metrics identical to the dense sequential baseline, i.e.
+// the pre-sparse simulator. Run under -race this is also the enforcement
+// that every RoundFunc in this package confines its writes to machine-owned
+// state, and that the arming contract covers every machine that must act on
+// an empty inbox (a missed Arm shows up as a diverging result). The two
+// sparse runs must additionally agree on the activity metrics themselves:
+// scheduling is executor-independent.
 func TestExecutorEquivalence(t *testing.T) {
 	r := rng.New(424242)
 	g := graph.Density(180, 0.35, r)
@@ -269,26 +301,55 @@ func TestExecutorEquivalence(t *testing.T) {
 			return res, res.Metrics, nil
 		}},
 	}
+	modes := []struct {
+		name string
+		p    Params
+	}{
+		{"dense-seq", Params{Mu: 0.25, Seed: 99, Workers: 1, Dense: true}},
+		{"dense-par", Params{Mu: 0.25, Seed: 99, Workers: 4, Dense: true}},
+		{"sparse-seq", Params{Mu: 0.25, Seed: 99, Workers: 1}},
+		{"sparse-par", Params{Mu: 0.25, Seed: 99, Workers: 4}},
+	}
 	for _, rn := range runs {
 		rn := rn
 		t.Run(rn.name, func(t *testing.T) {
-			seqRes, seqMet, err := rn.f(Params{Mu: 0.25, Seed: 99, Workers: 1})
-			if err != nil {
-				t.Fatalf("sequential run: %v", err)
+			var baseStr string
+			var baseMet mpc.Metrics
+			var sparseMet []mpc.Metrics
+			for i, mode := range modes {
+				res, met, err := rn.f(mode.p)
+				if err != nil {
+					t.Fatalf("%s run: %v", mode.name, err)
+				}
+				if !mode.p.Dense {
+					sparseMet = append(sparseMet, met)
+					if met.ActiveSum > baseMet.ActiveSum {
+						t.Errorf("%s ran more RoundFunc invocations (%d) than dense (%d)",
+							mode.name, met.ActiveSum, baseMet.ActiveSum)
+					}
+				}
+				// fmt prints struct fields in order and map keys sorted, so
+				// the rendered forms compare the complete results (solution
+				// sets, weights, histories, model metrics) with only the
+				// activity fields masked.
+				scrubResultActive(res)
+				str := fmt.Sprintf("%+v", res)
+				if i == 0 {
+					baseStr, baseMet = str, met
+					continue
+				}
+				if scrubActive(met) != scrubActive(baseMet) {
+					t.Errorf("%s metrics diverge from dense-seq:\n  base %+v\n  got  %+v",
+						mode.name, baseMet, met)
+				}
+				if str != baseStr {
+					t.Errorf("%s results diverge from dense-seq:\n  base %.300s\n  got  %.300s",
+						mode.name, baseStr, str)
+				}
 			}
-			parRes, parMet, err := rn.f(Params{Mu: 0.25, Seed: 99, Workers: 4})
-			if err != nil {
-				t.Fatalf("parallel run: %v", err)
-			}
-			if seqMet != parMet {
-				t.Errorf("metrics diverge:\n  sequential %+v\n  parallel   %+v", seqMet, parMet)
-			}
-			// fmt prints struct fields in order and map keys sorted, so the
-			// rendered forms compare the complete results (solution sets,
-			// weights, histories, metrics).
-			seqStr, parStr := fmt.Sprintf("%+v", seqRes), fmt.Sprintf("%+v", parRes)
-			if seqStr != parStr {
-				t.Errorf("results diverge:\n  sequential %.300s\n  parallel   %.300s", seqStr, parStr)
+			if len(sparseMet) == 2 && sparseMet[0] != sparseMet[1] {
+				t.Errorf("sparse scheduling is executor-dependent:\n  seq %+v\n  par %+v",
+					sparseMet[0], sparseMet[1])
 			}
 		})
 	}

@@ -40,6 +40,7 @@ func FilteringMatching(g *graph.Graph, p Params) (*FilteringResult, error) {
 	etaWords := eta(n, p.Mu, 8)
 	M := dataMachines(3*m, 3*etaWords)
 	cluster := newCluster(M, etaWords, p, capSlack)
+	defer cluster.Close()
 	tree := mpc.NewTree(cluster, 0, treeDegree(n, p.Mu))
 	r := rng.New(p.Seed)
 	edgeOwner := func(id int) int { return 1 + id%(M-1) }
@@ -106,6 +107,7 @@ func FilteringMatching(g *graph.Graph, p Params) (*FilteringResult, error) {
 				}
 			}
 		}
+		armPlanned(cluster, plan)
 		err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			for _, id := range plan[machine] {
 				out.SendInts(0, id)

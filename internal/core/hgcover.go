@@ -62,6 +62,7 @@ func HGSetCover(inst *setcover.Instance, p Params, opt HGCoverOptions) (*CoverRe
 	inputWords := inst.TotalSize() + 2*n
 	M := dataMachines(inputWords, 4*etaWords)
 	cluster := newCluster(M, etaWords, p, capSlack)
+	defer cluster.Close()
 	tree := mpc.NewTree(cluster, 0, treeDegree(m, p.Mu))
 	r := rng.New(p.Seed)
 	setOwner := func(i int) int { return 1 + i%(M-1) }
@@ -137,6 +138,7 @@ func HGSetCover(inst *setcover.Instance, p Params, opt HGCoverOptions) (*CoverRe
 	// maxRatio aggregates the maximum eligible cost ratio to the central
 	// machine and back (two rounds, like the f=2 aggregation).
 	maxRatio := func() (float64, error) {
+		cluster.ArmAll() // every machine reports its best ratio
 		err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			best := 0.0
 			for _, i := range ownedSets[machine] {
@@ -292,6 +294,7 @@ func HGSetCover(inst *setcover.Instance, p Params, opt HGCoverOptions) (*CoverRe
 				}
 			}
 		}
+		armPlanned(cluster, plan)
 		err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			for _, payload := range plan[machine] {
 				out.Send(0, payload, nil)
@@ -404,6 +407,7 @@ func remark47Gamma(cluster *mpc.Cluster, tree *mpc.Tree, inst *setcover.Instance
 			}
 		}
 	}
+	armPlanned(cluster, ints)
 	err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 		if len(ints[machine]) > 0 {
 			out.Send(0, ints[machine], floats[machine])

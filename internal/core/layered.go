@@ -43,6 +43,7 @@ func FilteringWeightedMatching(g *graph.Graph, p Params) (*MatchingResult, error
 	etaWords := eta(n, p.Mu, 8)
 	M := dataMachines(3*m, 3*etaWords)
 	cluster := newCluster(M, etaWords, p, capSlack)
+	defer cluster.Close()
 	tree := mpc.NewTree(cluster, 0, treeDegree(n, p.Mu))
 	r := rng.New(p.Seed)
 	edgeOwner := func(id int) int { return 1 + id%(M-1) }
@@ -95,6 +96,7 @@ func FilteringWeightedMatching(g *graph.Graph, p Params) (*MatchingResult, error
 					}
 				}
 			}
+			armPlanned(cluster, plan)
 			err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 				for _, id := range plan[machine] {
 					out.SendInts(0, id)
@@ -199,6 +201,7 @@ func LayeredParallelMatching(g *graph.Graph, p Params, eps float64) (*MatchingRe
 	etaWords := eta(n, p.Mu, 8)
 	M := dataMachines(3*m, 3*etaWords)
 	cluster := newCluster(M, etaWords, p, capSlack)
+	defer cluster.Close()
 	tree := mpc.NewTree(cluster, 0, treeDegree(n, p.Mu))
 	r := rng.New(p.Seed)
 	edgeOwner := func(id int) int { return 1 + id%(M-1) }
@@ -250,6 +253,7 @@ func LayeredParallelMatching(g *graph.Graph, p Params, eps float64) (*MatchingRe
 				}
 			}
 		}
+		armPlanned(cluster, plan)
 		err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			for _, id := range plan[machine] {
 				out.SendInts(0, id)

@@ -26,6 +26,7 @@ func LubyMIS(g *graph.Graph, p Params) (*MISResult, error) {
 	etaWords := eta(n, p.Mu, 8)
 	M := dataMachines(3*n+2*g.M(), 4*etaWords)
 	cluster := newCluster(M, etaWords, p, capSlack)
+	defer cluster.Close()
 	tree := mpc.NewTree(cluster, 0, treeDegree(n, p.Mu))
 	r := rng.New(p.Seed)
 	vertexOwner := func(v int) int { return 1 + v%(M-1) }
@@ -57,15 +58,29 @@ func LubyMIS(g *graph.Graph, p Params) (*MISResult, error) {
 		// Draw priorities machine by machine before the round (the order the
 		// machines would draw in), then exchange them along alive edges.
 		// Ties are broken by vertex id; priorities are 53-bit uniform, so
-		// ties are essentially impossible anyway.
+		// ties are essentially impossible anyway. A machine participates in
+		// this iteration's rounds exactly while it still owns an alive
+		// vertex (an isolated alive vertex receives no traffic but must
+		// still declare itself a local minimum), so those machines are
+		// armed and retired machines go dormant.
 		priority := make([]float64, n)
+		hasAlive := make([]bool, M)
 		for machine := 1; machine < M; machine++ {
 			for _, v := range owned[machine] {
 				if aliveVertex(v) {
 					priority[v] = r.Float64()
+					hasAlive[machine] = true
 				}
 			}
 		}
+		armAlive := func() {
+			for machine := 1; machine < M; machine++ {
+				if hasAlive[machine] {
+					cluster.Arm(machine)
+				}
+			}
+		}
+		armAlive()
 		err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			for _, v := range owned[machine] {
 				if !aliveVertex(v) {
@@ -94,6 +109,7 @@ func LubyMIS(g *graph.Graph, p Params) (*MISResult, error) {
 			return u < v
 		}
 		localMin := make([]bool, n)
+		armAlive()
 		err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			lowest := make(map[int]bool) // v -> seen a better neighbour
 			for msg, ok := in.Next(); ok; msg, ok = in.Next() {

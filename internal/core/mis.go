@@ -105,7 +105,9 @@ type centralBatch struct {
 // round), mirroring the update step of Theorem 3.3's proof sketch.
 func (s *misState) disseminate(batch centralBatch) error {
 	// Round 1: central tells each owner which of its vertices entered I or
-	// became dominated.
+	// became dominated. Only the central machine acts on an empty inbox;
+	// rounds 2 and 3 are driven entirely by delivered records.
+	s.cluster.Arm(0)
 	err := s.cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 		if machine != 0 {
 			return
@@ -188,6 +190,7 @@ func (s *misState) sampleToCentral(include func(v int) bool, prob float64) ([]ca
 			sample = append(sample, cand)
 		}
 	}
+	armPlanned(s.cluster, plan)
 	err := s.cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 		for _, cand := range plan[machine] {
 			out.Begin(0)
@@ -288,6 +291,7 @@ func MIS(g *graph.Graph, p Params) (*MISResult, error) {
 	etaWords := eta(n, p.Mu, 8)
 	M := dataMachines(3*n+2*g.M(), 4*etaWords)
 	cluster := newCluster(M, etaWords, p, capSlack)
+	defer cluster.Close()
 	tree := mpc.NewTree(cluster, 0, treeDegree(n, p.Mu))
 	r := rng.New(p.Seed)
 	s := newMISState(g, cluster, r)
@@ -392,6 +396,7 @@ func MISFast(g *graph.Graph, p Params) (*MISResult, error) {
 	etaWords := eta(n, p.Mu, 8)
 	M := dataMachines(3*n+2*g.M(), 4*etaWords)
 	cluster := newCluster(M, etaWords, p, capSlack)
+	defer cluster.Close()
 	tree := mpc.NewTree(cluster, 0, treeDegree(n, p.Mu))
 	r := rng.New(p.Seed)
 	s := newMISState(g, cluster, r)
@@ -478,6 +483,7 @@ func MISFast(g *graph.Graph, p Params) (*MISResult, error) {
 				byClass[i] = append(byClass[i], cand)
 			}
 		}
+		armPlanned(cluster, plan)
 		err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			for _, cand := range plan[machine] {
 				out.Begin(0)

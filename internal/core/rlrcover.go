@@ -72,6 +72,7 @@ func RLRSetCover(inst *setcover.Instance, p Params, opt CoverOptions) (*CoverRes
 	// element (and, in vertex-cover mode, set) partitions.
 	M := dataMachines(inputWords, 4*etaWords)
 	cluster := newCluster(M, etaWords*(1+inst.MaxFrequency()), p, capSlack)
+	defer cluster.Close()
 	tree := mpc.NewTree(cluster, 0, treeDegree(n, p.Mu))
 	r := rng.New(p.Seed)
 
@@ -136,6 +137,7 @@ func RLRSetCover(inst *setcover.Instance, p Params, opt CoverOptions) (*CoverRes
 				}
 			}
 		}
+		armPlanned(cluster, plan)
 		err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			for _, j := range plan[machine] {
 				out.Begin(0)
@@ -169,7 +171,9 @@ func RLRSetCover(inst *setcover.Instance, p Params, opt CoverOptions) (*CoverRes
 		// the cover so they can kill covered elements.
 		if opt.VertexCoverMode {
 			// f = 2 fast path: central → set owner → element owner, two
-			// routed rounds, O(1) additional rounds per iteration.
+			// routed rounds, O(1) additional rounds per iteration. Only the
+			// central machine starts from an empty inbox.
+			cluster.Arm(0)
 			err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 				if machine != 0 {
 					return

@@ -64,6 +64,7 @@ func RLRMatching(g *graph.Graph, p Params, opt MatchingOptions) (*MatchingResult
 	// edge and vertex partitions.
 	M := dataMachines(4*m, 4*etaWords)
 	cluster := newCluster(M, etaWords, p, capSlack)
+	defer cluster.Close()
 	tree := mpc.NewTree(cluster, 0, treeDegree(n, p.Mu))
 	r := rng.New(p.Seed)
 
@@ -146,6 +147,7 @@ func RLRMatching(g *graph.Graph, p Params, opt MatchingOptions) (*MatchingResult
 				}
 			}
 		}
+		armPlanned(cluster, plan)
 		err := cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			for i := 0; i+1 < len(plan[machine]); i += 2 {
 				out.SendInts(0, plan[machine][i], plan[machine][i+1])
@@ -210,6 +212,7 @@ func RLRMatching(g *graph.Graph, p Params, opt MatchingOptions) (*MatchingResult
 			changedList = append(changedList, v)
 		}
 		sort.Ints(changedList)
+		cluster.Arm(0) // rounds B and the delivery round run off their inboxes
 		err = cluster.Round(func(machine int, in *mpc.Inbox, out *mpc.Outbox) {
 			if machine != 0 {
 				return

@@ -2,6 +2,7 @@ package mpc
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -42,19 +43,29 @@ func TestParallelPropagatesPanic(t *testing.T) {
 }
 
 func TestNewExecutorSelection(t *testing.T) {
-	if _, ok := newExecutor(Config{Machines: 1}).(Sequential); !ok {
+	if e, p := newExecutor(Config{Machines: 1}); p != nil {
+		t.Fatal("Workers=0 must not own a pool")
+	} else if _, ok := e.(Sequential); !ok {
 		t.Fatal("Workers=0 must select Sequential")
 	}
-	if _, ok := newExecutor(Config{Machines: 1, Workers: 1}).(Sequential); !ok {
+	if e, p := newExecutor(Config{Machines: 1, Workers: 1}); p != nil {
+		t.Fatal("Workers=1 must not own a pool")
+	} else if _, ok := e.(Sequential); !ok {
 		t.Fatal("Workers=1 must select Sequential")
 	}
-	if p, ok := newExecutor(Config{Machines: 1, Workers: 6}).(Parallel); !ok || p.Workers != 6 {
-		t.Fatal("Workers=6 must select a 6-worker Parallel")
+	if e, p := newExecutor(Config{Machines: 1, Workers: 6}); p == nil || e != Executor(p) || p.Workers() != 6 {
+		t.Fatal("Workers=6 must select an owned 6-worker Pool")
+	} else {
+		p.Close()
 	}
-	if p, ok := newExecutor(Config{Machines: 1, Workers: -1}).(Parallel); !ok || p.Workers != 0 {
-		t.Fatal("Workers=-1 must select a NumCPU-sized Parallel")
+	if e, p := newExecutor(Config{Machines: 1, Workers: -1}); p == nil || e != Executor(p) || p.Workers() < 1 {
+		t.Fatal("Workers=-1 must select an owned NumCPU-sized Pool")
+	} else {
+		p.Close()
 	}
-	if _, ok := newExecutor(Config{Machines: 1, Workers: 5, Executor: Sequential{}}).(Sequential); !ok {
+	if e, p := newExecutor(Config{Machines: 1, Workers: 5, Executor: Sequential{}}); p != nil {
+		t.Fatal("an explicit Executor must not own a pool")
+	} else if _, ok := e.(Sequential); !ok {
 		t.Fatal("an explicit Executor must win over Workers")
 	}
 }
@@ -98,4 +109,100 @@ func TestParallelRoundsMatchSequential(t *testing.T) {
 	if seqM != parM {
 		t.Fatalf("metrics diverge: %+v vs %+v", seqM, parM)
 	}
+}
+
+func TestPoolExecutesEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		p := NewPool(workers)
+		// The pool must clamp correctly when workers > n (including n = 0
+		// and n = 1), waking only as many workers as there are chunks.
+		for _, n := range []int{0, 1, 2, 7, 100} {
+			counts := make([]int32, n)
+			p.Execute(n, func(i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: task %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPoolPanicThenReuse(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("expected panic to propagate")
+			}
+			if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+				t.Fatalf("unexpected panic payload: %v", r)
+			}
+		}()
+		p.Execute(64, func(i int) {
+			if i == 17 {
+				panic("boom")
+			}
+		})
+	}()
+	// The pool must remain fully usable after a task panicked: subsequent
+	// batches run every task exactly once.
+	for round := 0; round < 3; round++ {
+		counts := make([]int32, 128)
+		p.Execute(len(counts), func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("after panic, round %d: task %d ran %d times", round, i, c)
+			}
+		}
+	}
+}
+
+func TestPoolSteadyStateSpawnsNoGoroutines(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	// Warm up: the pool's goroutines exist after NewPool; Execute must not
+	// create more.
+	p.Execute(256, func(int) {})
+	runtime.GC() // settle any unrelated runtime goroutines
+	before := runtime.NumGoroutine()
+	for round := 0; round < 200; round++ {
+		p.Execute(256, func(int) {})
+	}
+	after := runtime.NumGoroutine()
+	if after > before {
+		t.Fatalf("goroutines grew across pooled rounds: %d -> %d", before, after)
+	}
+	rounds, chunks := p.Stats()
+	if rounds < 200 || chunks == 0 {
+		t.Fatalf("pool stats not accounted: rounds=%d chunks=%d", rounds, chunks)
+	}
+}
+
+func TestPoolExecuteAfterClosePanics(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Execute after Close must panic")
+		}
+	}()
+	p.Execute(4, func(int) {})
+}
+
+func TestClusterCloseReleasesPool(t *testing.T) {
+	c := NewCluster(Config{Machines: 8, Workers: 4})
+	if err := c.Round(func(machine int, in *Inbox, out *Outbox) {}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c.Close() // idempotent
 }

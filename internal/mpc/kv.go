@@ -39,7 +39,14 @@ func RunJob(c *Cluster, input [][]KV, mapf MapFunc, reducef ReduceFunc) ([][]KV,
 		}
 		return d
 	}
-	// Round 1: map and shuffle.
+	// Round 1: map and shuffle. The mappers run where the data lives, so
+	// under sparse scheduling every machine with a non-empty partition is
+	// armed; the reducers of round 2 run off their inboxes on their own.
+	for machine := 0; machine < c.M(); machine++ {
+		if len(input[machine]) > 0 {
+			c.Arm(machine)
+		}
+	}
 	err := c.Round(func(machine int, in *Inbox, out *Outbox) {
 		for _, rec := range input[machine] {
 			for _, kv := range mapf(rec) {

@@ -29,11 +29,28 @@
 // The broadcast and aggregation helpers implement the degree-d broadcast
 // tree of §2.2/§4.1 of the paper as real message rounds, so "send C to all
 // machines" costs the ceil(log_d M) rounds the paper charges for it.
+//
+// # Sparse rounds
+//
+// The paper's algorithms geometrically shrink the live problem, so in the
+// tail rounds only a handful of machines have anything to do. With
+// Config.Sparse set, a machine's RoundFunc is invoked in a round only if the
+// machine has a non-empty inbox or was armed via Arm/ArmAll, and all
+// post-round bookkeeping (merge, inbox recycling, outbox reset, space and
+// cap accounting) walks only the machines that ran or received traffic, so
+// the steady-state cost of a round is proportional to its actual activity
+// rather than to M. Dormant machines are accounted as holding exactly their
+// unchanged resident words, which keeps rounds, words, messages, space
+// high-water marks, violations and trace loads bit-identical to dense
+// execution for conforming algorithms (see Arm); only the activity
+// measurements themselves (RoundStat.Active, Metrics.ActiveSum/ActiveMax)
+// differ, since they record how many machines actually ran.
 package mpc
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // ErrSpaceExceeded is returned when a machine exceeds its space cap in
@@ -55,12 +72,23 @@ type Config struct {
 	Trace bool
 	// Workers selects the round executor: 0 or 1 runs machines sequentially
 	// on one goroutine (the default), > 1 runs each round's machines
-	// concurrently on a pool of that many goroutines, and < 0 sizes the
-	// pool to runtime.NumCPU(). Results and metrics are identical across
-	// executors for conforming RoundFuncs (see Executor).
+	// concurrently on a persistent pool of that many goroutines, and < 0
+	// sizes the pool to runtime.NumCPU(). Results and metrics are identical
+	// across executors for conforming RoundFuncs (see Executor). Pools are
+	// owned by the cluster; call Close when done with it.
 	Workers int
 	// Executor, when non-nil, overrides Workers with an explicit executor.
 	Executor Executor
+	// Sparse enables sparse round scheduling: a machine runs in a round
+	// only if its inbox is non-empty or it was armed via Arm/ArmAll, and
+	// per-round bookkeeping touches only active machines. Model metrics
+	// and trace loads are bit-identical to dense execution provided every
+	// machine that must act on an empty inbox is armed (see Arm); the
+	// activity measurements (RoundStat.Active, Metrics.ActiveSum/
+	// ActiveMax) record actual invocations and therefore differ. Off by
+	// default: without arming calls a dense-written RoundFunc would
+	// silently be skipped.
+	Sparse bool
 }
 
 // RoundStat is the per-round record captured when tracing is enabled.
@@ -69,9 +97,17 @@ type RoundStat struct {
 	Words    int64 // words communicated in this round
 	Messages int   // records delivered in this round
 	MaxLoad  int   // max over machines of resident+in+out this round
+	Active   int   // machines whose RoundFunc was invoked this round
 }
 
 // Metrics accumulates the model-level costs of an execution.
+//
+// ActiveSum and ActiveMax measure the simulator's scheduling activity, not a
+// model-level cost: under sparse scheduling they expose the geometric decay
+// of per-round work the paper predicts, and under dense scheduling every
+// non-Quiet round contributes M. They (and the matching RoundStat.Active
+// trace field) are the only measurements that may differ between a sparse
+// and a dense execution of the same algorithm.
 type Metrics struct {
 	Machines    int   // cluster size M
 	Rounds      int   // synchronous rounds executed
@@ -80,12 +116,15 @@ type Metrics struct {
 	MaxSpace    int   // max over (machine, round) of resident+in+out words
 	MaxResident int   // max declared resident words on any machine
 	Violations  int   // number of (machine, round) space-cap violations
+	ActiveSum   int64 // total RoundFunc invocations across all rounds
+	ActiveMax   int   // max over rounds of RoundFunc invocations
 }
 
 // Cluster is a simulated MRC/MPC cluster.
 type Cluster struct {
 	cfg      Config
 	exec     Executor
+	pool     *Pool // non-nil when the cluster owns a persistent pool
 	resident []int
 	inbox    []Inbox
 	outboxes []Outbox
@@ -93,10 +132,24 @@ type Cluster struct {
 	trace    []RoundStat
 	// Per-round merge scratch, held across rounds so the steady-state round
 	// allocates nothing.
-	senders  [][]int // dest -> sending machines, in machine order; empty outside Round
-	active   []int   // destinations with at least one sender this round
-	inWords  []int
-	outWords []int
+	senders [][]int // dest -> sending machines, in machine order; empty outside Round
+	recv    []int   // machines whose inboxes currently hold traffic
+	recvNxt []int   // next round's receivers, swapped into recv after the merge
+	// Sparse-scheduling state.
+	inRound   bool
+	armAll    bool
+	armedNext []int  // machines armed for the next round (deduplicated)
+	armedMark []bool // membership bitmap for armedNext
+	armedSelf []bool // set by a machine's own RoundFunc, collected post-barrier
+	runList   []int  // scratch: the machines running the current sparse round
+	dirtyMark []bool // accounting dedup scratch, all-false between rounds
+	// Incremental resident aggregates, so rounds never rescan all machines:
+	// residentMax is max over machines of resident (exact when residentMaxOK;
+	// recomputed lazily after a decrease of the max holder), residentOverCap
+	// counts machines with resident > SpaceCap.
+	residentMax     int
+	residentMaxOK   bool
+	residentOverCap int
 }
 
 // NewCluster returns a cluster with the given configuration.
@@ -105,19 +158,32 @@ func NewCluster(cfg Config) *Cluster {
 		panic(fmt.Sprintf("mpc: need at least 1 machine, got %d", cfg.Machines))
 	}
 	c := &Cluster{
-		cfg:      cfg,
-		resident: make([]int, cfg.Machines),
-		inbox:    make([]Inbox, cfg.Machines),
-		outboxes: make([]Outbox, cfg.Machines),
-		senders:  make([][]int, cfg.Machines),
-		inWords:  make([]int, cfg.Machines),
-		outWords: make([]int, cfg.Machines),
+		cfg:           cfg,
+		resident:      make([]int, cfg.Machines),
+		inbox:         make([]Inbox, cfg.Machines),
+		outboxes:      make([]Outbox, cfg.Machines),
+		senders:       make([][]int, cfg.Machines),
+		armedMark:     make([]bool, cfg.Machines),
+		armedSelf:     make([]bool, cfg.Machines),
+		dirtyMark:     make([]bool, cfg.Machines),
+		residentMaxOK: true,
 	}
-	c.exec = newExecutor(cfg)
+	c.exec, c.pool = newExecutor(cfg)
 	for machine := range c.outboxes {
 		c.outboxes[machine] = Outbox{from: machine, cluster: c}
 	}
 	return c
+}
+
+// Close releases the cluster's persistent worker pool, if it owns one. It is
+// idempotent and safe to call on clusters that never had a pool. A cluster
+// that is garbage-collected without Close leaks its pool goroutines only
+// until the pool's finalizer runs.
+func (c *Cluster) Close() {
+	if c.pool != nil {
+		c.pool.Close()
+		c.pool = nil
+	}
 }
 
 // M returns the number of machines.
@@ -143,11 +209,30 @@ func (c *Cluster) Metrics() Metrics {
 // was enabled in the Config). The slice must not be modified.
 func (c *Cluster) Trace() []RoundStat { return c.trace }
 
-// SetResident declares the resident state size of a machine, in words.
+// SetResident declares the resident state size of a machine, in words. It
+// must be called from driver code between rounds or by at most one machine's
+// RoundFunc per round, never concurrently.
 func (c *Cluster) SetResident(machine, words int) {
+	old := c.resident[machine]
 	c.resident[machine] = words
 	if words > c.metrics.MaxResident {
 		c.metrics.MaxResident = words
+	}
+	if cap := c.cfg.SpaceCap; cap > 0 {
+		switch {
+		case old <= cap && words > cap:
+			c.residentOverCap++
+		case old > cap && words <= cap:
+			c.residentOverCap--
+		}
+	}
+	// Keep the current-maximum aggregate: a new high is the max outright;
+	// lowering the (possible) max holder invalidates it for a lazy rescan.
+	if words >= c.residentMax {
+		c.residentMax = words
+		c.residentMaxOK = true
+	} else if old == c.residentMax && words < old {
+		c.residentMaxOK = false
 	}
 }
 
@@ -159,10 +244,82 @@ func (c *Cluster) AddResident(machine, delta int) {
 // Resident returns the declared resident words of a machine.
 func (c *Cluster) Resident(machine int) int { return c.resident[machine] }
 
+// residentMaxNow returns max over machines of resident, rescanning only if a
+// decrease invalidated the incremental value.
+func (c *Cluster) residentMaxNow() int {
+	if !c.residentMaxOK {
+		max := 0
+		for _, r := range c.resident {
+			if r > max {
+				max = r
+			}
+		}
+		c.residentMax = max
+		c.residentMaxOK = true
+	}
+	return c.residentMax
+}
+
 // Inbox returns a view over the records delivered to a machine at the start
 // of the current round. The cursor is rewound at the start of every round;
 // callers inspecting inboxes between rounds should Reset() after iterating.
 func (c *Cluster) Inbox(machine int) *Inbox { return &c.inbox[machine] }
+
+// Arm schedules a machine to run in the next round even if its inbox is
+// empty. Under sparse scheduling (Config.Sparse) this is the contract that
+// keeps sparse execution equivalent to dense: a machine whose RoundFunc
+// must act without incoming traffic — a central machine starting a batch, a
+// data machine replaying a sampling plan, a round-0 loader — is armed by the
+// driver before the round; machines reacting to delivered records run
+// automatically, and decided machines simply stop being armed and go
+// dormant. The armed set is consumed by the next Round (or Quiet).
+//
+// Arm may be called from driver code between rounds for any machine, or
+// from within a RoundFunc for the invoking machine itself (self-arming);
+// arming another machine from inside a round is a data race. In dense mode
+// (Config.Sparse unset) Arm is a no-op, so algorithms written against the
+// arming contract run unchanged on dense clusters.
+func (c *Cluster) Arm(machine int) {
+	if machine < 0 || machine >= c.cfg.Machines {
+		panic(fmt.Sprintf("mpc: Arm of invalid machine %d (M=%d)", machine, c.cfg.Machines))
+	}
+	if !c.cfg.Sparse {
+		return
+	}
+	if c.inRound {
+		c.armedSelf[machine] = true
+		return
+	}
+	c.enqueueArm(machine)
+}
+
+// ArmAll schedules every machine to run in the next round, making it a dense
+// round; used for genuinely global steps (e.g. every machine contributes to
+// an aggregation). Driver-only: must not be called from inside a RoundFunc.
+// A no-op in dense mode.
+func (c *Cluster) ArmAll() {
+	if c.cfg.Sparse {
+		c.armAll = true
+	}
+}
+
+// enqueueArm adds machine to the next round's armed set, deduplicated.
+func (c *Cluster) enqueueArm(machine int) {
+	if !c.armedMark[machine] {
+		c.armedMark[machine] = true
+		c.armedNext = append(c.armedNext, machine)
+	}
+}
+
+// drainArmed empties the armed set (its machines are running, or a dense
+// round subsumed them).
+func (c *Cluster) drainArmed() {
+	for _, m := range c.armedNext {
+		c.armedMark[m] = false
+	}
+	c.armedNext = c.armedNext[:0]
+	c.armAll = false
+}
 
 // RoundFunc is the local computation of one machine in one round: it reads
 // the machine's inbox and emits records for the next round.
@@ -176,49 +333,102 @@ func (c *Cluster) Inbox(machine int) *Inbox { return &c.inbox[machine] }
 // when the round ends: consume them during the invocation, never retain.
 type RoundFunc func(machine int, in *Inbox, out *Outbox)
 
-// Round executes one synchronous round: it runs f on every machine via the
-// configured executor, each machine writing to its own Outbox, then — after
-// the barrier — accounts space and traffic, checks the cap, and assembles
-// each destination's inbox from the senders' columns in machine order, so
-// delivery order, metrics, and traces are deterministic and
-// executor-independent. The columns backing the inboxes consumed this round
-// are recycled into the column pool.
+// Round executes one synchronous round: it runs f on the scheduled machines
+// via the configured executor (every machine when dense; the armed machines
+// plus the machines with non-empty inboxes when sparse), each machine
+// writing to its own Outbox, then — after the barrier — accounts space and
+// traffic, checks the cap, and assembles each destination's inbox from the
+// senders' columns in machine order, so delivery order, metrics, and traces
+// are deterministic and executor-independent. The columns backing the
+// inboxes consumed this round are recycled into the column pool.
 func (c *Cluster) Round(f RoundFunc) error {
 	c.metrics.Rounds++
 	M := c.cfg.Machines
-	for machine := range c.inbox {
-		c.inbox[machine].Reset()
+
+	// Schedule. A sparse round runs the union of the armed set and the
+	// current receivers, in ascending machine order (the merge below walks
+	// the run list in order, which is what keeps delivery deterministic).
+	// ArmAll degrades the single next round to dense execution.
+	sparse := c.cfg.Sparse && !c.armAll
+	var run []int
+	active := M
+	if sparse {
+		run = c.runList[:0]
+		run = append(run, c.armedNext...)
+		for _, m := range c.recv {
+			if !c.armedMark[m] {
+				run = append(run, m)
+			}
+		}
+		c.runList = run
+		sort.Ints(run)
+		active = len(run)
 	}
-	c.exec.Execute(M, func(machine int) {
-		f(machine, &c.inbox[machine], &c.outboxes[machine])
-	})
+	c.drainArmed()
+
+	// Rewind the receivers' cursors (other inboxes are empty) and execute.
+	for _, m := range c.recv {
+		c.inbox[m].Reset()
+	}
+	c.inRound = true
+	if sparse {
+		c.exec.Execute(len(run), func(i int) {
+			m := run[i]
+			f(m, &c.inbox[m], &c.outboxes[m])
+		})
+	} else {
+		c.exec.Execute(M, func(machine int) {
+			f(machine, &c.inbox[machine], &c.outboxes[machine])
+		})
+	}
+	c.inRound = false
+	c.metrics.ActiveSum += int64(active)
+	if active > c.metrics.ActiveMax {
+		c.metrics.ActiveMax = active
+	}
+
 	// Deterministic merge after the barrier: traffic totals come from the
 	// per-outbox counters, and each inbox lists the senders' columns in
 	// machine order, so its cursor yields records ordered by (sender,
-	// emission order) regardless of the executor's scheduling.
-	c.active = c.active[:0]
-	for machine := 0; machine < M; machine++ {
+	// emission order) regardless of the executor's scheduling. Only the
+	// machines that ran can have sent, and only the machines that ran can
+	// have self-armed.
+	c.recvNxt = c.recvNxt[:0]
+	mergeOne := func(machine int) {
 		o := &c.outboxes[machine]
 		if o.cur != nil {
 			panic(fmt.Sprintf("mpc: machine %d ended the round with an open record (Begin without End)", machine))
 		}
-		c.outWords[machine] = o.words
 		c.metrics.WordsSent += int64(o.words)
 		c.metrics.Messages += int64(o.count)
 		for _, dest := range o.dests {
 			if len(c.senders[dest]) == 0 {
-				c.active = append(c.active, dest)
+				c.recvNxt = append(c.recvNxt, dest)
 			}
 			c.senders[dest] = append(c.senders[dest], machine)
 		}
+		if c.armedSelf[machine] {
+			c.armedSelf[machine] = false
+			c.enqueueArm(machine)
+		}
 	}
+	if sparse {
+		for _, m := range run {
+			mergeOne(m)
+		}
+	} else {
+		for machine := 0; machine < M; machine++ {
+			mergeOne(machine)
+		}
+	}
+
 	// The round's computations have consumed the previous inboxes; recycle
-	// their columns and empty them before handing over the new ones.
-	for machine := range c.inbox {
-		c.inbox[machine].clear()
-		c.inWords[machine] = 0
+	// their columns before handing over the new ones.
+	for _, m := range c.recv {
+		c.inbox[m].clear()
 	}
-	for _, dest := range c.active {
+	c.recv = c.recv[:0]
+	for _, dest := range c.recvNxt {
 		in := &c.inbox[dest]
 		for _, src := range c.senders[dest] {
 			col := c.outboxes[src].byDest[dest]
@@ -226,43 +436,133 @@ func (c *Cluster) Round(f RoundFunc) error {
 			in.records += len(col.recs)
 			in.words += col.words
 		}
-		c.inWords[dest] = in.words
 		c.senders[dest] = c.senders[dest][:0]
 	}
-	for machine := 0; machine < M; machine++ {
-		c.outboxes[machine].reset()
-	}
+	c.recv, c.recvNxt = c.recvNxt, c.recv
+
+	// Space and cap accounting over the dirty set — the machines that ran
+	// or received — against the incremental aggregates for everyone else: a
+	// dormant machine's load is exactly its unchanged resident words.
 	var violated bool
-	maxLoad := 0
-	for machine := 0; machine < M; machine++ {
-		used := c.resident[machine] + c.inWords[machine] + c.outWords[machine]
-		if used > maxLoad {
-			maxLoad = used
-		}
-		if used > c.metrics.MaxSpace {
-			c.metrics.MaxSpace = used
-		}
-		if c.cfg.SpaceCap > 0 && used > c.cfg.SpaceCap {
-			c.metrics.Violations++
-			violated = true
-		}
+	maxLoad, roundViolations := c.accountDirty(run, sparse)
+	if roundViolations > 0 {
+		c.metrics.Violations += roundViolations
+		violated = true
+	}
+	if maxLoad > c.metrics.MaxSpace {
+		c.metrics.MaxSpace = maxLoad
 	}
 	if c.cfg.Trace {
-		stat := RoundStat{Round: c.metrics.Rounds, MaxLoad: maxLoad}
-		for machine := range c.inbox {
-			stat.Words += int64(c.inWords[machine])
-			stat.Messages += c.inbox[machine].records
+		stat := RoundStat{Round: c.metrics.Rounds, MaxLoad: maxLoad, Active: active}
+		for _, m := range c.recv {
+			stat.Words += int64(c.inbox[m].words)
+			stat.Messages += c.inbox[m].records
 		}
 		c.trace = append(c.trace, stat)
 	}
+
+	// Release the senders' outbox bookkeeping last: accounting above reads
+	// the outboxes' word counters directly.
+	if sparse {
+		for _, m := range run {
+			c.outboxes[m].reset()
+		}
+	} else {
+		for machine := 0; machine < M; machine++ {
+			c.outboxes[machine].reset()
+		}
+	}
+
 	if violated && c.cfg.Strict {
 		return fmt.Errorf("%w (cap %d words)", ErrSpaceExceeded, c.cfg.SpaceCap)
 	}
 	return nil
 }
 
+// accountDirty computes this round's max load and cap-violation count. The
+// dirty machines (ran or received this round) are measured directly as
+// resident+in+out; every dormant machine's load is its resident words, which
+// the incremental aggregates summarize without a scan. A machine can appear
+// both in run and in recv; the dirtyMark scratch (all-false between rounds,
+// and distinct from armedMark, which at this point already carries the next
+// round's self-armed machines) deduplicates it.
+func (c *Cluster) accountDirty(run []int, sparse bool) (maxLoad, roundViolations int) {
+	cap := c.cfg.SpaceCap
+	if !sparse {
+		// Dense round: every machine is dirty; measure all of them directly.
+		for machine := 0; machine < c.cfg.Machines; machine++ {
+			used := c.resident[machine] + c.inbox[machine].words + c.outboxes[machine].words
+			if used > maxLoad {
+				maxLoad = used
+			}
+			if cap > 0 && used > cap {
+				roundViolations++
+			}
+		}
+		return maxLoad, roundViolations
+	}
+	maxLoad = c.residentMaxNow()
+	if cap > 0 {
+		roundViolations = c.residentOverCap
+	}
+	measure := func(m int) {
+		used := c.resident[m] + c.inbox[m].words + c.outboxes[m].words
+		if used > maxLoad {
+			maxLoad = used
+		}
+		if cap > 0 {
+			if c.resident[m] > cap {
+				roundViolations-- // already counted in residentOverCap
+			}
+			if used > cap {
+				roundViolations++
+			}
+		}
+	}
+	for _, m := range run {
+		c.dirtyMark[m] = true
+		measure(m)
+	}
+	for _, m := range c.recv {
+		if !c.dirtyMark[m] {
+			measure(m)
+		}
+	}
+	for _, m := range run {
+		c.dirtyMark[m] = false
+	}
+	return maxLoad, roundViolations
+}
+
 // Quiet runs a round in which no machine sends anything; useful to charge a
-// round of pure local computation.
+// round of pure local computation. It is a fast path: no RoundFunc is
+// invoked (Active records 0) and no machine is scanned — the round reduces
+// to O(1) accounting over the incremental aggregates plus recycling any
+// undelivered traffic, with metrics identical to running a no-op RoundFunc
+// on every machine. The pending armed set is consumed, exactly as a no-op
+// round would consume it.
 func (c *Cluster) Quiet() error {
-	return c.Round(func(int, *Inbox, *Outbox) {})
+	c.metrics.Rounds++
+	c.drainArmed()
+	// A no-op round discards any traffic delivered for it.
+	for _, m := range c.recv {
+		c.inbox[m].clear()
+	}
+	c.recv = c.recv[:0]
+	maxLoad := c.residentMaxNow()
+	if maxLoad > c.metrics.MaxSpace {
+		c.metrics.MaxSpace = maxLoad
+	}
+	violations := 0
+	if c.cfg.SpaceCap > 0 {
+		violations = c.residentOverCap
+	}
+	c.metrics.Violations += violations
+	if c.cfg.Trace {
+		c.trace = append(c.trace, RoundStat{Round: c.metrics.Rounds, MaxLoad: maxLoad})
+	}
+	if violations > 0 && c.cfg.Strict {
+		return fmt.Errorf("%w (cap %d words)", ErrSpaceExceeded, c.cfg.SpaceCap)
+	}
+	return nil
 }

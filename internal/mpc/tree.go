@@ -19,11 +19,12 @@ import "fmt"
 // computed once in NewTree and cached, because the per-round closures of
 // Broadcast and AggregateSum consult them for every machine every round.
 type Tree struct {
-	root   int
-	degree int
-	m      int
-	depths []int // depth by tree position (position 0 = root)
-	height int   // max over positions of depths
+	root    int
+	degree  int
+	m       int
+	depths  []int   // depth by tree position (position 0 = root)
+	height  int     // max over positions of depths
+	byDepth [][]int // machine ids per depth, used to arm each level's senders
 }
 
 // NewTree returns a d-ary tree over the cluster's machines rooted at root.
@@ -45,6 +46,10 @@ func NewTree(c *Cluster, root, degree int) *Tree {
 	}
 	if t.m > 1 {
 		t.height = t.depths[t.m-1]
+	}
+	t.byDepth = make([][]int, t.height+1)
+	for p := 0; p < t.m; p++ {
+		t.byDepth[t.depths[p]] = append(t.byDepth[t.depths[p]], t.machine(p))
 	}
 	return t
 }
@@ -104,6 +109,11 @@ func (t *Tree) Broadcast(c *Cluster, ints []int64, floats []float64) error {
 		return nil
 	}
 	for r := 0; r <= depth; r++ {
+		if r == 0 {
+			// Sparse scheduling: the root starts with an empty inbox; every
+			// later level has just received the payload and runs on its own.
+			c.Arm(t.root)
+		}
 		err := c.Round(func(machine int, in *Inbox, out *Outbox) {
 			// A machine at depth r has just received the payload (or is the
 			// root); it forwards to its children. Send copies the payload
@@ -145,6 +155,15 @@ func (t *Tree) AggregateSum(c *Cluster, width int, value func(machine int) []int
 	}
 	for r := 0; r <= depth; r++ {
 		sendDepth := depth - r // machines at this depth send to their parent
+		if sendDepth >= 1 {
+			// Sparse scheduling: every machine of the sending level must run
+			// this round — leaves at this depth have empty inboxes (internal
+			// nodes received their children's sums and run on their own, but
+			// arming is idempotent, so the whole level is armed).
+			for _, m := range t.byDepth[sendDepth] {
+				c.Arm(m)
+			}
+		}
 		err := c.Round(func(machine int, in *Inbox, out *Outbox) {
 			for m, ok := in.Next(); ok; m, ok = in.Next() {
 				for i, v := range m.Ints {

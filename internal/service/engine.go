@@ -326,6 +326,7 @@ func (e *Engine) execute(f *flight) {
 		e.metrics.inc("flights_failed_total", 1)
 	} else {
 		e.metrics.inc("flights_executed_total", 1)
+		e.metrics.observeActivity(res.Metrics)
 	}
 }
 

@@ -249,6 +249,14 @@ func TestHTTPAlgorithmsAndMetrics(t *testing.T) {
 		"mrserve_instances_built_total 1",
 		"mrserve_job_latency_ms_count 1",
 		`mrserve_job_latency_ms_bucket{le="+Inf"} 1`,
+		// Scheduling-efficiency instrumentation: one completed job lands in
+		// the active-machines histogram, and the process-wide executor-pool
+		// counters render (their values depend on prior pooled activity, so
+		// only the line prefix is pinned).
+		"mrserve_job_active_machines_count 1",
+		`mrserve_job_active_machines_bucket{le="+Inf"} 1`,
+		"mrserve_executor_pool_rounds_total ",
+		"mrserve_executor_pool_chunks_total ",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics output missing %q:\n%s", want, text)

@@ -6,11 +6,14 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/mpc"
 )
 
-// Metrics collects service counters and a job-latency histogram, rendered
-// as a deterministic plain-text document by WritePlain (GET /metrics).
-// All methods are safe for concurrent use.
+// Metrics collects service counters, a job-latency histogram and a
+// per-job active-machines histogram, rendered as a deterministic plain-text
+// document by WritePlain (GET /metrics). All methods are safe for
+// concurrent use.
 type Metrics struct {
 	mu sync.Mutex
 
@@ -22,11 +25,24 @@ type Metrics struct {
 	latencyOver    uint64
 	latencySum     float64 // milliseconds
 	latencyCount   uint64
+
+	// activeBuckets[i] counts completed jobs whose mean active machines per
+	// simulator round was <= 2^i; activeOver counts the rest. Together with
+	// the executor-pool counters this is the operator's view of scheduling
+	// efficiency: how much of each job's cluster actually works per round.
+	activeBuckets [activeBucketCount]uint64
+	activeOver    uint64
+	activeSum     float64
+	activeCount   uint64
 }
 
 // latencyBucketCount covers 1ms .. 2^17ms (~2 minutes) in power-of-two
 // buckets; slower jobs land in the +Inf bucket.
 const latencyBucketCount = 18
+
+// activeBucketCount covers 1 .. 2^13 mean active machines per round in
+// power-of-two buckets; larger clusters land in the +Inf bucket.
+const activeBucketCount = 14
 
 // NewMetrics returns an empty metrics set.
 func NewMetrics() *Metrics {
@@ -62,6 +78,32 @@ func (m *Metrics) observeLatency(d time.Duration) {
 	m.mu.Unlock()
 }
 
+// observeActivity records one completed job's mean active machines per
+// round (Metrics.ActiveSum / Rounds) in the activity histogram.
+func (m *Metrics) observeActivity(run mpc.Metrics) {
+	if run.Rounds == 0 {
+		return
+	}
+	mean := float64(run.ActiveSum) / float64(run.Rounds)
+	m.mu.Lock()
+	m.activeSum += mean
+	m.activeCount++
+	bound := 1.0
+	placed := false
+	for i := 0; i < activeBucketCount; i++ {
+		if mean <= bound {
+			m.activeBuckets[i]++
+			placed = true
+			break
+		}
+		bound *= 2
+	}
+	if !placed {
+		m.activeOver++
+	}
+	m.mu.Unlock()
+}
+
 // counter reads one counter (testing helper).
 func (m *Metrics) counter(name string) uint64 {
 	m.mu.Lock()
@@ -93,6 +135,24 @@ func (m *Metrics) WritePlain(w io.Writer) error {
 		fmt.Sprintf("mrserve_job_latency_ms_bucket{le=\"+Inf\"} %d", cum+m.latencyOver),
 		fmt.Sprintf("mrserve_job_latency_ms_sum %.3f", m.latencySum),
 		fmt.Sprintf("mrserve_job_latency_ms_count %d", m.latencyCount))
+	cum = 0
+	bound = 1
+	for i := 0; i < activeBucketCount; i++ {
+		cum += m.activeBuckets[i]
+		lines = append(lines, fmt.Sprintf("mrserve_job_active_machines_bucket{le=%q} %d", fmt.Sprint(bound), cum))
+		bound *= 2
+	}
+	lines = append(lines,
+		fmt.Sprintf("mrserve_job_active_machines_bucket{le=\"+Inf\"} %d", cum+m.activeOver),
+		fmt.Sprintf("mrserve_job_active_machines_sum %.3f", m.activeSum),
+		fmt.Sprintf("mrserve_job_active_machines_count %d", m.activeCount))
+	// Executor-pool utilisation is process-wide (every job's cluster shares
+	// the persistent-pool implementation): batches executed by pooled
+	// workers and task chunks claimed, straight from the simulator.
+	poolRounds, poolChunks := mpc.PoolTotals()
+	lines = append(lines,
+		fmt.Sprintf("mrserve_executor_pool_rounds_total %d", poolRounds),
+		fmt.Sprintf("mrserve_executor_pool_chunks_total %d", poolChunks))
 	m.mu.Unlock()
 
 	for _, line := range lines {
