@@ -9,7 +9,17 @@
 //
 //	mrrun -alg matching -n 1000 -c 0.3 -mu 0.2 [-seed 1] [-b 3] [-eps 0.2] [-workers W]
 //	mrrun -alg list            # list registered algorithms
-//	mrrun -load g.txt.gz ...   # run on a saved instance (gzip transparent)
+//	mrrun -load g.txt.gz ...   # run on a saved instance (format sniffed:
+//	                           # text, binary container, gzip of either)
+//	mrrun -load g.txt -convert g.mrg   # convert to a mappable binary
+//	                           # container (streaming; no run) and exit
+//	mrrun -n 100000 -c 0.3 -save g.mrg # generate straight to a container
+//
+// Loading a raw binary container (.mrg) memory-maps it: start-up is
+// O(header) regardless of graph size and the kernel pages edge data in on
+// demand. -convert streams text input through the external-sort builder, so
+// converting never needs the graph in memory; its output is byte-identical
+// to saving the in-heap graph.
 package main
 
 import (
@@ -33,10 +43,20 @@ func main() {
 	bcap := flag.Int("b", 2, "b-matching capacity")
 	eps := flag.Float64("eps", 0.2, "epsilon (b-matching, greedy set cover)")
 	f := flag.Int("f", 3, "set cover max frequency (setcover-f)")
-	load := flag.String("load", "", "load the graph from a file (graph.Encode format, .gz transparent) instead of generating one")
-	save := flag.String("save", "", "save the generated graph to a file before running (gzip when the path ends in .gz)")
+	load := flag.String("load", "", "load the graph from a file (text, binary container, or gzip of either — sniffed) instead of generating one")
+	save := flag.String("save", "", "save the generated graph before running (.mrg binary container, .mrgz compressed container, .gz gzip, else text)")
+	convert := flag.String("convert", "", "with -load: stream-convert the input to a raw binary container at this path and exit without running")
 	workers := flag.Int("workers", 0, "round-executor pool size: 0|1 sequential, >1 that many goroutines, -1 one per CPU")
 	flag.Parse()
+
+	if *convert != "" {
+		if *load == "" {
+			exitOn(fmt.Errorf("-convert needs -load (the file to convert)"))
+		}
+		exitOn(graph.ConvertFile(*load, *convert, nil))
+		fmt.Printf("converted %s -> %s\n", *load, *convert)
+		return
+	}
 
 	if *alg == "list" {
 		for _, a := range core.Algorithms() {

@@ -6,13 +6,22 @@
 // Usage:
 //
 //	mrserve [-addr :8080] [-pool P] [-workers W] [-results R] [-instances I]
+//	        [-data DIR] [-preload FILE ...]
+//
+// With -data, uploaded and preloaded graphs are spooled to DIR as
+// content-addressed binary containers (<id>.mrg) and served zero-copy
+// through a read-only mmap — one physical mapping shared by every
+// concurrent job on the instance, and instances evicted from the cache
+// resurrect from the spool. -preload (repeatable) registers graph files
+// from local disk at start-up under the same content id an upload of the
+// bytes would get; raw .mrg containers open in O(header) time.
 //
 // API:
 //
 //	POST /v1/jobs        {"instance": {...}, "alg": "...", "seed": N, "wait": true}
 //	GET  /v1/jobs/{id}   poll a submitted job
 //	GET  /v1/instances   list cached instances
-//	POST /v1/instances   upload a graph (graph.Encode text; gzip accepted)
+//	POST /v1/instances   upload a graph (text, binary container, or gzip of either)
 //	GET  /v1/algorithms  the algorithm registry and parameter schemas
 //	GET  /metrics        plain-text counters and job-latency histogram
 //
@@ -29,6 +38,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -45,6 +55,9 @@ func main() {
 	workers := flag.Int("workers", 1, "per-job round-executor pool size: 0|1 sequential, >1 that many goroutines, -1 one per CPU")
 	results := flag.Int("results", 256, "LRU result-store capacity")
 	instances := flag.Int("instances", 64, "instance-cache capacity")
+	dataDir := flag.String("data", "", "directory for spooled binary containers; uploads are served zero-copy from mmap")
+	var preload stringList
+	flag.Var(&preload, "preload", "graph file to register as an uploaded instance at start-up (repeatable; any format)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "mrserve: ", log.LstdFlags)
@@ -53,7 +66,15 @@ func main() {
 		Workers:   *workers,
 		Results:   *results,
 		Instances: *instances,
+		DataDir:   *dataDir,
 	})
+	for _, path := range preload {
+		id, info, err := engine.PreloadFile(path)
+		if err != nil {
+			logger.Fatalf("preload %s: %v", path, err)
+		}
+		logger.Printf("preloaded %s: id=%s n=%d m=%d mapped=%v", path, id, info.N, info.M, info.Mapped)
+	}
 	server := &http.Server{Addr: *addr, Handler: service.NewServer(engine)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -80,4 +101,13 @@ func main() {
 		engine.Close()
 		logger.Print("bye")
 	}
+}
+
+// stringList is a repeatable string flag.
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint([]string(*s)) }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
 }

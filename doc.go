@@ -17,7 +17,10 @@
 //     exact test oracles;
 //   - internal/graph    — the CSR-native graph kernel (contiguous int32
 //     neighbour/weight/edge-id slabs, parallel deterministic Build and
-//     generators), plus solution validators;
+//     generators), solution validators, and the out-of-core binary
+//     container (checksummed CSR sections opened zero-copy via mmap in
+//     O(header) time, built streaming by an external sort byte-identical
+//     to the in-heap path);
 //   - internal/setcover — weighted set cover instances and generators;
 //   - internal/bench    — the Figure 1 reproduction experiments;
 //   - internal/service  — the concurrent job-serving subsystem (instance

@@ -1,0 +1,372 @@
+package graph
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// testGraph builds a moderately sized weighted random graph.
+func testGraph(t testing.TB) *Graph {
+	t.Helper()
+	r := rng.New(17)
+	g := GNM(500, 3000, r)
+	g.AssignUniformWeights(r, 1, 100)
+	return g
+}
+
+// graphsEquivalent compares two graphs on every kernel accessor.
+func graphsEquivalent(t *testing.T, want, got *Graph) {
+	t.Helper()
+	if got.N != want.N || got.M() != want.M() {
+		t.Fatalf("dimensions differ: got (%d,%d) want (%d,%d)", got.N, got.M(), want.N, want.M())
+	}
+	if !edgesEqual(got.Edges, want.Edges) {
+		t.Fatal("edge lists differ")
+	}
+	for v := 0; v < want.N; v++ {
+		if got.Degree(v) != want.Degree(v) {
+			t.Fatalf("v=%d: degree %d != %d", v, got.Degree(v), want.Degree(v))
+		}
+		gn, gw := got.NeighborsW(v)
+		wn, ww := want.NeighborsW(v)
+		gi, wi := got.IncidentEdges(v), want.IncidentEdges(v)
+		for k := range wn {
+			if gn[k] != wn[k] || gw[k] != ww[k] || gi[k] != wi[k] {
+				t.Fatalf("v=%d slot %d: (%d,%g,%d) != (%d,%g,%d)",
+					v, k, gn[k], gw[k], gi[k], wn[k], ww[k], wi[k])
+			}
+		}
+	}
+}
+
+// TestContainerRoundTrip checks encode → decode and encode → open-mapped
+// against the in-heap graph on all accessors, raw and compressed.
+func TestContainerRoundTrip(t *testing.T) {
+	g := testGraph(t)
+
+	var raw bytes.Buffer
+	if err := EncodeContainer(&raw, g); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ReadContainer(bytes.NewReader(raw.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEquivalent(t, g, dec)
+
+	path := filepath.Join(t.TempDir(), "g.mrg")
+	if err := os.WriteFile(path, raw.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	if !mapped.Mapped() {
+		t.Fatal("OpenMapped graph does not report Mapped")
+	}
+	graphsEquivalent(t, g, mapped)
+	if err := VerifyContainer(path); err != nil {
+		t.Fatalf("VerifyContainer: %v", err)
+	}
+
+	var comp bytes.Buffer
+	if err := EncodeContainerCompressed(&comp, g); err != nil {
+		t.Fatal(err)
+	}
+	if comp.Len() >= raw.Len() {
+		t.Fatalf("compressed container (%d bytes) not smaller than raw (%d bytes)", comp.Len(), raw.Len())
+	}
+	cdec, err := ReadContainer(bytes.NewReader(comp.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEquivalent(t, g, cdec)
+}
+
+// TestContainerUnitWeights checks the unit-weight compressed fast path and
+// gzip-wrapped container sniffing through DecodeAuto.
+func TestContainerUnitWeights(t *testing.T) {
+	g := Path(50)
+	var comp, weighted bytes.Buffer
+	if err := EncodeContainerCompressed(&comp, g); err != nil {
+		t.Fatal(err)
+	}
+	h := g.Clone()
+	h.Edges[3].W = 2.5
+	if err := EncodeContainerCompressed(&weighted, h); err != nil {
+		t.Fatal(err)
+	}
+	if comp.Len() >= weighted.Len() {
+		t.Fatalf("unit-weight container (%d bytes) not smaller than weighted (%d bytes)", comp.Len(), weighted.Len())
+	}
+	dec, err := ReadContainer(bytes.NewReader(comp.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEquivalent(t, g, dec)
+
+	// gzip(container) decodes through DecodeAuto's nested sniff.
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(comp.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	gdec, err := DecodeAuto(bytes.NewReader(gz.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEquivalent(t, g, gdec)
+}
+
+// TestContainerRejectsCorrupt checks that malformed containers are rejected
+// by both the sequential reader and the mapped opener.
+func TestContainerRejectsCorrupt(t *testing.T) {
+	g := testGraph(t)
+	var buf bytes.Buffer
+	if err := EncodeContainer(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	h, _, err := parseHeaderBytes(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbrSec, _ := h.find(secAdjNbr)
+
+	cases := []struct {
+		name   string
+		mutate func(b []byte) []byte
+		mapped bool // OpenMapped must also reject it
+	}{
+		{"bad-magic", func(b []byte) []byte { b[0] ^= 0xff; return b }, true},
+		{"truncated-header", func(b []byte) []byte { return b[:16] }, true},
+		{"truncated-table", func(b []byte) []byte { return b[:headerSize+10] }, true},
+		{"truncated-section", func(b []byte) []byte { return b[:len(b)-9] }, true},
+		{"header-bit-flip", func(b []byte) []byte { b[9] ^= 1; return b }, true}, // n changes, CRC catches it
+		{"section-checksum", func(b []byte) []byte { b[nbrSec.off] ^= 1; return b }, false},
+		{"zero-sections", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[28:], 0)
+			return b
+		}, true},
+		{"section-out-of-bounds", func(b []byte) []byte {
+			// Grow a section length; the header CRC must be recomputed so
+			// only the bounds check can catch it.
+			binary.LittleEndian.PutUint64(b[headerSize+16:], uint64(len(b))*2)
+			crcOff := headerSize + len(h.sections)*sectionSize
+			binary.LittleEndian.PutUint32(b[crcOff:], crc32Of(b[:crcOff]))
+			return b
+		}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := tc.mutate(append([]byte(nil), good...))
+			if _, err := ReadContainer(bytes.NewReader(bad)); err == nil {
+				t.Fatal("ReadContainer accepted a corrupt container")
+			}
+			path := filepath.Join(t.TempDir(), "bad.mrg")
+			if err := os.WriteFile(path, bad, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if tc.mapped {
+				if _, err := OpenMapped(path); err == nil {
+					t.Fatal("OpenMapped accepted a corrupt container")
+				}
+			}
+			// VerifyContainer checks payload checksums too, so it must
+			// reject every corruption in the table.
+			if err := VerifyContainer(path); err == nil {
+				t.Fatal("VerifyContainer accepted a corrupt container")
+			}
+		})
+	}
+}
+
+func crc32Of(b []byte) uint32 {
+	cw := crcWriter{}
+	cw.Write(b)
+	return cw.crc
+}
+
+// TestWriteFileExtensions checks the extension-driven format selection and
+// that ReadFile transparently maps raw containers.
+func TestWriteFileExtensions(t *testing.T) {
+	g := testGraph(t)
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name   string
+		mapped bool
+	}{
+		{"g.txt", false},
+		{"g.txt.gz", false},
+		{"g.mrg", true},
+		{"g.mrgz", false},
+		{"g.mrg.gz", false}, // gzip-wrapped container decodes to the heap
+	} {
+		path := filepath.Join(dir, tc.name)
+		if err := WriteFile(path, g); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got.Mapped() != tc.mapped {
+			t.Fatalf("%s: Mapped()=%v, want %v", tc.name, got.Mapped(), tc.mapped)
+		}
+		graphsEquivalent(t, g, got)
+		got.Close()
+	}
+}
+
+// TestMappedGraphImmutable checks the in-place mutators panic with a clear
+// error instead of faulting on the read-only pages, and that Clone yields a
+// mutable heap copy.
+func TestMappedGraphImmutable(t *testing.T) {
+	g := testGraph(t)
+	path := filepath.Join(t.TempDir(), "g.mrg")
+	if err := WriteContainerFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+
+	for name, mutate := range map[string]func(){
+		"AddEdge":              func() { mapped.AddEdge(0, 1, 1) },
+		"AssignUnitWeights":    func() { mapped.AssignUnitWeights() },
+		"AssignUniformWeights": func() { mapped.AssignUniformWeights(rng.New(1), 0, 1) },
+		"SortEdges":            func() { mapped.SortEdges() },
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s did not panic on a mapped graph", name)
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "mapped") {
+					t.Fatalf("%s panicked with %v, want a mapped-graph error", name, r)
+				}
+			}()
+			mutate()
+		}()
+	}
+
+	clone := mapped.Clone()
+	if clone.Mapped() {
+		t.Fatal("Clone of a mapped graph is still mapped")
+	}
+	clone.AssignUnitWeights() // must not panic
+	if clone.M() != g.M() {
+		t.Fatal("clone lost edges")
+	}
+}
+
+// TestCSRBoundsRejected checks the overflow hardening: dimensions whose
+// slab offsets exceed int32 are rejected with a clear error by the decode
+// paths and with a panic carrying the same error by Build.
+func TestCSRBoundsRejected(t *testing.T) {
+	big := int64(math.MaxInt32)/2 + 1 // 2m overflows int32
+	text := "graph 10 " + formatInt(big) + "\n"
+	if _, err := Decode(strings.NewReader(text)); err == nil ||
+		!strings.Contains(err.Error(), "CSR kernel") {
+		t.Fatalf("Decode accepted 2m > MaxInt32: %v", err)
+	}
+	hugeN := "graph " + formatInt(int64(math.MaxInt32)+1) + " 0\n"
+	if _, err := Decode(strings.NewReader(hugeN)); err == nil ||
+		!strings.Contains(err.Error(), "CSR kernel") {
+		t.Fatalf("Decode accepted n > MaxInt32: %v", err)
+	}
+
+	if err := BuildExternal(filepath.Join(t.TempDir(), "x.mrg"), 10, int(big),
+		func() (Edge, error) { return Edge{}, nil }, nil); err == nil ||
+		!strings.Contains(err.Error(), "CSR kernel") {
+		t.Fatalf("BuildExternal accepted 2m > MaxInt32: %v", err)
+	}
+
+	// A crafted container header promising overflowing dimensions must be
+	// rejected before any allocation.
+	g := Path(3)
+	var buf bytes.Buffer
+	if err := EncodeContainer(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	binary.LittleEndian.PutUint64(b[16:], uint64(big)) // m
+	crcOff := headerSize + 5*sectionSize
+	binary.LittleEndian.PutUint32(b[crcOff:], crc32Of(b[:crcOff]))
+	if _, err := ReadContainer(bytes.NewReader(b)); err == nil ||
+		!strings.Contains(err.Error(), "CSR kernel") {
+		t.Fatalf("ReadContainer accepted an overflowing header: %v", err)
+	}
+
+	// Build panics with the same clear error.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Build did not panic on overflowing dimensions")
+		}
+		if err, ok := r.(error); !ok || !strings.Contains(err.Error(), "CSR kernel") {
+			t.Fatalf("Build panicked with %v, want the CSR bounds error", r)
+		}
+	}()
+	huge := &Graph{N: math.MaxInt32 + 1}
+	huge.Build()
+}
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+// TestGoldenContainer pins the on-disk format: the committed fixture must
+// decode to the expected graph and re-encode byte-identically.
+func TestGoldenContainer(t *testing.T) {
+	const golden = "testdata/golden.mrg"
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate with go generate or scripts): %v", err)
+	}
+	g, err := ReadContainer(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("golden container no longer decodes: %v", err)
+	}
+	want := goldenGraph()
+	graphsEquivalent(t, want, g)
+
+	var re bytes.Buffer
+	if err := EncodeContainer(&re, g); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re.Bytes(), data) {
+		t.Fatal("re-encoding the golden graph changed the bytes: the on-disk format drifted")
+	}
+
+	mapped, err := OpenMapped(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	graphsEquivalent(t, want, mapped)
+}
+
+// goldenGraph is the fixture's content; regenerating the fixture must use
+// exactly this graph (see TestGoldenContainer and scripts in CI).
+func goldenGraph() *Graph {
+	r := rng.New(20180617)
+	g := GNM(64, 256, r)
+	g.AssignUniformWeights(r, 1, 100)
+	return g
+}

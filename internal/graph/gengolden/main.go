@@ -1,0 +1,19 @@
+// Command gengolden regenerates the committed golden container fixture used
+// by TestGoldenContainer to pin the on-disk format. Run from the repo root:
+//
+//	go run ./internal/graph/gengolden
+package main
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func main() {
+	r := rng.New(20180617)
+	g := graph.GNM(64, 256, r)
+	g.AssignUniformWeights(r, 1, 100)
+	if err := graph.WriteContainerFile("internal/graph/testdata/golden.mrg", g); err != nil {
+		panic(err)
+	}
+}

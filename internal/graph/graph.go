@@ -75,6 +75,53 @@ type Graph struct {
 	adjEdge  []int32   // len 2*len(Edges); edge indices
 	built    bool
 	wBuilt   bool
+
+	// backing, when non-nil, is the read-only mmap the slabs (and on
+	// matching hosts the edge list) alias. It pins the mapping for the
+	// graph's lifetime; see OpenMapped in mmap.go. Mapped graphs are
+	// immutable: the in-place mutators panic instead of faulting.
+	backing *mapping
+}
+
+// Mapped reports whether g's storage aliases a read-only file mapping
+// (OpenMapped). Mapped graphs must not be mutated in place.
+func (g *Graph) Mapped() bool { return g.backing != nil }
+
+// Close releases g's file mapping, if any. After Close every accessor on a
+// mapped graph is invalid; callers that share g concurrently must not call
+// Close while readers remain (the instance cache instead drops its
+// reference and lets the finalizer unmap). Heap graphs ignore Close.
+func (g *Graph) Close() error {
+	if g.backing == nil {
+		return nil
+	}
+	b := g.backing
+	g.backing = nil
+	return b.close()
+}
+
+// ensureMutable panics when an in-place mutator runs on a mapped graph —
+// a clear error instead of a segfault on the read-only pages.
+func (g *Graph) ensureMutable() {
+	if g.backing != nil {
+		panic("graph: cannot mutate a mapped graph (OpenMapped instances are read-only; Clone first)")
+	}
+}
+
+// checkCSRBounds rejects dimensions whose CSR slab offsets overflow the
+// int32 kernel: the half-edge slabs are indexed by int32, so both n and 2m
+// must stay below 2^31. Build panics with this error; the decoding paths
+// (Decode, ReadContainer, BuildExternal) return it before allocating.
+func checkCSRBounds(n, m int) error {
+	if n > math.MaxInt32 || m < 0 || 2*m > math.MaxInt32 || m > math.MaxInt32/2 {
+		return errCSRBounds(n, m)
+	}
+	return nil
+}
+
+func errCSRBounds(n, m int) error {
+	return fmt.Errorf("graph: n=%d m=%d exceeds the int32 CSR kernel (need n <= %d and 2m <= %d)",
+		n, m, math.MaxInt32, math.MaxInt32)
 }
 
 // New returns an empty graph on n vertices.
@@ -88,6 +135,7 @@ func New(n int) *Graph {
 // AddEdge appends an undirected edge {u,v} with weight w.
 // It panics on out-of-range endpoints or self-loops.
 func (g *Graph) AddEdge(u, v int, w float64) {
+	g.ensureMutable()
 	if u < 0 || u >= g.N || v < 0 || v >= g.N {
 		panic(fmt.Sprintf("graph: edge (%d,%d) out of range for n=%d", u, v, g.N))
 	}
@@ -117,8 +165,8 @@ func (g *Graph) Build() {
 		return
 	}
 	m := len(g.Edges)
-	if g.N > math.MaxInt32 || 2*m > math.MaxInt32 {
-		panic("graph: int32 CSR kernel limited to n and 2m below 2^31")
+	if err := checkCSRBounds(g.N, m); err != nil {
+		panic(err)
 	}
 	workers := parallelism()
 	// The parallel path spends Θ(chunks·N) on per-chunk histograms, so it
@@ -343,6 +391,7 @@ func normPair(u, v int) [2]int {
 // SortEdges sorts the edge list lexicographically by (min endpoint, max
 // endpoint, weight). Used to make serialized graphs deterministic.
 func (g *Graph) SortEdges() {
+	g.ensureMutable()
 	sort.Slice(g.Edges, func(i, j int) bool {
 		a, b := g.Edges[i], g.Edges[j]
 		au, av := minmax(a.U, a.V)
@@ -388,6 +437,7 @@ func VertexSet(bits []bool) map[int]bool {
 // [lo, hi) and invalidates the CSR weight slab (endpoints are untouched, so
 // the adjacency slabs stay valid).
 func (g *Graph) AssignUniformWeights(r *rng.RNG, lo, hi float64) {
+	g.ensureMutable()
 	for i := range g.Edges {
 		g.Edges[i].W = r.UniformWeight(lo, hi)
 	}
@@ -397,6 +447,7 @@ func (g *Graph) AssignUniformWeights(r *rng.RNG, lo, hi float64) {
 // AssignUnitWeights sets every edge weight to 1 and invalidates the CSR
 // weight slab (endpoints are untouched, so the adjacency slabs stay valid).
 func (g *Graph) AssignUnitWeights() {
+	g.ensureMutable()
 	for i := range g.Edges {
 		g.Edges[i].W = 1
 	}

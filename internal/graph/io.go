@@ -20,9 +20,12 @@ import (
 //	...
 //
 // Weights are serialized with full float64 round-trip precision. The file
-// helpers speak gzip transparently: ReadFile and DecodeAuto sniff the gzip
-// magic bytes, WriteFile compresses when the path ends in ".gz". Big
-// instances are roughly an order of magnitude smaller compressed.
+// helpers sniff formats transparently: ReadFile and DecodeAuto accept the
+// text format, the binary container (container.go, raw or compressed), and
+// gzip wrappings of either, dispatching on the leading magic bytes, so
+// every ingest point (mrrun -load, mrserve uploads, fixtures) speaks all
+// formats through this one path. WriteFile picks the output format from
+// the extension (.mrg container, .mrgz compressed container, .gz gzip).
 
 // Encode writes g to w in the text format, with edges in their current
 // order. Call SortEdges first for a canonical encoding.
@@ -40,8 +43,17 @@ func Encode(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// Decode reads a graph in the text format produced by Encode.
-func Decode(r io.Reader) (*Graph, error) {
+// textStream is a streaming parser for the text format: header first, then
+// one edge per Next call. It backs both Decode (into a heap graph) and
+// ConvertFile's external build (never holding the edges).
+type textStream struct {
+	sc   *bufio.Scanner
+	n, m int
+	read int
+}
+
+// newTextStream parses the header line.
+func newTextStream(r io.Reader) (*textStream, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	if !sc.Scan() {
@@ -54,64 +66,117 @@ func Decode(r io.Reader) (*Graph, error) {
 	if n < 0 || m < 0 {
 		return nil, fmt.Errorf("graph: negative dimensions in header")
 	}
-	g := New(n)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
+	if err := checkCSRBounds(n, m); err != nil {
+		return nil, err
+	}
+	return &textStream{sc: sc, n: n, m: m}, nil
+}
+
+// Next returns the next edge. After exactly m edges it verifies the
+// trailing input and returns io.EOF.
+func (t *textStream) Next() (Edge, error) {
+	for t.sc.Scan() {
+		line := strings.TrimSpace(t.sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		fields := strings.Fields(line)
 		if len(fields) != 4 || fields[0] != "e" {
-			return nil, fmt.Errorf("graph: bad edge line %q", line)
+			return Edge{}, fmt.Errorf("graph: bad edge line %q", line)
 		}
 		u, err := strconv.Atoi(fields[1])
 		if err != nil {
-			return nil, fmt.Errorf("graph: bad endpoint %q", fields[1])
+			return Edge{}, fmt.Errorf("graph: bad endpoint %q", fields[1])
 		}
 		v, err := strconv.Atoi(fields[2])
 		if err != nil {
-			return nil, fmt.Errorf("graph: bad endpoint %q", fields[2])
+			return Edge{}, fmt.Errorf("graph: bad endpoint %q", fields[2])
 		}
 		wt, err := strconv.ParseFloat(fields[3], 64)
 		if err != nil {
-			return nil, fmt.Errorf("graph: bad weight %q", fields[3])
+			return Edge{}, fmt.Errorf("graph: bad weight %q", fields[3])
 		}
 		if math.IsNaN(wt) || math.IsInf(wt, 0) {
-			return nil, fmt.Errorf("graph: non-finite weight %q on edge (%d,%d)", fields[3], u, v)
+			return Edge{}, fmt.Errorf("graph: non-finite weight %q on edge (%d,%d)", fields[3], u, v)
 		}
-		if u < 0 || u >= n || v < 0 || v >= n || u == v {
-			return nil, fmt.Errorf("graph: invalid edge (%d,%d) for n=%d", u, v, n)
+		if u < 0 || u >= t.n || v < 0 || v >= t.n || u == v {
+			return Edge{}, fmt.Errorf("graph: invalid edge (%d,%d) for n=%d", u, v, t.n)
 		}
-		if g.M() >= m {
-			return nil, fmt.Errorf("graph: header promises %d edges, found more", m)
+		if t.read >= t.m {
+			return Edge{}, fmt.Errorf("graph: header promises %d edges, found more", t.m)
 		}
-		g.AddEdge(u, v, wt)
+		t.read++
+		return Edge{U: u, V: v, W: wt}, nil
 	}
-	if err := sc.Err(); err != nil {
+	if err := t.sc.Err(); err != nil {
+		return Edge{}, err
+	}
+	if t.read != t.m {
+		return Edge{}, fmt.Errorf("graph: header promises %d edges, found %d", t.m, t.read)
+	}
+	return Edge{}, io.EOF
+}
+
+// Decode reads a graph in the text format produced by Encode.
+func Decode(r io.Reader) (*Graph, error) {
+	t, err := newTextStream(r)
+	if err != nil {
 		return nil, err
 	}
-	if g.M() != m {
-		return nil, fmt.Errorf("graph: header promises %d edges, found %d", m, g.M())
+	g := New(t.n)
+	g.Edges = make([]Edge, 0, t.m)
+	for {
+		e, err := t.Next()
+		if err == io.EOF {
+			return g, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		g.Edges = append(g.Edges, e)
 	}
-	return g, nil
 }
 
 // gzipMagic is the two-byte gzip member header (RFC 1952).
 var gzipMagic = [2]byte{0x1f, 0x8b}
 
-// DecodeAuto reads a graph in the Encode text format, transparently
-// decompressing gzip input. The format is sniffed from the first two bytes,
-// so callers need not know whether the stream is compressed.
+// sniff classifies the head bytes of a graph stream.
+type streamKind int
+
+const (
+	kindText streamKind = iota
+	kindGzip
+	kindContainer
+)
+
+func sniff(head []byte) streamKind {
+	if len(head) >= 2 && head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+		return kindGzip
+	}
+	if len(head) >= len(ContainerMagic) && string(head[:len(ContainerMagic)]) == string(ContainerMagic[:]) {
+		return kindContainer
+	}
+	return kindText
+}
+
+// DecodeAuto reads a graph in any of the three supported encodings — the
+// Encode text format, the binary container (raw or compressed), or a gzip
+// wrapping of either — sniffing the format from the first bytes. This is
+// the one ingest path: mrrun -load, mrbench fixtures and mrserve instance
+// uploads all accept all formats through it. The result is always a heap
+// graph; use ReadFile or OpenMapped on a file path to get the zero-copy
+// mapped form of a raw container.
 func DecodeAuto(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
-	head, err := br.Peek(2)
-	if err == nil && head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+	head, _ := br.Peek(len(ContainerMagic))
+	switch sniff(head) {
+	case kindGzip:
 		zr, err := gzip.NewReader(br)
 		if err != nil {
 			return nil, fmt.Errorf("graph: gzip: %v", err)
 		}
 		defer zr.Close()
-		g, err := Decode(zr)
+		g, err := DecodeAuto(zr) // the wrapped stream is sniffed again
 		if err != nil {
 			return nil, err
 		}
@@ -119,30 +184,54 @@ func DecodeAuto(r io.Reader) (*Graph, error) {
 			return nil, fmt.Errorf("graph: gzip: %v", err)
 		}
 		return g, nil
+	case kindContainer:
+		return ReadContainer(br)
+	default:
+		return Decode(br)
 	}
-	return Decode(br)
 }
 
-// ReadFile loads a graph from path, gzip or plain text.
+// ReadFile loads a graph from path in any supported format. Raw binary
+// containers are opened via OpenMapped — zero-copy, O(header) — so callers
+// automatically get the out-of-core form when the file provides it; text,
+// gzip and compressed containers decode into the heap.
 func ReadFile(path string) (*Graph, error) {
 	fh, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
+	head := make([]byte, len(ContainerMagic))
+	k, _ := fh.ReadAt(head, 0)
+	if sniff(head[:k]) == kindContainer {
+		fh.Close()
+		return OpenMapped(path)
+	}
 	defer fh.Close()
 	return DecodeAuto(fh)
 }
 
-// WriteFile saves g to path in the Encode text format, gzip-compressed when
-// the path ends in ".gz".
+// WriteFile saves g to path in the format the extension selects:
+//
+//	.mrg          raw binary container (mappable; OpenMapped serves it)
+//	.mrgz         delta-varint compressed binary container (cold storage)
+//	.gz           gzip-wrapped — applied to the inner extension's format
+//	anything else Encode text
 func WriteFile(path string, g *Graph) error {
+	inner := strings.TrimSuffix(path, ".gz")
+	encode := Encode
+	switch {
+	case strings.HasSuffix(inner, ".mrg"):
+		encode = EncodeContainer
+	case strings.HasSuffix(inner, ".mrgz"):
+		encode = EncodeContainerCompressed
+	}
 	fh, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	if strings.HasSuffix(path, ".gz") {
 		zw := gzip.NewWriter(fh)
-		if err := Encode(zw, g); err != nil {
+		if err := encode(zw, g); err != nil {
 			fh.Close()
 			return err
 		}
@@ -150,9 +239,57 @@ func WriteFile(path string, g *Graph) error {
 			fh.Close()
 			return err
 		}
-	} else if err := Encode(fh, g); err != nil {
+	} else if err := encode(fh, g); err != nil {
 		fh.Close()
 		return err
 	}
 	return fh.Close()
+}
+
+// ConvertFile rewrites the graph at src — any format ReadFile accepts — as
+// a raw binary container at dst. Text input is streamed through
+// BuildExternal, so converting never needs the graph in memory; container
+// input (raw or compressed) is re-encoded through the heap-free mapped view
+// where possible. The output is byte-identical to
+// WriteContainerFile(dst, ReadFile(src)).
+func ConvertFile(src, dst string, cfg *ExtBuildConfig) error {
+	fh, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	head := make([]byte, len(ContainerMagic))
+	k, _ := fh.ReadAt(head, 0)
+	if sniff(head[:k]) == kindContainer {
+		g, err := OpenMapped(src)
+		if err != nil {
+			return err
+		}
+		defer g.Close()
+		return WriteContainerFile(dst, g)
+	}
+
+	var r io.Reader = bufio.NewReaderSize(fh, 1<<16)
+	if sniff(head[:k]) == kindGzip {
+		zr, err := gzip.NewReader(r)
+		if err != nil {
+			return fmt.Errorf("graph: gzip: %v", err)
+		}
+		defer zr.Close()
+		br := bufio.NewReader(zr)
+		inner, _ := br.Peek(len(ContainerMagic))
+		if sniff(inner) == kindContainer {
+			g, err := ReadContainer(br)
+			if err != nil {
+				return err
+			}
+			return WriteContainerFile(dst, g)
+		}
+		r = br
+	}
+	t, err := newTextStream(r)
+	if err != nil {
+		return err
+	}
+	return BuildExternal(dst, t.n, t.m, func() (Edge, error) { return t.Next() }, cfg)
 }

@@ -1,0 +1,179 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"unsafe"
+)
+
+// This file is the mmap-backed side of the binary container: OpenMapped
+// maps a raw container read-only and serves the kernel accessors
+// (Neighbors, NeighborsW, IncidentEdges, Degree — and g.Edges itself) as
+// zero-copy views straight off the mapping. Opening costs O(header): no
+// edge is touched until an algorithm scans it, and then the OS page cache —
+// not the Go heap — decides what stays resident, which is what lets an
+// instance 10-100x larger than memory run at all.
+//
+// Lifetime: the returned *Graph pins the mapping. Explicit Close unmaps;
+// otherwise a finalizer unmaps when the last reference (graph or any job
+// holding it) is collected, so the instance cache can evict a mapped
+// instance while jobs still scan it. One file, one mapping, any number of
+// concurrent readers.
+
+// mapping is the pinned byte range behind a mapped graph. data is either a
+// live mmap (unmap true) or a heap buffer on platforms without mmap.
+type mapping struct {
+	data  []byte
+	unmap bool
+}
+
+// close releases the mapping; idempotent.
+func (m *mapping) close() error {
+	data, doUnmap := m.data, m.unmap
+	m.data, m.unmap = nil, false
+	runtime.SetFinalizer(m, nil)
+	if doUnmap && data != nil {
+		return munmap(data)
+	}
+	return nil
+}
+
+// hostLittleEndian reports the native byte order; the container's on-disk
+// layout is little-endian, so only LE hosts can alias sections in place.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// edgeLayoutMatches reports whether the in-memory Edge struct has exactly
+// the on-disk record layout (u i64, v i64, w f64 — 24 bytes, 8-aligned), so
+// the edges section can back g.Edges directly. True on every 64-bit
+// little-endian platform Go supports.
+var edgeLayoutMatches = hostLittleEndian &&
+	unsafe.Sizeof(Edge{}) == 24 &&
+	unsafe.Offsetof(Edge{}.V) == 8 &&
+	unsafe.Offsetof(Edge{}.W) == 16
+
+// viewInt32, viewFloat64 and viewEdges reinterpret an aligned byte section
+// as a typed slice without copying. The container format 8-aligns every
+// section and mmap returns page-aligned bases, so the casts are aligned.
+func viewInt32(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+func viewFloat64(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func viewEdges(b []byte) []Edge {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*Edge)(unsafe.Pointer(&b[0])), len(b)/24)
+}
+
+// OpenMapped opens the raw binary container at path as a read-only mapped
+// graph: the CSR slabs (and the edge list, on 64-bit little-endian hosts)
+// are zero-copy views of the file mapping, the open itself is O(header),
+// and one physical mapping serves any number of concurrent readers.
+//
+// The header checksum and every section bound are verified; section
+// payloads are not (that would fault in the whole file — run
+// VerifyContainer for a full integrity check). Compressed containers and
+// big-endian hosts fall back to ReadContainer: same graph, heap-resident.
+//
+// The returned graph is immutable — in-place mutators panic; Clone gives a
+// mutable heap copy. Close (or garbage collection of the graph and every
+// holder of its slices) releases the mapping.
+func OpenMapped(path string) (*Graph, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+
+	prefix := make([]byte, headerSize)
+	if _, err := fh.ReadAt(prefix, 0); err != nil {
+		return nil, fmt.Errorf("graph: container header: %v", err)
+	}
+	_, total, err := parseHeaderBytes(prefix)
+	if err != nil {
+		return nil, err
+	}
+	full := make([]byte, total)
+	if _, err := fh.ReadAt(full, 0); err != nil {
+		return nil, fmt.Errorf("graph: container section table: %v", err)
+	}
+	h, _, err := parseHeaderBytes(full)
+	if err != nil {
+		return nil, err
+	}
+
+	if h.flags&flagCompressed != 0 || !hostLittleEndian {
+		// Not mappable: decode to the heap through the verifying path.
+		if _, err := fh.Seek(0, 0); err != nil {
+			return nil, err
+		}
+		return ReadContainer(fh)
+	}
+
+	st, err := fh.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := h.totalSize()
+	if uint64(st.Size()) < size {
+		return nil, fmt.Errorf("graph: container truncated: %d bytes on disk, header promises %d", st.Size(), size)
+	}
+
+	data, mapped, err := mmapFile(fh, int(size))
+	if err != nil {
+		return nil, fmt.Errorf("graph: mmap %s: %v", path, err)
+	}
+	m := &mapping{data: data, unmap: mapped}
+	runtime.SetFinalizer(m, (*mapping).close)
+
+	sec := func(kind uint32) []byte {
+		s, _ := h.find(kind)
+		return data[s.off : s.off+s.len]
+	}
+	g := New(int(h.n))
+	g.adjStart = viewInt32(sec(secAdjStart))
+	g.adjNbr = viewInt32(sec(secAdjNbr))
+	g.adjEdge = viewInt32(sec(secAdjEdge))
+	g.adjW = viewFloat64(sec(secAdjW))
+	if edgeLayoutMatches {
+		g.Edges = viewEdges(sec(secEdges))
+	} else {
+		// 32-bit host: the record layout differs from Edge, copy out.
+		g.Edges = decodeEdgeSection(sec(secEdges))
+	}
+	g.built = true
+	g.wBuilt = true
+	g.backing = m
+	return g, nil
+}
+
+// decodeEdgeSection decodes the edges section field by field (the fallback
+// when the in-memory Edge layout differs from the on-disk record).
+func decodeEdgeSection(b []byte) []Edge {
+	edges := make([]Edge, len(b)/24)
+	for i := range edges {
+		rec := b[i*24 : i*24+24]
+		edges[i] = Edge{
+			U: int(int64(binary.LittleEndian.Uint64(rec))),
+			V: int(int64(binary.LittleEndian.Uint64(rec[8:]))),
+			W: math.Float64frombits(binary.LittleEndian.Uint64(rec[16:])),
+		}
+	}
+	return edges
+}

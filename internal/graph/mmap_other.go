@@ -1,0 +1,22 @@
+//go:build !unix
+
+package graph
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without a usable mmap reads the file into the heap.
+// OpenMapped still works — same views, same behaviour — it just loses the
+// zero-copy and page-cache-tiering properties.
+func mmapFile(f *os.File, size int) ([]byte, bool, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, int64(size)), data); err != nil {
+		return nil, false, err
+	}
+	return data, false, nil
+}
+
+// munmap is a no-op for heap-backed pseudo-mappings.
+func munmap(data []byte) error { return nil }

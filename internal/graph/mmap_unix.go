@@ -1,0 +1,22 @@
+//go:build unix
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared. The returned bool
+// reports that the bytes are a real mapping (must be munmap'ed); the fd may
+// be closed immediately after, the mapping survives it.
+func mmapFile(f *os.File, size int) ([]byte, bool, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// munmap releases a mapping produced by mmapFile.
+func munmap(data []byte) error { return syscall.Munmap(data) }

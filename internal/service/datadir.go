@@ -1,0 +1,62 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+
+	"repro/internal/graph"
+)
+
+// The data directory is the daemon's out-of-core instance store: when
+// Config.DataDir is set, every uploaded or preloaded graph is spooled to
+// DataDir/<id>.mrg as a raw binary container and served through
+// graph.OpenMapped. The kernel's page cache then decides how much of each
+// instance is resident; the engine holds only the O(header) mapping plus
+// the small edge-list alias, one physical mapping shared by every
+// concurrent job referencing the instance. Because the file name is the
+// content-addressed instance id, an evicted upload can be resurrected from
+// disk on the next reference instead of failing (instanceCache.get).
+
+// spoolPath is the content-addressed container location for an instance id.
+func spoolPath(dir, id string) string { return filepath.Join(dir, id+".mrg") }
+
+// spoolMapped writes g to the data directory as a raw binary container
+// (unless the content-addressed file already exists) and reopens it mapped.
+// The write is atomic — temp file then rename — so concurrent spools of the
+// same id and crashes mid-write never leave a partial container visible.
+func spoolMapped(dir, id string, g *graph.Graph) (*graph.Graph, error) {
+	path := spoolPath(dir, id)
+	if _, err := os.Stat(path); err != nil {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		tmp, err := os.CreateTemp(dir, ".spool-*.tmp")
+		if err != nil {
+			return nil, err
+		}
+		tmpName := tmp.Name()
+		if err := graph.EncodeContainer(tmp, g); err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+			return nil, err
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmpName)
+			return nil, err
+		}
+		if err := os.Rename(tmpName, path); err != nil {
+			os.Remove(tmpName)
+			return nil, err
+		}
+	}
+	return graph.OpenMapped(path)
+}
+
+// openSpooled maps a previously spooled instance, if the data directory has
+// it. Used to resurrect evicted uploads by id.
+func openSpooled(dir, id string) (*graph.Graph, error) {
+	if dir == "" {
+		return nil, os.ErrNotExist
+	}
+	return graph.OpenMapped(spoolPath(dir, id))
+}

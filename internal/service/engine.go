@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/graph"
 )
 
 // JobRequest is one job submission: run an algorithm on an instance with a
@@ -115,7 +116,7 @@ func NewEngine(cfg Config) *Engine {
 	e := &Engine{
 		cfg:       cfg,
 		metrics:   m,
-		instances: newInstanceCache(cfg.Instances, m),
+		instances: newInstanceCache(cfg.Instances, cfg.DataDir, m),
 		batch:     newBatcher(),
 		results:   newResultStore(cfg.Results),
 		jobs:      make(map[string]*Job),
@@ -257,9 +258,12 @@ func (j *Job) viewLocked() JobView {
 // Instances lists the instance cache (GET /v1/instances).
 func (e *Engine) Instances() []InstanceInfo { return e.instances.list() }
 
-// Upload decodes graph bytes, stores the built instance in the cache, and
-// returns its content-hash id. Jobs may then reference it as
-// {"type": "upload", "id": id}.
+// Upload decodes graph bytes — any format graph.DecodeAuto accepts — stores
+// the built instance in the cache, and returns its content-hash id (the id
+// is format-invariant: text, gzip and binary uploads of the same graph
+// coincide). Jobs may then reference it as {"type": "upload", "id": id}.
+// With Config.DataDir set, the graph is additionally spooled to
+// DataDir/<id>.mrg and served zero-copy from the mapped container.
 func (e *Engine) Upload(data []byte) (string, InstanceInfo, error) {
 	spec := InstanceSpec{Type: "upload", Data: data}
 	id, err := SpecID(spec)
@@ -270,12 +274,56 @@ func (e *Engine) Upload(data []byte) (string, InstanceInfo, error) {
 	if err != nil {
 		return "", InstanceInfo{}, err
 	}
+	in = e.spoolInput(id, in)
 	e.instances.put(id, spec, in)
+	return id, e.uploadInfo(id, in), nil
+}
+
+// PreloadFile registers a graph file from local disk as an uploaded
+// instance without going through the HTTP body: mrserve -preload. Raw
+// binary containers open mapped directly (O(header), zero-copy); other
+// formats decode to the heap and, with Config.DataDir set, are spooled and
+// remapped. The returned id is the same the file's bytes would get through
+// Upload.
+func (e *Engine) PreloadFile(path string) (string, InstanceInfo, error) {
+	g, err := graph.ReadFile(path)
+	if err != nil {
+		return "", InstanceInfo{}, err
+	}
+	canon, err := uploadCanonical(g)
+	if err != nil {
+		return "", InstanceInfo{}, err
+	}
+	id := canonicalID(canon)
+	in := e.spoolInput(id, core.Input{Graph: g})
+	materialize(in)
+	e.instances.put(id, InstanceSpec{Type: "upload", ID: id}, in)
+	return id, e.uploadInfo(id, in), nil
+}
+
+// spoolInput writes the input's graph to the data directory and swaps in
+// the mapped form. Without a data directory — or if spooling fails — the
+// instance stays on the heap; the spool is an optimization, never a
+// correctness requirement.
+func (e *Engine) spoolInput(id string, in core.Input) core.Input {
+	if e.cfg.DataDir == "" || in.Graph == nil || in.Graph.Mapped() {
+		return in
+	}
+	mg, err := spoolMapped(e.cfg.DataDir, id, in.Graph)
+	if err != nil {
+		return in
+	}
+	e.metrics.inc("instances_spooled_total", 1)
+	return core.Input{Graph: mg}
+}
+
+// uploadInfo summarizes a registered upload.
+func (e *Engine) uploadInfo(id string, in core.Input) InstanceInfo {
 	info := InstanceInfo{ID: id, Type: "upload", Words: instanceWords(in), Uploaded: true}
 	if g := in.Graph; g != nil {
-		info.N, info.M = g.N, g.M()
+		info.N, info.M, info.Mapped = g.N, g.M(), g.Mapped()
 	}
-	return id, info, nil
+	return info
 }
 
 // worker executes flights until the queue closes.

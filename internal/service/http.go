@@ -15,7 +15,9 @@ import (
 //	POST /v1/jobs        submit a job; {"wait": true} blocks until done
 //	GET  /v1/jobs/{id}   poll a job
 //	GET  /v1/instances   list cached instances
-//	POST /v1/instances   upload a graph (graph.Encode text, gzip accepted)
+//	POST /v1/instances   upload a graph (text, binary container, or gzip
+//	                     of either — sniffed; the content id is
+//	                     format-invariant)
 //	GET  /v1/algorithms  list the algorithm registry with param schemas
 //	GET  /metrics        plain-text counters and latency histogram
 type Server struct {

@@ -17,6 +17,7 @@ import (
 type instanceCache struct {
 	mu      sync.Mutex
 	cap     int
+	dataDir string // spooled-container store; "" disables resurrection
 	entries map[string]*instanceEntry
 	tick    uint64 // recency clock
 	metrics *Metrics
@@ -36,8 +37,9 @@ type instanceEntry struct {
 	uploaded bool
 }
 
-func newInstanceCache(cap int, metrics *Metrics) *instanceCache {
-	return &instanceCache{cap: cap, entries: make(map[string]*instanceEntry), metrics: metrics}
+func newInstanceCache(cap int, dataDir string, metrics *Metrics) *instanceCache {
+	return &instanceCache{cap: cap, dataDir: dataDir,
+		entries: make(map[string]*instanceEntry), metrics: metrics}
 }
 
 // get returns the built instance for spec, building it on first use. The
@@ -47,11 +49,25 @@ func (c *instanceCache) get(id string, spec InstanceSpec) (core.Input, error) {
 	e, ok := c.entries[id]
 	if !ok {
 		if spec.Type == "upload" && len(spec.Data) == 0 {
-			c.mu.Unlock()
-			return core.Input{}, fmt.Errorf("service: unknown instance id %q (evicted or never uploaded)", id)
+			// Not in the cache and no bytes to rebuild from. With a data
+			// directory, an earlier upload of this id left a spooled
+			// container behind — remap it (O(header)) instead of failing,
+			// so eviction never loses an out-of-core instance.
+			g, rerr := openSpooled(c.dataDir, id)
+			if rerr != nil {
+				c.mu.Unlock()
+				return core.Input{}, fmt.Errorf("service: unknown instance id %q (evicted or never uploaded)", id)
+			}
+			e = &instanceEntry{id: id, spec: spec, in: core.Input{Graph: g}, uploaded: true}
+			e.once.Do(func() {}) // already built; get must not rebuild
+			e.built = true
+			e.words = instanceWords(e.in)
+			c.entries[id] = e
+			c.metrics.inc("instances_remapped_total", 1)
+		} else {
+			e = &instanceEntry{id: id, spec: spec}
+			c.entries[id] = e
 		}
-		e = &instanceEntry{id: id, spec: spec}
-		c.entries[id] = e
 	}
 	// Refresh recency before evicting so a full cache never victimizes
 	// the entry being requested.
@@ -126,6 +142,9 @@ type InstanceInfo struct {
 	Words    int64  `json:"words"`
 	Uploaded bool   `json:"uploaded,omitempty"`
 	Building bool   `json:"building,omitempty"`
+	// Mapped marks instances served zero-copy from an mmap'ed binary
+	// container (Config.DataDir) rather than from the heap.
+	Mapped bool `json:"mapped,omitempty"`
 }
 
 // list snapshots the cache, most recently used first.
@@ -145,7 +164,7 @@ func (c *instanceCache) list() []InstanceInfo {
 		info := InstanceInfo{ID: e.id, Type: e.spec.Type, Words: e.words,
 			Uploaded: e.uploaded, Building: !e.built}
 		if g := e.in.Graph; g != nil {
-			info.N, info.M = g.N, g.M()
+			info.N, info.M, info.Mapped = g.N, g.M(), g.Mapped()
 		}
 		if cov := e.in.Cover; cov != nil {
 			info.Sets, info.Elements = cov.NumSets(), cov.NumElements

@@ -57,6 +57,13 @@ type Config struct {
 	QueueDepth int
 	// JobHistory caps retained completed job records. Default: 4096.
 	JobHistory int
+	// DataDir, when set, is the out-of-core instance store: uploaded and
+	// preloaded graphs are spooled there as content-addressed raw binary
+	// containers (<id>.mrg) and served zero-copy through graph.OpenMapped,
+	// one physical mapping shared across all concurrent jobs. Evicted
+	// uploads resurrect from the spool instead of failing. Empty disables
+	// spooling; instances live on the heap.
+	DataDir string
 }
 
 // withDefaults fills zero fields.

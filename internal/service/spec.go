@@ -29,10 +29,11 @@ import (
 //	                                m = n^{1+c} elements, frequency ≤ f
 //	setcover-greedy  n, seed      — setcover.RandomSized: n sets over
 //	                                max(n/10, 10) elements, ∆ ≈ 12
-//	upload           data | id    — a graph in the graph.Encode text format
-//	                                (gzip transparently accepted); id
-//	                                references a previously uploaded
-//	                                instance by its content hash
+//	upload           data | id    — a graph in any format graph.DecodeAuto
+//	                                accepts (text, binary container, gzip
+//	                                wrappings of either); id references a
+//	                                previously uploaded instance by its
+//	                                content hash, which is format-invariant
 //
 // The generator seed discipline mirrors cmd/mrrun: a root rng.New(seed)
 // split once per generator draw, in a fixed order.
@@ -122,21 +123,33 @@ func (s InstanceSpec) canonical() (string, error) {
 			}
 			return "", errUploadByID
 		}
-		// Hash the decoded, re-encoded content so the id is invariant
-		// under gzip and formatting, but sensitive to edge order (edge
-		// order is part of the algorithms' determinism contract).
 		g, err := graph.DecodeAuto(bytes.NewReader(s.Data))
 		if err != nil {
 			return "", err
 		}
-		var buf bytes.Buffer
-		if err := graph.Encode(&buf, g); err != nil {
-			return "", err
-		}
-		sum := sha256.Sum256(buf.Bytes())
-		return "upload sha256=" + hex.EncodeToString(sum[:]), nil
+		return uploadCanonical(g)
 	}
 	return "", fmt.Errorf("service: unknown instance type %q", s.Type)
+}
+
+// uploadCanonical returns the canonical serialization of an uploaded graph:
+// the decoded, re-encoded text content. Hashing this makes the id invariant
+// under transport format — text, gzip, or binary container uploads of the
+// same graph share one instance — but sensitive to edge order (edge order is
+// part of the algorithms' determinism contract).
+func uploadCanonical(g *graph.Graph) (string, error) {
+	var buf bytes.Buffer
+	if err := graph.Encode(&buf, g); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return "upload sha256=" + hex.EncodeToString(sum[:]), nil
+}
+
+// canonicalID hashes a canonical serialization into a spec id.
+func canonicalID(canon string) string {
+	sum := sha256.Sum256([]byte(canon))
+	return hex.EncodeToString(sum[:16])
 }
 
 // errUploadByID marks a spec that references an uploaded instance by id:
@@ -156,8 +169,7 @@ func SpecID(s InstanceSpec) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	sum := sha256.Sum256([]byte(canon))
-	return hex.EncodeToString(sum[:16]), nil
+	return canonicalID(canon), nil
 }
 
 // BuildInstance deterministically builds the instance a spec describes and
