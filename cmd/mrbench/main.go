@@ -65,6 +65,7 @@ type jsonReport struct {
 	Seed             uint64           `json:"seed"`
 	Quick            bool             `json:"quick"`
 	Workers          int              `json:"workers"`
+	Shards           int              `json:"shards,omitempty"`
 	GoMaxProcs       int              `json:"gomaxprocs"`
 	TotalWallClockMS float64          `json:"total_wall_clock_ms"`
 	Experiments      []jsonExperiment `json:"experiments"`
@@ -82,6 +83,7 @@ func realMain() int {
 	quick := flag.Bool("quick", false, "run reduced parameter sweeps")
 	seed := flag.Uint64("seed", 20180617, "root random seed (default: the paper's arXiv date)")
 	workers := flag.Int("workers", -1, "round-executor pool size: 0|1 sequential, >1 that many goroutines, -1 one per CPU")
+	shards := flag.Int("shards", 0, "partition every cluster across this many in-process shards over the in-memory transport (0|1 unsharded; results are bit-identical)")
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	asJSON := flag.Bool("json", false, "emit one machine-readable JSON document instead of markdown")
@@ -151,6 +153,7 @@ func realMain() int {
 		Seed:       *seed,
 		Quick:      *quick,
 		Workers:    activeWorkers,
+		Shards:     *shards,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	total := time.Now()
@@ -158,7 +161,7 @@ func realMain() int {
 		// Per-experiment header line: id, wall-clock, and the active worker
 		// count, so recorded trajectories can attribute speedups.
 		start := time.Now()
-		tab, err := e.Run(bench.RunConfig{Seed: *seed, Quick: *quick, Workers: *workers})
+		tab, err := e.Run(bench.RunConfig{Seed: *seed, Quick: *quick, Workers: *workers, Shards: *shards})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mrbench: %s failed: %v\n", e.ID, err)
 			return 1

@@ -47,6 +47,7 @@ func main() {
 	save := flag.String("save", "", "save the generated graph before running (.mrg binary container, .mrgz compressed container, .gz gzip, else text)")
 	convert := flag.String("convert", "", "with -load: stream-convert the input to a raw binary container at this path and exit without running")
 	workers := flag.Int("workers", 0, "round-executor pool size: 0|1 sequential, >1 that many goroutines, -1 one per CPU")
+	shards := flag.Int("shards", 0, "partition clusters across this many in-process shards over the in-memory transport (0|1 unsharded; results are bit-identical)")
 	flag.Parse()
 
 	if *convert != "" {
@@ -134,7 +135,7 @@ func main() {
 		}
 	}
 
-	res, err := entry.Run(in, core.Params{Mu: *mu, Seed: *seed, Workers: *workers}, args)
+	res, err := entry.Run(in, core.Params{Mu: *mu, Seed: *seed, Workers: *workers, Shards: *shards}, args)
 	exitOn(err)
 	fmt.Println(res.Summary)
 	m := res.Metrics

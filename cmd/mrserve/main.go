@@ -53,6 +53,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	pool := flag.Int("pool", 0, "concurrent jobs (0 = GOMAXPROCS)")
 	workers := flag.Int("workers", 1, "per-job round-executor pool size: 0|1 sequential, >1 that many goroutines, -1 one per CPU")
+	shards := flag.Int("shards", 0, "partition each job's clusters across this many in-process shards over the in-memory transport (0|1 unsharded; results are bit-identical)")
 	results := flag.Int("results", 256, "LRU result-store capacity")
 	instances := flag.Int("instances", 64, "instance-cache capacity")
 	dataDir := flag.String("data", "", "directory for spooled binary containers; uploads are served zero-copy from mmap")
@@ -64,6 +65,7 @@ func main() {
 	engine := service.NewEngine(service.Config{
 		Pool:      *pool,
 		Workers:   *workers,
+		Shards:    *shards,
 		Results:   *results,
 		Instances: *instances,
 		DataDir:   *dataDir,
@@ -82,7 +84,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s (pool=%d workers=%d)", *addr, *pool, *workers)
+		logger.Printf("listening on %s (pool=%d workers=%d shards=%d)", *addr, *pool, *workers, *shards)
 		errc <- server.ListenAndServe()
 	}()
 

@@ -1,0 +1,295 @@
+// Command mrshard runs one algorithm job across K cooperating OS
+// processes connected by the length-prefixed TCP transport — the
+// multi-process deployment of the sharded simulator, exercised end to end
+// on one machine.
+//
+// Usage:
+//
+//	mrshard -job scripts/smoke_job.json -shards 3
+//	mrshard -job job.json -shards 1     # in-process baseline, same output
+//
+// The job file is the same JSON document mrserve accepts on POST /v1/jobs
+// ({"instance": {...}, "alg": "...", "seed": N, "mu": ..., "args": {...}}).
+//
+// Topology: the coordinator forks K workers of its own binary. Each worker
+// opens a TCP listener on a loopback ephemeral port, reports the address
+// on stdout ("ADDR host:port"), receives the full fleet address list on
+// stdin ("PEERS a0 a1 ... a(K-1)"), and dials the mesh. Execution is
+// replicated SPMD: every worker builds the same instance from the spec and
+// runs all machines of every round deterministically, but owns only its
+// contiguous shard of each cluster — cross-shard columns travel through
+// the sockets, and all workers stay in lockstep on the shared seed. Each
+// worker prints its full result ("RESULT {json}"); the coordinator
+// requires all K results byte-identical and emits the single canonical
+// result document on stdout. With -shards 1 the job runs unsharded in this
+// process and prints the same document, so
+//
+//	mrshard -shards 1 ... > a.json; mrshard -shards 3 ... > b.json; cmp a.json b.json
+//
+// is the multi-process determinism check CI runs.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mpc"
+	"repro/internal/service"
+)
+
+func main() {
+	job := flag.String("job", "scripts/smoke_job.json", "job request file (mrserve POST /v1/jobs shape)")
+	shards := flag.Int("shards", 2, "number of worker processes (1 = run unsharded in-process)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-round barrier timeout in the workers")
+	worker := flag.Bool("worker", false, "internal: run as a shard worker (spawned by the coordinator)")
+	shard := flag.Int("shard", 0, "internal: this worker's shard index")
+	flag.Parse()
+
+	if *shards < 1 || *shards > 256 {
+		exitOn(fmt.Errorf("-shards must be in [1,256], got %d", *shards))
+	}
+	req, err := loadJob(*job)
+	exitOn(err)
+
+	if *worker {
+		exitOn(runWorker(req, *shard, *shards, *timeout))
+		return
+	}
+	if *shards == 1 {
+		res, err := runJob(req, 0, nil)
+		exitOn(err)
+		exitOn(emit(res))
+		return
+	}
+	exitOn(coordinate(*job, req, *shards, *timeout))
+}
+
+// loadJob reads and validates the job request document.
+func loadJob(path string) (service.JobRequest, error) {
+	var req service.JobRequest
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return req, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if err := req.Instance.Validate(); err != nil {
+		return req, err
+	}
+	if _, ok := core.LookupAlgorithm(req.Alg); !ok {
+		return req, fmt.Errorf("unknown algorithm %q", req.Alg)
+	}
+	return req, nil
+}
+
+// runJob executes the job in this process: shards=0 runs unsharded, a
+// non-nil transport factory runs this worker's shard of a shards-wide
+// fleet. The result mirrors the mrserve payload for the same request.
+func runJob(req service.JobRequest, shards int, transport mpc.TransportFactory) (*service.Result, error) {
+	alg, _ := core.LookupAlgorithm(req.Alg)
+	id, err := service.SpecID(req.Instance)
+	if err != nil {
+		return nil, err
+	}
+	in, err := service.BuildInstance(req.Instance)
+	if err != nil {
+		return nil, err
+	}
+	mu := 0.2 // mrserve's defaultMu
+	if req.Mu != nil {
+		mu = *req.Mu
+	}
+	args, err := alg.CanonArgs(req.Args)
+	if err != nil {
+		return nil, err
+	}
+	p := core.Params{Mu: mu, Seed: req.Seed, Shards: shards, Transport: transport}
+	rr, err := alg.Run(in, p, args)
+	if err != nil {
+		return nil, err
+	}
+	return &service.Result{
+		InstanceID: id, Alg: req.Alg, Args: args, Mu: mu, Seed: req.Seed,
+		RunResult: *rr,
+	}, nil
+}
+
+// emit writes the canonical result document to stdout.
+func emit(res *service.Result) error {
+	out, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Printf("%s\n", out)
+	return err
+}
+
+// runWorker is the child-process body: listen, handshake the mesh over
+// stdio, run the job as one shard of the fleet, report the result.
+func runWorker(req service.JobRequest, shard, shards int, timeout time.Duration) error {
+	node, err := mpc.ListenTCP(shard, shards, "127.0.0.1:0", mpc.TCPOptions{BarrierTimeout: timeout})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	fmt.Printf("ADDR %s\n", node.Addr())
+
+	sc := bufio.NewScanner(os.Stdin)
+	if !sc.Scan() {
+		return fmt.Errorf("shard %d: coordinator hung up before PEERS: %v", shard, sc.Err())
+	}
+	fields := strings.Fields(sc.Text())
+	if len(fields) != shards+1 || fields[0] != "PEERS" {
+		return fmt.Errorf("shard %d: bad handshake line %q", shard, sc.Text())
+	}
+	if err := node.Connect(fields[1:]); err != nil {
+		return err
+	}
+
+	res, err := runJob(req, shards, node.Factory())
+	if err != nil {
+		return fmt.Errorf("shard %d: %w", shard, err)
+	}
+	out, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("RESULT %s\n", out)
+	return nil
+}
+
+// coordinate forks the worker fleet, brokers the address exchange, and
+// checks that every worker reports the identical result.
+func coordinate(jobPath string, req service.JobRequest, shards int, timeout time.Duration) error {
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	type proc struct {
+		cmd *exec.Cmd
+		in  io.WriteCloser
+		out *bufio.Scanner
+	}
+	procs := make([]proc, shards)
+	defer func() {
+		for _, p := range procs {
+			if p.cmd != nil && p.cmd.Process != nil {
+				p.cmd.Process.Kill()
+				p.cmd.Wait()
+			}
+		}
+	}()
+
+	// readLine fetches the next "<TAG> payload" line from a worker.
+	readLine := func(i int, tag string) (string, error) {
+		for procs[i].out.Scan() {
+			line := procs[i].out.Text()
+			if rest, ok := strings.CutPrefix(line, tag+" "); ok {
+				return rest, nil
+			}
+			fmt.Fprintf(os.Stderr, "mrshard: shard %d: %s\n", i, line)
+		}
+		if err := procs[i].out.Err(); err != nil {
+			return "", fmt.Errorf("shard %d: %w", i, err)
+		}
+		return "", fmt.Errorf("shard %d exited before %s", i, tag)
+	}
+
+	addrs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		cmd := exec.Command(self,
+			"-worker", "-shard", fmt.Sprint(i), "-shards", fmt.Sprint(shards),
+			"-job", jobPath, "-timeout", timeout.String())
+		cmd.Stderr = os.Stderr
+		in, err := cmd.StdinPipe()
+		if err != nil {
+			return err
+		}
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			return err
+		}
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("start shard %d: %w", i, err)
+		}
+		procs[i] = proc{cmd: cmd, in: in, out: bufio.NewScanner(out)}
+	}
+	for i := range procs {
+		addr, err := readLine(i, "ADDR")
+		if err != nil {
+			return err
+		}
+		addrs[i] = addr
+	}
+	peers := "PEERS " + strings.Join(addrs, " ") + "\n"
+	for i := range procs {
+		if _, err := io.WriteString(procs[i].in, peers); err != nil {
+			return fmt.Errorf("shard %d: send peers: %w", i, err)
+		}
+	}
+
+	results := make([]string, shards)
+	for i := range procs {
+		res, err := readLine(i, "RESULT")
+		if err != nil {
+			return err
+		}
+		results[i] = res
+	}
+	for i := range procs {
+		procs[i].in.Close()
+		if err := procs[i].cmd.Wait(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		procs[i].cmd = nil
+	}
+
+	// The determinism contract: every replica computed the job in full, so
+	// every replica must hold the byte-identical result.
+	for i := 1; i < shards; i++ {
+		if results[i] != results[0] {
+			return fmt.Errorf("results diverged across shards:\n  shard 0: %s\n  shard %d: %s",
+				results[0], i, results[i])
+		}
+	}
+	fmt.Fprintf(os.Stderr, "mrshard: %d workers agreed (%s)\n", shards, summarize(results[0]))
+	fmt.Println(results[0])
+	return nil
+}
+
+// summarize pulls the human line out of a result document for the log.
+func summarize(res string) string {
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(res), &doc); err != nil {
+		return "unparseable result"
+	}
+	if s, ok := doc["summary"].(string); ok {
+		return s
+	}
+	keys := make([]string, 0, len(doc))
+	for k := range doc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrshard:", err)
+		os.Exit(1)
+	}
+}

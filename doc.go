@@ -8,8 +8,12 @@
 //     round scheduling that charges each round O(active machines) via the
 //     Arm/ArmAll contract, per-machine space accounting over incremental
 //     aggregates, broadcast trees, the pluggable round executor — a
-//     persistent chunked worker pool in parallel mode — and the columnar
-//     zero-copy message plane that carries round traffic allocation-free);
+//     persistent chunked worker pool in parallel mode — the columnar
+//     zero-copy message plane that carries round traffic allocation-free,
+//     and sharded execution: clusters partitioned across K shards over a
+//     pluggable transport — in-memory zero-copy or framed CRC-checked
+//     TCP — with results, metrics, and traces bit-identical to unsharded
+//     runs);
 //   - internal/core     — the paper's eight MapReduce algorithms plus the
 //     Luby and filtering baselines, dispatched through the algorithm
 //     registry (name → runner + parameter schema);
@@ -29,8 +33,10 @@
 //   - internal/rng      — deterministic splittable randomness.
 //
 // Entry points: cmd/mrbench (regenerate every Figure 1 row), cmd/mrrun (run
-// one algorithm), cmd/mrserve (the job-serving daemon), examples/ (runnable
-// scenarios), and the root-level benchmarks in bench_test.go (one per
-// Figure 1 row, plus the service throughput pair). See README.md, DESIGN.md
+// one algorithm), cmd/mrserve (the job-serving daemon), cmd/mrshard (one
+// job across K cooperating processes over the TCP transport, results
+// byte-identical across the fleet), examples/ (runnable scenarios), and the
+// root-level benchmarks in bench_test.go (one per Figure 1 row, plus the
+// service throughput and sharded-round pairs). See README.md, DESIGN.md
 // and EXPERIMENTS.md.
 package repro

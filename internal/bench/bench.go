@@ -90,6 +90,10 @@ type RunConfig struct {
 	// core.Params.Workers: 0 or 1 sequential, > 1 that many goroutines,
 	// < 0 one per CPU. Results are identical for every setting.
 	Workers int
+	// Shards partitions every cluster across this many in-process shards
+	// over the in-memory transport, forwarded to core.Params.Shards.
+	// Results are bit-identical for every setting; 0 or 1 runs unsharded.
+	Shards int
 }
 
 // Experiment produces a Table given a run configuration.

@@ -61,6 +61,16 @@ type Params struct {
 	// equivalence tests enforce it); sparse is the default because tail
 	// rounds then cost O(active machines) instead of O(M).
 	Dense bool
+	// Shards partitions every cluster's machines contiguously across that
+	// many shards, exchanging cross-shard traffic through a transport
+	// (mpc.Config.Shards). Results and metrics are bit-identical to
+	// unsharded runs — TestShardedEquivalence enforces it; 0 or 1 runs
+	// unsharded.
+	Shards int
+	// Transport builds the transport endpoints for sharded runs; nil is
+	// the in-memory group (single-process sharding). Multi-process fleets
+	// (cmd/mrshard) install a TCP node factory here.
+	Transport mpc.TransportFactory
 }
 
 func (p Params) maxIter() int {
@@ -111,11 +121,13 @@ func newCluster(machines, cap int, p Params, slack float64) *mpc.Cluster {
 		enforced = int(float64(cap) * slack)
 	}
 	return mpc.NewCluster(mpc.Config{
-		Machines: machines,
-		SpaceCap: enforced,
-		Strict:   p.Strict,
-		Workers:  p.Workers,
-		Sparse:   !p.Dense,
+		Machines:  machines,
+		SpaceCap:  enforced,
+		Strict:    p.Strict,
+		Workers:   p.Workers,
+		Sparse:    !p.Dense,
+		Shards:    p.Shards,
+		Transport: p.Transport,
 	})
 }
 

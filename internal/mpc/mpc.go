@@ -57,6 +57,10 @@ import (
 // strict mode.
 var ErrSpaceExceeded = errors.New("mpc: machine space cap exceeded")
 
+// ErrClusterClosed is returned by Round and Quiet on a cluster whose Close
+// has already run.
+var ErrClusterClosed = errors.New("mpc: cluster is closed")
+
 // Config configures a Cluster.
 type Config struct {
 	// Machines is M, the number of machines. Must be >= 1.
@@ -89,6 +93,16 @@ type Config struct {
 	// default: without arming calls a dense-written RoundFunc would
 	// silently be skipped.
 	Sparse bool
+	// Shards partitions the machines contiguously across that many shards
+	// and exchanges cross-shard traffic through a Transport (shard.go):
+	// results, metrics, and traces stay bit-identical to unsharded
+	// execution. Clamped to Machines; 0 or 1 runs unsharded. Transport
+	// errors surface from Round.
+	Shards int
+	// Transport, when sharding, builds the transport endpoints this
+	// process drives (transport.go). Nil selects the in-memory group
+	// covering every shard — single-process sharding.
+	Transport TransportFactory
 }
 
 // RoundStat is the per-round record captured when tracing is enabled.
@@ -150,6 +164,12 @@ type Cluster struct {
 	residentMax     int
 	residentMaxOK   bool
 	residentOverCap int
+	// Sharded execution (shard.go). shard is non-nil when the cluster runs
+	// K >= 2 shards over a transport; shardErr records a transport-factory
+	// failure, surfaced by the first Round instead of a NewCluster panic.
+	shard    *shardEngine
+	shardErr error
+	closed   bool
 }
 
 // NewCluster returns a cluster with the given configuration.
@@ -172,18 +192,52 @@ func NewCluster(cfg Config) *Cluster {
 	for machine := range c.outboxes {
 		c.outboxes[machine] = Outbox{from: machine, cluster: c}
 	}
+	c.shard, c.shardErr = newShardEngine(c, cfg)
 	return c
 }
 
-// Close releases the cluster's persistent worker pool, if it owns one. It is
-// idempotent and safe to call on clusters that never had a pool. A cluster
-// that is garbage-collected without Close leaks its pool goroutines only
-// until the pool's finalizer runs.
+// Close releases the cluster's persistent worker pool and its transport
+// endpoints, if it owns any. It is idempotent and safe to call on clusters
+// that never had either; Round and Quiet after Close return
+// ErrClusterClosed. A cluster that is garbage-collected without Close leaks
+// its pool goroutines only until the pool's finalizer runs.
 func (c *Cluster) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
 	if c.pool != nil {
 		c.pool.Close()
 		c.pool = nil
 	}
+	if c.shard != nil {
+		c.shard.closeEndpoints()
+	}
+}
+
+// Shards returns the effective shard count the cluster runs with (1 when
+// unsharded).
+func (c *Cluster) Shards() int {
+	if c.shard == nil {
+		return 1
+	}
+	return c.shard.k
+}
+
+// ready reports whether the cluster can run a round, translating closed
+// clusters, transport-factory failures, and earlier transport errors into
+// the error every subsequent Round/Quiet returns.
+func (c *Cluster) ready() error {
+	if c.closed {
+		return ErrClusterClosed
+	}
+	if c.shardErr != nil {
+		return c.shardErr
+	}
+	if c.shard != nil && c.shard.broken != nil {
+		return fmt.Errorf("mpc: cluster unusable after transport error: %w", c.shard.broken)
+	}
+	return nil
 }
 
 // M returns the number of machines.
@@ -342,6 +396,9 @@ type RoundFunc func(machine int, in *Inbox, out *Outbox)
 // are deterministic and executor-independent. The columns backing the
 // inboxes consumed this round are recycled into the column pool.
 func (c *Cluster) Round(f RoundFunc) error {
+	if err := c.ready(); err != nil {
+		return err
+	}
 	c.metrics.Rounds++
 	M := c.cfg.Machines
 
@@ -371,12 +428,15 @@ func (c *Cluster) Round(f RoundFunc) error {
 		c.inbox[m].Reset()
 	}
 	c.inRound = true
-	if sparse {
+	switch {
+	case c.shard != nil:
+		c.shard.execute(f, run, sparse)
+	case sparse:
 		c.exec.Execute(len(run), func(i int) {
 			m := run[i]
 			f(m, &c.inbox[m], &c.outboxes[m])
 		})
-	} else {
+	default:
 		c.exec.Execute(M, func(machine int) {
 			f(machine, &c.inbox[machine], &c.outboxes[machine])
 		})
@@ -392,33 +452,42 @@ func (c *Cluster) Round(f RoundFunc) error {
 	// machine order, so its cursor yields records ordered by (sender,
 	// emission order) regardless of the executor's scheduling. Only the
 	// machines that ran can have sent, and only the machines that ran can
-	// have self-armed.
+	// have self-armed. A sharded cluster routes the same walk through the
+	// transport exchange (shard.go); a transport failure poisons the
+	// cluster and surfaces here.
 	c.recvNxt = c.recvNxt[:0]
-	mergeOne := func(machine int) {
-		o := &c.outboxes[machine]
-		if o.cur != nil {
-			panic(fmt.Sprintf("mpc: machine %d ended the round with an open record (Begin without End)", machine))
-		}
-		c.metrics.WordsSent += int64(o.words)
-		c.metrics.Messages += int64(o.count)
-		for _, dest := range o.dests {
-			if len(c.senders[dest]) == 0 {
-				c.recvNxt = append(c.recvNxt, dest)
-			}
-			c.senders[dest] = append(c.senders[dest], machine)
-		}
-		if c.armedSelf[machine] {
-			c.armedSelf[machine] = false
-			c.enqueueArm(machine)
-		}
-	}
-	if sparse {
-		for _, m := range run {
-			mergeOne(m)
+	if c.shard != nil {
+		if err := c.shard.merge(run, sparse); err != nil {
+			c.shard.broken = err
+			return fmt.Errorf("mpc: round %d transport exchange: %w", c.metrics.Rounds, err)
 		}
 	} else {
-		for machine := 0; machine < M; machine++ {
-			mergeOne(machine)
+		mergeOne := func(machine int) {
+			o := &c.outboxes[machine]
+			if o.cur != nil {
+				panic(fmt.Sprintf("mpc: machine %d ended the round with an open record (Begin without End)", machine))
+			}
+			c.metrics.WordsSent += int64(o.words)
+			c.metrics.Messages += int64(o.count)
+			for _, dest := range o.dests {
+				if len(c.senders[dest]) == 0 {
+					c.recvNxt = append(c.recvNxt, dest)
+				}
+				c.senders[dest] = append(c.senders[dest], machine)
+			}
+			if c.armedSelf[machine] {
+				c.armedSelf[machine] = false
+				c.enqueueArm(machine)
+			}
+		}
+		if sparse {
+			for _, m := range run {
+				mergeOne(m)
+			}
+		} else {
+			for machine := 0; machine < M; machine++ {
+				mergeOne(machine)
+			}
 		}
 	}
 
@@ -428,15 +497,17 @@ func (c *Cluster) Round(f RoundFunc) error {
 		c.inbox[m].clear()
 	}
 	c.recv = c.recv[:0]
-	for _, dest := range c.recvNxt {
-		in := &c.inbox[dest]
-		for _, src := range c.senders[dest] {
-			col := c.outboxes[src].byDest[dest]
-			in.segs = append(in.segs, segment{from: src, col: col})
-			in.records += len(col.recs)
-			in.words += col.words
+	// Each destination's inbox is assembled independently in fixed sender
+	// order, so with many receivers the assembly itself fans out across the
+	// round executor — deterministic either way.
+	if len(c.recvNxt) >= mergeParDests && c.parallelExec() {
+		c.exec.Execute(len(c.recvNxt), func(i int) {
+			c.assembleInbox(c.recvNxt[i])
+		})
+	} else {
+		for _, dest := range c.recvNxt {
+			c.assembleInbox(dest)
 		}
-		c.senders[dest] = c.senders[dest][:0]
 	}
 	c.recv, c.recvNxt = c.recvNxt, c.recv
 
@@ -477,6 +548,51 @@ func (c *Cluster) Round(f RoundFunc) error {
 		return fmt.Errorf("%w (cap %d words)", ErrSpaceExceeded, c.cfg.SpaceCap)
 	}
 	return nil
+}
+
+// mergeParDests is the receiver count above which the post-barrier inbox
+// assembly fans out across the round executor. Assembling one inbox is a
+// handful of slice appends, so parallelism pays only when a round delivers
+// to many machines.
+const mergeParDests = 64
+
+// parallelExec reports whether the cluster's executor actually runs tasks
+// concurrently (anything but the sequential executor).
+func (c *Cluster) parallelExec() bool {
+	_, seq := c.exec.(Sequential)
+	return !seq
+}
+
+// assembleInbox builds one destination's inbox for the next round: the wire
+// columns from shards below the destination's, the local senders' columns,
+// then the wire columns from shards above — ascending sender order overall.
+// Safe to run concurrently for distinct destinations: every slice touched
+// is indexed by dest.
+func (c *Cluster) assembleInbox(dest int) {
+	in := &c.inbox[dest]
+	if c.shard != nil {
+		for _, sg := range c.shard.wirePre[dest] {
+			in.segs = append(in.segs, sg)
+			in.records += len(sg.col.recs)
+			in.words += sg.col.words
+		}
+	}
+	for _, src := range c.senders[dest] {
+		col := c.outboxes[src].byDest[dest]
+		in.segs = append(in.segs, segment{from: src, col: col})
+		in.records += len(col.recs)
+		in.words += col.words
+	}
+	c.senders[dest] = c.senders[dest][:0]
+	if c.shard != nil {
+		for _, sg := range c.shard.wirePost[dest] {
+			in.segs = append(in.segs, sg)
+			in.records += len(sg.col.recs)
+			in.words += sg.col.words
+		}
+		c.shard.wirePre[dest] = c.shard.wirePre[dest][:0]
+		c.shard.wirePost[dest] = c.shard.wirePost[dest][:0]
+	}
 }
 
 // accountDirty computes this round's max load and cap-violation count. The
@@ -542,6 +658,9 @@ func (c *Cluster) accountDirty(run []int, sparse bool) (maxLoad, roundViolations
 // on every machine. The pending armed set is consumed, exactly as a no-op
 // round would consume it.
 func (c *Cluster) Quiet() error {
+	if err := c.ready(); err != nil {
+		return err
+	}
 	c.metrics.Rounds++
 	c.drainArmed()
 	// A no-op round discards any traffic delivered for it.

@@ -1,0 +1,859 @@
+package mpc
+
+// This file implements the length-prefixed TCP transport: column batches
+// travel as CRC-32C-checksummed frames over a full mesh of reused
+// connections, one per unordered shard pair, with pipelined writes (a
+// per-connection writer goroutine drains a frame queue, so Send never
+// waits on the network) and a per-connection reader goroutine decoding
+// frames into pooled columns as they arrive.
+//
+// # Wire format
+//
+// Every frame is a 20-byte little-endian header followed by the payload:
+//
+//	offset  size  field
+//	0       4     seq         round sequence number
+//	4       1     kind        1 batch · 2 end-of-round · 3 hello
+//	5       1     src         source shard
+//	6       1     dst         destination shard
+//	7       1     reserved    0
+//	8       4     payloadLen
+//	12      4     payloadCRC  CRC-32C (Castagnoli) of the payload
+//	16      4     headerCRC   CRC-32C of header bytes [0,16)
+//
+// A batch payload is a column count followed by, per column,
+//
+//	u32 fromMachine · u32 toMachine · u32 nRecs · u32 nInts · u32 nFloats
+//	nRecs × (u32 intLen · u32 floatLen)
+//	nInts × u64 · nFloats × u64 (IEEE-754 bits)
+//
+// — the plane's column layout verbatim, so encode/decode is a handful of
+// bulk copies. An end-of-round payload is the armed control column: a u32
+// count followed by u32 machine ids. A hello payload (sent once by the
+// dialing side of each connection) is magic · shard · shard count.
+//
+// The framing discipline — checksummed fixed header, checksummed payload,
+// truncation and corruption always detected — follows the graph
+// container's (internal/graph/container.go).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+)
+
+var tcpCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errBadFrame is the base error for corrupt or truncated transport frames.
+var errBadFrame = errors.New("mpc: corrupt transport frame")
+
+const (
+	frameHdrSize = 20
+	frameBatch   = 1
+	frameEOR     = 2
+	frameHello   = 3
+	helloMagic   = 0x4d525348 // "MRSH"
+	// maxFramePayload bounds a frame so a corrupt length prefix cannot ask
+	// the decoder to allocate gigabytes.
+	maxFramePayload = 1 << 30
+	// tcpConnectTimeout bounds mesh establishment (dial plus hello).
+	tcpConnectTimeout = 30 * time.Second
+)
+
+// TCPOptions tunes a TCP transport node.
+type TCPOptions struct {
+	// BarrierTimeout bounds how long Receive waits for the peers'
+	// end-of-round markers before failing the round; 0 means 2 minutes. A
+	// lost peer or a desynchronized barrier therefore surfaces as an error
+	// from Round, never a hang.
+	BarrierTimeout time.Duration
+}
+
+func (o TCPOptions) barrierTimeout() time.Duration {
+	if o.BarrierTimeout > 0 {
+		return o.BarrierTimeout
+	}
+	return 2 * time.Minute
+}
+
+// frame assembly ------------------------------------------------------------
+
+// appendFrame appends a complete frame (header + payload) to dst.
+func appendFrame(dst []byte, seq uint32, kind, src, dstShard byte, payload []byte) []byte {
+	off := len(dst)
+	var hdr [frameHdrSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], seq)
+	hdr[4], hdr[5], hdr[6], hdr[7] = kind, src, dstShard, 0
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[12:], crc32.Checksum(payload, tcpCastagnoli))
+	binary.LittleEndian.PutUint32(hdr[16:], crc32.Checksum(hdr[:16], tcpCastagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst[:off+frameHdrSize], payload...)
+}
+
+// frameHeader is a decoded frame header.
+type frameHeader struct {
+	seq              uint32
+	kind, src, dst   byte
+	payloadLen, pcrc uint32
+}
+
+// readFrame reads one frame. io.EOF is returned only at a clean frame
+// boundary; any mid-frame truncation or checksum mismatch wraps
+// errBadFrame.
+func readFrame(r io.Reader) (frameHeader, []byte, error) {
+	var hdr [frameHdrSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return frameHeader{}, nil, io.EOF
+		}
+		return frameHeader{}, nil, fmt.Errorf("%w: truncated header: %v", errBadFrame, err)
+	}
+	if got, want := crc32.Checksum(hdr[:16], tcpCastagnoli), binary.LittleEndian.Uint32(hdr[16:]); got != want {
+		return frameHeader{}, nil, fmt.Errorf("%w: header checksum mismatch (got %08x, want %08x)", errBadFrame, got, want)
+	}
+	h := frameHeader{
+		seq:        binary.LittleEndian.Uint32(hdr[0:]),
+		kind:       hdr[4],
+		src:        hdr[5],
+		dst:        hdr[6],
+		payloadLen: binary.LittleEndian.Uint32(hdr[8:]),
+		pcrc:       binary.LittleEndian.Uint32(hdr[12:]),
+	}
+	if h.payloadLen > maxFramePayload {
+		return frameHeader{}, nil, fmt.Errorf("%w: payload length %d exceeds limit", errBadFrame, h.payloadLen)
+	}
+	payload := make([]byte, h.payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return frameHeader{}, nil, fmt.Errorf("%w: truncated payload: %v", errBadFrame, err)
+	}
+	if got := crc32.Checksum(payload, tcpCastagnoli); got != h.pcrc {
+		return frameHeader{}, nil, fmt.Errorf("%w: payload checksum mismatch (got %08x, want %08x)", errBadFrame, got, h.pcrc)
+	}
+	return h, payload, nil
+}
+
+// appendBatchPayload encodes a batch's columns.
+func appendBatchPayload(dst []byte, b *Batch) []byte {
+	var u [8]byte
+	p32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(u[:4], v)
+		dst = append(dst, u[:4]...)
+	}
+	p32(uint32(len(b.cols)))
+	for _, bc := range b.cols {
+		col := bc.col
+		p32(uint32(bc.from))
+		p32(uint32(bc.to))
+		p32(uint32(len(col.recs)))
+		p32(uint32(len(col.ints)))
+		p32(uint32(len(col.floats)))
+		for _, rm := range col.recs {
+			p32(uint32(rm.intLen))
+			p32(uint32(rm.floatLen))
+		}
+		for _, v := range col.ints {
+			binary.LittleEndian.PutUint64(u[:], uint64(v))
+			dst = append(dst, u[:]...)
+		}
+		for _, f := range col.floats {
+			binary.LittleEndian.PutUint64(u[:], math.Float64bits(f))
+			dst = append(dst, u[:]...)
+		}
+	}
+	return dst
+}
+
+// decodeBatchPayload rebuilds a batch from a frame payload, columns drawn
+// from the plane's pool. The payload has already passed its CRC, so errors
+// here mean a malformed encoding, not line noise.
+func decodeBatchPayload(src, dst int, payload []byte) (*Batch, error) {
+	rd := payloadReader{buf: payload}
+	n, err := rd.u32()
+	if err != nil {
+		return nil, err
+	}
+	b := &Batch{Src: src, Dst: dst}
+	for i := uint32(0); i < n; i++ {
+		from, err1 := rd.u32()
+		to, err2 := rd.u32()
+		nRecs, err3 := rd.u32()
+		nInts, err4 := rd.u32()
+		nFlts, err5 := rd.u32()
+		if err := firstErr(err1, err2, err3, err4, err5); err != nil {
+			b.recycle()
+			return nil, err
+		}
+		if rd.remaining() < int64(nRecs)*8+int64(nInts)*8+int64(nFlts)*8 {
+			b.recycle()
+			return nil, fmt.Errorf("%w: batch column overruns payload", errBadFrame)
+		}
+		col := getColumn()
+		sumInt, sumFlt := 0, 0
+		for r := uint32(0); r < nRecs; r++ {
+			il, _ := rd.u32()
+			fl, _ := rd.u32()
+			col.recs = append(col.recs, recMeta{int32(il), int32(fl)})
+			sumInt += int(il)
+			sumFlt += int(fl)
+		}
+		if sumInt != int(nInts) || sumFlt != int(nFlts) {
+			putColumn(col)
+			b.recycle()
+			return nil, fmt.Errorf("%w: batch record framing inconsistent with payload lengths", errBadFrame)
+		}
+		for v := uint32(0); v < nInts; v++ {
+			x, _ := rd.u64()
+			col.ints = append(col.ints, int64(x))
+		}
+		for v := uint32(0); v < nFlts; v++ {
+			x, _ := rd.u64()
+			col.floats = append(col.floats, math.Float64frombits(x))
+		}
+		col.words = int(nRecs) + int(nInts) + int(nFlts)
+		b.add(int(from), int(to), col, false)
+	}
+	if rd.remaining() != 0 {
+		b.recycle()
+		return nil, fmt.Errorf("%w: %d trailing bytes after batch payload", errBadFrame, rd.remaining())
+	}
+	return b, nil
+}
+
+// appendEORPayload encodes the armed control column.
+func appendEORPayload(dst []byte, armed []int32) []byte {
+	var u [4]byte
+	binary.LittleEndian.PutUint32(u[:], uint32(len(armed)))
+	dst = append(dst, u[:]...)
+	for _, m := range armed {
+		binary.LittleEndian.PutUint32(u[:], uint32(m))
+		dst = append(dst, u[:]...)
+	}
+	return dst
+}
+
+// decodeEORPayload decodes the armed control column.
+func decodeEORPayload(payload []byte) ([]int32, error) {
+	rd := payloadReader{buf: payload}
+	n, err := rd.u32()
+	if err != nil {
+		return nil, err
+	}
+	if rd.remaining() != int64(n)*4 {
+		return nil, fmt.Errorf("%w: end-of-round armed column length mismatch", errBadFrame)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	armed := make([]int32, n)
+	for i := range armed {
+		v, _ := rd.u32()
+		armed[i] = int32(v)
+	}
+	return armed, nil
+}
+
+// payloadReader is a bounds-checked cursor over a frame payload.
+type payloadReader struct {
+	buf []byte
+	off int
+}
+
+func (r *payloadReader) remaining() int64 { return int64(len(r.buf) - r.off) }
+
+func (r *payloadReader) u32() (uint32, error) {
+	if r.remaining() < 4 {
+		return 0, fmt.Errorf("%w: payload underrun", errBadFrame)
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *payloadReader) u64() (uint64, error) {
+	if r.remaining() < 8 {
+		return 0, fmt.Errorf("%w: payload underrun", errBadFrame)
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// node ----------------------------------------------------------------------
+
+// tcpItem is one decoded inbound event: a batch, an end-of-round marker, or
+// a connection failure.
+type tcpItem struct {
+	src   int
+	seq   uint32
+	batch *Batch
+	eor   bool
+	armed []int32
+	err   error
+	// eof marks a clean connection close (FIN at a frame boundary), as
+	// opposed to a mid-frame truncation or checksum failure. A clean close
+	// is legitimate when the peer already delivered its end-of-round marker
+	// for the round in flight — a finished worker exits while slower shards
+	// are still collecting the final exchange — and an error only if its
+	// marker is still owed.
+	eof bool
+}
+
+// tcpConn is one meshed connection, used bidirectionally between a pair of
+// shards. Outbound frames queue through a writer goroutine so the round
+// engine's Send returns immediately; a reader goroutine decodes inbound
+// frames into the node's receive channel.
+type tcpConn struct {
+	peer int
+	c    net.Conn
+	br   *bufio.Reader
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	q       [][]byte
+	werr    error
+	closing bool
+	flushed chan struct{}
+}
+
+func newTCPConn(peer int, c net.Conn, br *bufio.Reader) *tcpConn {
+	tc := &tcpConn{peer: peer, c: c, br: br, flushed: make(chan struct{})}
+	tc.cond = sync.NewCond(&tc.mu)
+	return tc
+}
+
+// enqueue hands one encoded frame to the writer goroutine.
+func (tc *tcpConn) enqueue(frame []byte) error {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.werr != nil {
+		return tc.werr
+	}
+	if tc.closing {
+		return fmt.Errorf("%w (peer shard %d)", errTransportClosed, tc.peer)
+	}
+	tc.q = append(tc.q, frame)
+	tc.cond.Signal()
+	return nil
+}
+
+// writer is the connection's write loop: it drains the frame queue in
+// order, and on shutdown flushes everything queued before closing the
+// socket, so a peer still waiting on our final end-of-round marker gets it.
+func (tc *tcpConn) writer() {
+	defer close(tc.flushed)
+	for {
+		tc.mu.Lock()
+		for len(tc.q) == 0 && !tc.closing && tc.werr == nil {
+			tc.cond.Wait()
+		}
+		if tc.werr != nil || (tc.closing && len(tc.q) == 0) {
+			tc.mu.Unlock()
+			tc.c.Close()
+			return
+		}
+		frames := tc.q
+		tc.q = nil
+		tc.mu.Unlock()
+		for _, f := range frames {
+			if _, err := tc.c.Write(f); err != nil {
+				tc.mu.Lock()
+				tc.werr = fmt.Errorf("mpc: tcp transport write to peer shard %d: %w", tc.peer, err)
+				tc.mu.Unlock()
+				tc.c.Close()
+				return
+			}
+			transportBytesTotal.Add(uint64(len(f)))
+		}
+	}
+}
+
+// shutdown asks the writer to flush and close, then waits for it.
+func (tc *tcpConn) shutdown() {
+	tc.mu.Lock()
+	tc.closing = true
+	tc.cond.Broadcast()
+	tc.mu.Unlock()
+	<-tc.flushed
+}
+
+// TCPNode is one process's membership in a TCP transport mesh: a listener,
+// one reused connection per peer shard, and the per-connection reader and
+// writer goroutines. A node outlives individual clusters — Endpoint hands
+// out a fresh Transport per cluster run over the same connections (the
+// lockstep barrier guarantees the previous cluster's traffic is fully
+// drained before the next begins).
+type TCPNode struct {
+	shard, shards int
+	opts          TCPOptions
+	ln            net.Listener
+	conns         []*tcpConn // by peer shard; nil at own index
+	recv          chan tcpItem
+	pend          []tcpItem
+	done          chan struct{}
+	closeOnce     sync.Once
+	readers       sync.WaitGroup
+
+	// seqBase rebases wire sequence numbers across endpoint generations: a
+	// long-lived worker node serves one cluster after another, each
+	// restarting its round counter at 1, while the wire needs globally
+	// monotone seqs so a peer's early next-cluster traffic is stashed
+	// instead of misread as a stale frame. Closing a non-owning endpoint
+	// advances the base by the rounds it consumed; every replica runs the
+	// same clusters for the same rounds, so bases stay in lockstep.
+	seqBase uint32
+	// gone[t] records a clean close from peer t that arrived after its
+	// end-of-round marker: the peer finished and exited. Any later round
+	// that still needs t fails fast instead of waiting out the barrier
+	// timeout. Only the round-driving goroutine touches it (via Receive).
+	gone []bool
+}
+
+// ListenTCP creates a transport node for the given shard, listening on
+// addr (e.g. "127.0.0.1:0"). Call Connect with every node's address to
+// establish the mesh, then Endpoint for each cluster run, and Close when
+// the fleet is done.
+func ListenTCP(shard, shards int, addr string, opts TCPOptions) (*TCPNode, error) {
+	if shards < 1 || shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("mpc: tcp node shard %d out of range (K=%d)", shard, shards)
+	}
+	if shards > 256 {
+		return nil, fmt.Errorf("mpc: tcp transport supports at most 256 shards, got %d", shards)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: tcp node listen: %w", err)
+	}
+	return &TCPNode{
+		shard:  shard,
+		shards: shards,
+		opts:   opts,
+		ln:     ln,
+		conns:  make([]*tcpConn, shards),
+		recv:   make(chan tcpItem, 4*shards+8),
+		done:   make(chan struct{}),
+		gone:   make([]bool, shards),
+	}, nil
+}
+
+// Addr returns the node's listen address.
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+// Connect establishes the full mesh: this node dials every higher-numbered
+// shard (addrs indexed by shard; its own entry is ignored) and accepts a
+// connection from every lower-numbered shard, identified by a hello frame.
+// One connection per unordered pair, reused in both directions and across
+// cluster runs.
+func (n *TCPNode) Connect(addrs []string) error {
+	if len(addrs) != n.shards {
+		return fmt.Errorf("mpc: tcp node connect: %d addresses for %d shards", len(addrs), n.shards)
+	}
+	type accepted struct {
+		peer int
+		tc   *tcpConn
+		err  error
+	}
+	lower := n.shard
+	acceptCh := make(chan accepted, lower)
+	if lower > 0 {
+		if d, ok := n.ln.(interface{ SetDeadline(time.Time) error }); ok {
+			d.SetDeadline(time.Now().Add(tcpConnectTimeout))
+		}
+		go func() {
+			for i := 0; i < lower; i++ {
+				c, err := n.ln.Accept()
+				if err != nil {
+					acceptCh <- accepted{err: fmt.Errorf("mpc: tcp node accept: %w", err)}
+					return
+				}
+				br := bufio.NewReaderSize(c, 1<<16)
+				hdr, payload, err := readFrame(br)
+				if err != nil || hdr.kind != frameHello || len(payload) != 12 {
+					c.Close()
+					acceptCh <- accepted{err: fmt.Errorf("mpc: tcp node handshake: bad hello (%v)", err)}
+					return
+				}
+				magic := binary.LittleEndian.Uint32(payload[0:])
+				peer := int(binary.LittleEndian.Uint32(payload[4:]))
+				k := int(binary.LittleEndian.Uint32(payload[8:]))
+				if magic != helloMagic || k != n.shards || peer < 0 || peer >= n.shard {
+					c.Close()
+					acceptCh <- accepted{err: fmt.Errorf("mpc: tcp node handshake: hello from invalid peer %d (magic %08x, K %d)", peer, magic, k)}
+					return
+				}
+				acceptCh <- accepted{peer: peer, tc: newTCPConn(peer, c, br)}
+			}
+		}()
+	}
+	// Dial every higher shard while the lower ones dial us.
+	for t := n.shard + 1; t < n.shards; t++ {
+		c, err := net.DialTimeout("tcp", addrs[t], tcpConnectTimeout)
+		if err != nil {
+			return fmt.Errorf("mpc: tcp node dial shard %d (%s): %w", t, addrs[t], err)
+		}
+		var hello [12]byte
+		binary.LittleEndian.PutUint32(hello[0:], helloMagic)
+		binary.LittleEndian.PutUint32(hello[4:], uint32(n.shard))
+		binary.LittleEndian.PutUint32(hello[8:], uint32(n.shards))
+		frame := appendFrame(nil, 0, frameHello, byte(n.shard), byte(t), hello[:])
+		if _, err := c.Write(frame); err != nil {
+			c.Close()
+			return fmt.Errorf("mpc: tcp node hello to shard %d: %w", t, err)
+		}
+		n.conns[t] = newTCPConn(t, c, bufio.NewReaderSize(c, 1<<16))
+	}
+	for i := 0; i < lower; i++ {
+		a := <-acceptCh
+		if a.err != nil {
+			return a.err
+		}
+		if n.conns[a.peer] != nil {
+			a.tc.c.Close()
+			return fmt.Errorf("mpc: tcp node handshake: duplicate connection from shard %d", a.peer)
+		}
+		n.conns[a.peer] = a.tc
+	}
+	if d, ok := n.ln.(interface{ SetDeadline(time.Time) error }); ok {
+		d.SetDeadline(time.Time{})
+	}
+	for _, tc := range n.conns {
+		if tc == nil {
+			continue
+		}
+		go tc.writer()
+		n.readers.Add(1)
+		go n.reader(tc)
+	}
+	return nil
+}
+
+// reader decodes one connection's inbound frames into the node's receive
+// channel until the connection dies.
+func (n *TCPNode) reader(tc *tcpConn) {
+	defer n.readers.Done()
+	for {
+		hdr, payload, err := readFrame(tc.br)
+		if err != nil {
+			clean := err == io.EOF
+			if clean {
+				err = fmt.Errorf("mpc: tcp transport: peer shard %d disconnected", tc.peer)
+			} else {
+				err = fmt.Errorf("mpc: tcp transport from peer shard %d: %w", tc.peer, err)
+			}
+			n.push(tcpItem{src: tc.peer, err: err, eof: clean})
+			return
+		}
+		if int(hdr.src) != tc.peer || int(hdr.dst) != n.shard {
+			n.push(tcpItem{src: tc.peer, err: fmt.Errorf("mpc: tcp transport: frame claims %d->%d on the %d<->%d connection", hdr.src, hdr.dst, tc.peer, n.shard)})
+			return
+		}
+		switch hdr.kind {
+		case frameBatch:
+			b, derr := decodeBatchPayload(tc.peer, n.shard, payload)
+			if derr != nil {
+				n.push(tcpItem{src: tc.peer, err: fmt.Errorf("mpc: tcp transport from peer shard %d: %w", tc.peer, derr)})
+				return
+			}
+			n.push(tcpItem{src: tc.peer, seq: hdr.seq, batch: b})
+		case frameEOR:
+			armed, derr := decodeEORPayload(payload)
+			if derr != nil {
+				n.push(tcpItem{src: tc.peer, err: fmt.Errorf("mpc: tcp transport from peer shard %d: %w", tc.peer, derr)})
+				return
+			}
+			n.push(tcpItem{src: tc.peer, seq: hdr.seq, eor: true, armed: armed})
+		default:
+			n.push(tcpItem{src: tc.peer, err: fmt.Errorf("mpc: tcp transport from peer shard %d: unknown frame kind %d", tc.peer, hdr.kind)})
+			return
+		}
+	}
+}
+
+// push delivers one inbound item unless the node is shutting down.
+func (n *TCPNode) push(it tcpItem) {
+	select {
+	case n.recv <- it:
+	case <-n.done:
+		if it.batch != nil {
+			it.batch.recycle()
+		}
+	}
+}
+
+// Close tears down the mesh: queued outbound frames are flushed first, so
+// peers still collecting the final round observe a clean shutdown.
+// Idempotent.
+func (n *TCPNode) Close() error {
+	n.closeOnce.Do(func() {
+		for _, tc := range n.conns {
+			if tc != nil {
+				tc.shutdown()
+			}
+		}
+		n.ln.Close()
+		close(n.done)
+		n.readers.Wait()
+		// Recycle any columns still parked in the receive queue.
+		for {
+			select {
+			case it := <-n.recv:
+				if it.batch != nil {
+					it.batch.recycle()
+				}
+			default:
+				return
+			}
+		}
+	})
+	return nil
+}
+
+// Endpoint returns a Transport over the node's mesh for one cluster run
+// with an effective shard count of k (clamped shard counts leave the
+// higher mesh members as pure replicas: they own no endpoint and exchange
+// nothing). The endpoint's sequence tracking is its own, so consecutive
+// cluster runs reuse the mesh cleanly.
+func (n *TCPNode) Endpoint(k int) (Transport, error) {
+	if k < 1 || k > n.shards {
+		return nil, fmt.Errorf("mpc: tcp endpoint for %d shards on a %d-shard mesh", k, n.shards)
+	}
+	if n.shard >= k {
+		return nil, fmt.Errorf("mpc: tcp endpoint: shard %d outside effective shard count %d", n.shard, k)
+	}
+	return &tcpEndpoint{node: n, k: k, base: n.seqBase}, nil
+}
+
+// Factory returns a TransportFactory over this node for multi-process
+// fleets: the worker's cluster gets this node's endpoint when the
+// effective shard count covers the node's shard, and no endpoints (pure
+// replica) otherwise.
+func (n *TCPNode) Factory() TransportFactory {
+	return func(shards int) ([]Transport, error) {
+		if shards > n.shards {
+			return nil, fmt.Errorf("mpc: cluster wants %d shards, tcp mesh has %d", shards, n.shards)
+		}
+		if n.shard >= shards {
+			return nil, nil
+		}
+		ep, err := n.Endpoint(shards)
+		if err != nil {
+			return nil, err
+		}
+		return []Transport{ep}, nil
+	}
+}
+
+// tcpEndpoint is one cluster run's Transport over a TCPNode. ownsNodes
+// lists nodes the endpoint closes with itself (the loopback group's nodes
+// are owned by their endpoints; a worker process's long-lived node is
+// not).
+type tcpEndpoint struct {
+	node         *TCPNode
+	k            int
+	base         uint32 // wire seq = base + cluster-relative seq
+	lastBarrier  uint32
+	lastReceived uint32
+	ownsNode     bool
+	scratch      []byte
+}
+
+func (e *tcpEndpoint) Shard() int    { return e.node.shard }
+func (e *tcpEndpoint) Shards() int   { return e.k }
+func (e *tcpEndpoint) Retains() bool { return false }
+
+// Send implements Transport: the batch is encoded and queued on the
+// destination's connection; the writer goroutine pipelines the actual
+// socket writes. Ownership of the columns stays with the caller.
+func (e *tcpEndpoint) Send(dst int, b *Batch) error {
+	if dst < 0 || dst >= e.k || dst == e.node.shard {
+		return fmt.Errorf("mpc: tcp transport send from shard %d to invalid shard %d (K=%d)", e.node.shard, dst, e.k)
+	}
+	transportBatchesTotal.Add(1)
+	payload := appendBatchPayload(e.scratch[:0], b)
+	e.scratch = payload[:0]
+	frame := appendFrame(nil, e.base+e.lastBarrier+1, frameBatch, byte(e.node.shard), byte(dst), payload)
+	return e.node.conns[dst].enqueue(frame)
+}
+
+// Barrier implements Transport: one end-of-round frame, carrying the armed
+// control column, to every effective peer.
+func (e *tcpEndpoint) Barrier(seq uint32, armed []int32) error {
+	if seq != e.lastBarrier+1 {
+		return fmt.Errorf("mpc: tcp transport shard %d: barrier for round %d out of order (expected %d)", e.node.shard, seq, e.lastBarrier+1)
+	}
+	e.lastBarrier = seq
+	payload := appendEORPayload(e.scratch[:0], armed)
+	e.scratch = payload[:0]
+	for t := 0; t < e.k; t++ {
+		if t == e.node.shard {
+			continue
+		}
+		frame := appendFrame(nil, e.base+seq, frameEOR, byte(e.node.shard), byte(t), payload)
+		if err := e.node.conns[t].enqueue(frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Receive implements Transport: it drains the node's inbound queue until
+// every effective peer's end-of-round marker for seq has arrived, staging
+// any early next-round traffic for the following call. Connection
+// failures, protocol desyncs, and the barrier timeout all surface as
+// errors.
+func (e *tcpEndpoint) Receive(seq uint32) (*Exchange, error) {
+	if seq != e.lastReceived+1 {
+		return nil, fmt.Errorf("mpc: tcp transport shard %d: receive for round %d out of order (expected %d)", e.node.shard, seq, e.lastReceived+1)
+	}
+	n := e.node
+	want := e.k - 1
+	wseq := e.base + seq
+	ex := &Exchange{Armed: make([][]int32, e.k)}
+	eors := 0
+	consume := func(it tcpItem) error {
+		switch {
+		case it.err != nil:
+			if it.eof && it.src < e.k && ex.Armed[it.src] != nil {
+				// The peer closed cleanly after delivering this round's
+				// marker: it finished the job and exited first.
+				n.gone[it.src] = true
+				return nil
+			}
+			return it.err
+		case it.seq == wseq+1:
+			// Peer already finished its next round's compute; keep for the
+			// next Receive.
+			n.pend = append(n.pend, it)
+			return nil
+		case it.seq != wseq:
+			return fmt.Errorf("mpc: tcp transport shard %d: round-%d traffic from peer shard %d while receiving round %d", n.shard, it.seq, it.src, wseq)
+		case it.eor:
+			if it.src >= e.k {
+				return fmt.Errorf("mpc: tcp transport shard %d: end-of-round from shard %d outside effective shard count %d", n.shard, it.src, e.k)
+			}
+			if ex.Armed[it.src] != nil {
+				return fmt.Errorf("mpc: tcp transport shard %d: duplicate end-of-round from shard %d in round %d", n.shard, it.src, seq)
+			}
+			if it.armed == nil {
+				it.armed = []int32{}
+			}
+			ex.Armed[it.src] = it.armed
+			eors++
+			return nil
+		default:
+			ex.Batches = append(ex.Batches, it.batch)
+			return nil
+		}
+	}
+	fail := func(err error) (*Exchange, error) {
+		for _, b := range ex.Batches {
+			b.recycle()
+		}
+		return nil, err
+	}
+	// First replay traffic that arrived early during the previous round.
+	if len(n.pend) > 0 {
+		staged := n.pend
+		n.pend = nil
+		for i, it := range staged {
+			if err := consume(it); err != nil {
+				n.pend = append(n.pend, staged[i+1:]...)
+				return fail(err)
+			}
+		}
+	}
+	// A peer that already finished and exited can never deliver this
+	// round's marker: fail now rather than waiting out the timeout.
+	for t := 0; t < e.k; t++ {
+		if t != n.shard && n.gone[t] && ex.Armed[t] == nil {
+			return fail(fmt.Errorf("mpc: tcp transport: peer shard %d disconnected", t))
+		}
+	}
+	timer := time.NewTimer(n.opts.barrierTimeout())
+	defer timer.Stop()
+	for eors < want {
+		select {
+		case it := <-n.recv:
+			if err := consume(it); err != nil {
+				return fail(err)
+			}
+		case <-timer.C:
+			return fail(fmt.Errorf("mpc: tcp transport shard %d: barrier timeout after %v waiting for round %d (%d/%d end-of-round markers)", n.shard, n.opts.barrierTimeout(), seq, eors, want))
+		case <-n.done:
+			return fail(fmt.Errorf("%w (shard %d)", errTransportClosed, n.shard))
+		}
+	}
+	e.lastReceived = seq
+	sortBatches(ex.Batches)
+	return ex, nil
+}
+
+// Close implements Transport. A non-owning endpoint (a worker process's
+// long-lived node) leaves the node open for the next cluster and advances
+// its wire-seq base past the rounds this cluster consumed.
+func (e *tcpEndpoint) Close() error {
+	if e.ownsNode {
+		return e.node.Close()
+	}
+	e.node.seqBase = e.base + e.lastReceived
+	return nil
+}
+
+// TCPLoopback returns a TransportFactory that builds a complete in-process
+// TCP mesh over the loopback interface: K nodes listening on 127.0.0.1:0,
+// fully connected, one endpoint per node, all owned by (and closed with)
+// the cluster. It exercises the real wire path — framing, checksums,
+// socket scheduling — without any other process.
+func TCPLoopback(opts TCPOptions) TransportFactory {
+	return func(shards int) ([]Transport, error) {
+		nodes := make([]*TCPNode, shards)
+		fail := func(err error) ([]Transport, error) {
+			for _, nd := range nodes {
+				if nd != nil {
+					nd.Close()
+				}
+			}
+			return nil, err
+		}
+		addrs := make([]string, shards)
+		for i := 0; i < shards; i++ {
+			nd, err := ListenTCP(i, shards, "127.0.0.1:0", opts)
+			if err != nil {
+				return fail(err)
+			}
+			nodes[i] = nd
+			addrs[i] = nd.Addr()
+		}
+		for _, nd := range nodes {
+			if err := nd.Connect(addrs); err != nil {
+				return fail(err)
+			}
+		}
+		eps := make([]Transport, shards)
+		for i, nd := range nodes {
+			ep, err := nd.Endpoint(shards)
+			if err != nil {
+				return fail(err)
+			}
+			ep.(*tcpEndpoint).ownsNode = true
+			eps[i] = ep
+		}
+		return eps, nil
+	}
+}

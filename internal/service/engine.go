@@ -122,6 +122,9 @@ func NewEngine(cfg Config) *Engine {
 		jobs:      make(map[string]*Job),
 		queue:     make(chan *flight, cfg.QueueDepth),
 	}
+	// Export the configured shard count as a gauge so operators can tell a
+	// sharded deployment from /metrics alone.
+	m.inc("shards", uint64(cfg.Shards))
 	for i := 0; i < cfg.Pool; i++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -351,7 +354,7 @@ func (e *Engine) execute(f *flight) {
 	if err == nil {
 		var run *core.RunResult
 		alg, _ := core.LookupAlgorithm(f.alg)
-		run, err = alg.Run(in, core.Params{Mu: f.mu, Seed: f.seed, Workers: e.cfg.Workers}, f.args)
+		run, err = alg.Run(in, core.Params{Mu: f.mu, Seed: f.seed, Workers: e.cfg.Workers, Shards: e.cfg.Shards}, f.args)
 		if err == nil {
 			res = &Result{
 				InstanceID: f.instID, Alg: f.alg, Args: f.args,

@@ -153,6 +153,13 @@ func (m *Metrics) WritePlain(w io.Writer) error {
 	lines = append(lines,
 		fmt.Sprintf("mrserve_executor_pool_rounds_total %d", poolRounds),
 		fmt.Sprintf("mrserve_executor_pool_chunks_total %d", poolChunks))
+	// Sharded-execution activity is likewise process-wide: column batches
+	// moved and wire bytes written across every transport endpoint (bytes
+	// stay 0 for the in-memory transport).
+	tBatches, tBytes := mpc.TransportTotals()
+	lines = append(lines,
+		fmt.Sprintf("mrserve_transport_batches_total %d", tBatches),
+		fmt.Sprintf("mrserve_transport_bytes_total %d", tBytes))
 	m.mu.Unlock()
 
 	for _, line := range lines {

@@ -48,6 +48,11 @@ type Config struct {
 	// several jobs in flight, cross-job parallelism usually beats
 	// within-job parallelism.
 	Workers int
+	// Shards partitions every job's clusters across that many in-process
+	// shards over the in-memory transport (core.Params.Shards). Results
+	// and metrics are bit-identical to unsharded execution; 0 or 1 runs
+	// unsharded. Default: 0.
+	Shards int
 	// Results caps the LRU result store. Default: 256.
 	Results int
 	// Instances caps the instance cache entry count. Default: 64.

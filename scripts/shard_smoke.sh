@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Multi-process determinism smoke test, run by CI and runnable locally from
+# the repo root. Builds mrshard, runs the smoke job unsharded and as a
+# 2-worker TCP-loopback fleet (real processes, real sockets, framed and
+# checksummed columns), and requires the result documents byte-identical —
+# to each other and to the committed mrserve expectation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=$(mktemp -d)/mrshard
+go build -o "$BIN" ./cmd/mrshard
+
+"$BIN" -shards 1 -job scripts/smoke_job.json > /tmp/shard_smoke_1.json
+"$BIN" -shards 2 -job scripts/smoke_job.json > /tmp/shard_smoke_2.json
+cmp /tmp/shard_smoke_1.json /tmp/shard_smoke_2.json
+echo "2-process fleet byte-identical to single process"
+
+# The fleet's result must also equal the payload mrserve serves for the
+# same request (scripts/smoke_expect.json) — one determinism contract
+# across every deployment shape.
+python3 - <<'EOF'
+import json
+got = json.load(open("/tmp/shard_smoke_2.json"))
+want = json.load(open("scripts/smoke_expect.json"))
+assert got == want, (
+    "sharded result drifted from scripts/smoke_expect.json\n"
+    f"got:  {json.dumps(got, sort_keys=True)}\n"
+    f"want: {json.dumps(want, sort_keys=True)}")
+print("fleet result identical to committed serving expectation")
+print(got["summary"])
+EOF
