@@ -26,9 +26,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/mpc"
 	"repro/internal/rng"
 	"repro/internal/service"
 	"repro/internal/setcover"
@@ -47,7 +49,11 @@ func main() {
 	save := flag.String("save", "", "save the generated graph before running (.mrg binary container, .mrgz compressed container, .gz gzip, else text)")
 	convert := flag.String("convert", "", "with -load: stream-convert the input to a raw binary container at this path and exit without running")
 	workers := flag.Int("workers", 0, "round-executor pool size: 0|1 sequential, >1 that many goroutines, -1 one per CPU")
-	shards := flag.Int("shards", 0, "partition clusters across this many in-process shards over the in-memory transport (0|1 unsharded; results are bit-identical)")
+	shards := flag.Int("shards", 0, "partition clusters across this many in-process shards (0|1 unsharded; results are bit-identical)")
+	transport := flag.String("transport", "mem", "sharded transport: mem (in-memory) or tcp (loopback TCP mesh in-process)")
+	barrierTimeout := flag.Duration("barrier-timeout", 2*time.Minute, "tcp transport: per-round barrier/receive deadline")
+	dialTimeout := flag.Duration("dial-timeout", 10*time.Second, "tcp transport: per-attempt connect deadline")
+	dialRetries := flag.Int("dial-retries", 3, "tcp transport: extra dial attempts after the first, with exponential backoff")
 	flag.Parse()
 
 	if *convert != "" {
@@ -135,7 +141,21 @@ func main() {
 		}
 	}
 
-	res, err := entry.Run(in, core.Params{Mu: *mu, Seed: *seed, Workers: *workers, Shards: *shards}, args)
+	var factory mpc.TransportFactory
+	switch *transport {
+	case "", "mem":
+		// nil selects the in-memory group.
+	case "tcp":
+		factory = mpc.TCPLoopback(mpc.TransportOpts{
+			BarrierTimeout: *barrierTimeout,
+			DialTimeout:    *dialTimeout,
+			DialRetries:    *dialRetries,
+		})
+	default:
+		exitOn(fmt.Errorf("-transport must be mem or tcp, got %q", *transport))
+	}
+
+	res, err := entry.Run(in, core.Params{Mu: *mu, Seed: *seed, Workers: *workers, Shards: *shards, Transport: factory}, args)
 	exitOn(err)
 	fmt.Println(res.Summary)
 	m := res.Metrics

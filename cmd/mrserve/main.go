@@ -46,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/mpc"
 	"repro/internal/service"
 )
 
@@ -53,7 +54,12 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	pool := flag.Int("pool", 0, "concurrent jobs (0 = GOMAXPROCS)")
 	workers := flag.Int("workers", 1, "per-job round-executor pool size: 0|1 sequential, >1 that many goroutines, -1 one per CPU")
-	shards := flag.Int("shards", 0, "partition each job's clusters across this many in-process shards over the in-memory transport (0|1 unsharded; results are bit-identical)")
+	shards := flag.Int("shards", 0, "partition each job's clusters across this many in-process shards (0|1 unsharded; results are bit-identical)")
+	transport := flag.String("transport", "mem", "sharded transport: mem (in-memory) or tcp (loopback TCP mesh in-process)")
+	barrierTimeout := flag.Duration("barrier-timeout", 2*time.Minute, "tcp transport: per-round barrier/receive deadline")
+	dialTimeout := flag.Duration("dial-timeout", 10*time.Second, "tcp transport: per-attempt connect deadline")
+	dialRetries := flag.Int("dial-retries", 3, "tcp transport: extra dial attempts after the first, with exponential backoff")
+	noFallback := flag.Bool("no-fallback", false, "fail sharded jobs on transport errors instead of degrading to unsharded in-process execution")
 	results := flag.Int("results", 256, "LRU result-store capacity")
 	instances := flag.Int("instances", 64, "instance-cache capacity")
 	dataDir := flag.String("data", "", "directory for spooled binary containers; uploads are served zero-copy from mmap")
@@ -62,13 +68,23 @@ func main() {
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "mrserve: ", log.LstdFlags)
+	if *transport != "" && *transport != "mem" && *transport != "tcp" {
+		logger.Fatalf("-transport must be mem or tcp, got %q", *transport)
+	}
 	engine := service.NewEngine(service.Config{
 		Pool:      *pool,
 		Workers:   *workers,
 		Shards:    *shards,
-		Results:   *results,
-		Instances: *instances,
-		DataDir:   *dataDir,
+		Transport: *transport,
+		TransportOpts: mpc.TransportOpts{
+			BarrierTimeout: *barrierTimeout,
+			DialTimeout:    *dialTimeout,
+			DialRetries:    *dialRetries,
+		},
+		NoFallback: *noFallback,
+		Results:    *results,
+		Instances:  *instances,
+		DataDir:    *dataDir,
 	})
 	for _, path := range preload {
 		id, info, err := engine.PreloadFile(path)

@@ -1,12 +1,15 @@
 // Command mrshard runs one algorithm job across K cooperating OS
 // processes connected by the length-prefixed TCP transport — the
 // multi-process deployment of the sharded simulator, exercised end to end
-// on one machine.
+// on one machine — and supervises the fleet: a worker that dies mid-job is
+// respawned and recovered through deterministic replay, and the final
+// result is byte-identical to a failure-free run.
 //
 // Usage:
 //
 //	mrshard -job scripts/smoke_job.json -shards 3
 //	mrshard -job job.json -shards 1     # in-process baseline, same output
+//	mrshard -job job.json -shards 4 -chaos-drop-every 40 -chaos-seed 7
 //
 // The job file is the same JSON document mrserve accepts on POST /v1/jobs
 // ({"instance": {...}, "alg": "...", "seed": N, "mu": ..., "args": {...}}).
@@ -27,19 +30,56 @@
 //	mrshard -shards 1 ... > a.json; mrshard -shards 3 ... > b.json; cmp a.json b.json
 //
 // is the multi-process determinism check CI runs.
+//
+// # Supervision and recovery
+//
+// With -max-respawns > 0 (the default) the coordinator is a supervisor and
+// the fleet runs with recovery enabled (mpc.TransportOpts.Recover): every
+// worker keeps a bounded wire log of its recent outbound rounds, survivors
+// tolerate a dead peer instead of failing the round, and when the
+// supervisor sees a worker exit before its RESULT it respawns the shard
+// with a resume handshake (mpc.ReconnectTCP). The respawned worker redials
+// the survivors, negotiates the resume round A = min over peers of the
+// next round each still needs from it, replays its local rounds below A
+// deterministically without touching the wire (replicated SPMD makes local
+// state free), and is fed the survivors' logged column batches to catch
+// up — so the fleet's final result is byte-identical to a run with no
+// failure, which the coordinator still verifies across all K replicas.
+// Serial failures of distinct shards are recoverable; respawned workers
+// hold no listener, so a second death of the *same* recovered shard (or
+// simultaneous deaths) exhausts the budget and the job fails (mrserve then
+// degrades such jobs to unsharded execution).
+//
+// Workers take SIGTERM gracefully: the current round completes, writers
+// flush their final EOR frames on close, and the worker exits 0 with
+// "STOPPED" on stdout — the supervisor treats it like any other mid-job
+// exit and respawns within budget.
+//
+// # Fault injection
+//
+// The -chaos-* flags wrap every worker's transport in mpc.ChaosSpec: a
+// seeded, deterministic schedule of delays, duplicate frames, connection
+// kills and torn writes. Faults are injected by the original workers only
+// (a respawned worker runs clean so its replay machinery is exposed);
+// recovery heals what chaos breaks, and the byte-identical check at the
+// end proves it.
 package main
 
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/exec"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -47,31 +87,121 @@ import (
 	"repro/internal/service"
 )
 
+// cliConfig is every flag a worker needs forwarded from the coordinator.
+type cliConfig struct {
+	jobPath       string
+	shards        int
+	barrier       time.Duration
+	dialTimeout   time.Duration
+	dialRetries   int
+	heartbeat     time.Duration
+	peerDead      time.Duration
+	wirelogRounds int
+	maxRespawns   int
+
+	chaosSeed      uint64
+	chaosDelayEvry int
+	chaosDelay     time.Duration
+	chaosDupEvery  int
+	chaosDropEvery int
+	chaosTearEvery int
+}
+
+// recovery reports whether the fleet runs with failure recovery enabled.
+func (c cliConfig) recovery() bool { return c.maxRespawns > 0 }
+
+// transportOpts maps the flags onto the mpc transport options.
+func (c cliConfig) transportOpts() mpc.TransportOpts {
+	return mpc.TransportOpts{
+		BarrierTimeout:    c.barrier,
+		DialTimeout:       c.dialTimeout,
+		DialRetries:       c.dialRetries,
+		HeartbeatInterval: c.heartbeat,
+		PeerDeadAfter:     c.peerDead,
+		Recover:           c.recovery(),
+		WireLogRounds:     c.wirelogRounds,
+	}
+}
+
+// chaos maps the flags onto a fault schedule (zero spec = no faults).
+func (c cliConfig) chaos() mpc.ChaosSpec {
+	return mpc.ChaosSpec{
+		Seed:       c.chaosSeed,
+		DelayEvery: c.chaosDelayEvry,
+		Delay:      c.chaosDelay,
+		DupEvery:   c.chaosDupEvery,
+		DropEvery:  c.chaosDropEvery,
+		TearEvery:  c.chaosTearEvery,
+	}
+}
+
+// workerArgs renders the argv tail that reproduces this config in a child.
+func (c cliConfig) workerArgs(shard int, reconnect bool) []string {
+	args := []string{
+		"-worker", "-shard", fmt.Sprint(shard), "-shards", fmt.Sprint(c.shards),
+		"-job", c.jobPath, "-barrier-timeout", c.barrier.String(),
+		"-dial-timeout", c.dialTimeout.String(), "-dial-retries", fmt.Sprint(c.dialRetries),
+		"-heartbeat", c.heartbeat.String(), "-peer-dead", c.peerDead.String(),
+		"-wirelog-rounds", fmt.Sprint(c.wirelogRounds),
+		"-max-respawns", fmt.Sprint(c.maxRespawns),
+	}
+	if reconnect {
+		args = append(args, "-reconnect")
+	} else {
+		// Chaos is injected by original workers only: the respawned worker
+		// must run clean so the engine sees the raw endpoint's replay
+		// machinery, and re-injecting the same schedule would double faults.
+		args = append(args,
+			"-chaos-seed", fmt.Sprint(c.chaosSeed),
+			"-chaos-delay-every", fmt.Sprint(c.chaosDelayEvry),
+			"-chaos-delay", c.chaosDelay.String(),
+			"-chaos-dup-every", fmt.Sprint(c.chaosDupEvery),
+			"-chaos-drop-every", fmt.Sprint(c.chaosDropEvery),
+			"-chaos-tear-every", fmt.Sprint(c.chaosTearEvery),
+		)
+	}
+	return args
+}
+
 func main() {
-	job := flag.String("job", "scripts/smoke_job.json", "job request file (mrserve POST /v1/jobs shape)")
-	shards := flag.Int("shards", 2, "number of worker processes (1 = run unsharded in-process)")
-	timeout := flag.Duration("timeout", 2*time.Minute, "per-round barrier timeout in the workers")
+	var cfg cliConfig
+	flag.StringVar(&cfg.jobPath, "job", "scripts/smoke_job.json", "job request file (mrserve POST /v1/jobs shape)")
+	flag.IntVar(&cfg.shards, "shards", 2, "number of worker processes (1 = run unsharded in-process)")
+	flag.DurationVar(&cfg.barrier, "barrier-timeout", 2*time.Minute, "per-round barrier/receive deadline in the workers")
+	flag.DurationVar(&cfg.dialTimeout, "dial-timeout", 10*time.Second, "per-attempt TCP connect deadline")
+	flag.IntVar(&cfg.dialRetries, "dial-retries", 3, "extra dial attempts after the first, with exponential backoff")
+	flag.DurationVar(&cfg.heartbeat, "heartbeat", time.Second, "heartbeat interval on idle connections (0 disables)")
+	flag.DurationVar(&cfg.peerDead, "peer-dead", 0, "declare a silent peer dead after this long (0 = 3x heartbeat)")
+	flag.IntVar(&cfg.wirelogRounds, "wirelog-rounds", 8, "recent rounds each worker retains for replay recovery")
+	flag.IntVar(&cfg.maxRespawns, "max-respawns", 3, "worker respawns the supervisor will attempt per job (0 disables recovery)")
+	flag.Uint64Var(&cfg.chaosSeed, "chaos-seed", 0, "chaos schedule seed (with any -chaos-*-every)")
+	flag.IntVar(&cfg.chaosDelayEvry, "chaos-delay-every", 0, "delay every Nth transport op by -chaos-delay (0 disables)")
+	flag.DurationVar(&cfg.chaosDelay, "chaos-delay", 5*time.Millisecond, "injected delay duration")
+	flag.IntVar(&cfg.chaosDupEvery, "chaos-dup-every", 0, "duplicate every Nth batch frame (0 disables)")
+	flag.IntVar(&cfg.chaosDropEvery, "chaos-drop-every", 0, "kill the connection on every Nth op (0 disables)")
+	flag.IntVar(&cfg.chaosTearEvery, "chaos-tear-every", 0, "tear the connection mid-frame on every Nth op (0 disables)")
 	worker := flag.Bool("worker", false, "internal: run as a shard worker (spawned by the coordinator)")
 	shard := flag.Int("shard", 0, "internal: this worker's shard index")
+	reconnect := flag.Bool("reconnect", false, "internal: rejoin a running fleet after a crash (resume handshake)")
 	flag.Parse()
 
-	if *shards < 1 || *shards > 256 {
-		exitOn(fmt.Errorf("-shards must be in [1,256], got %d", *shards))
+	if cfg.shards < 1 || cfg.shards > 256 {
+		exitOn(fmt.Errorf("-shards must be in [1,256], got %d", cfg.shards))
 	}
-	req, err := loadJob(*job)
+	req, err := loadJob(cfg.jobPath)
 	exitOn(err)
 
 	if *worker {
-		exitOn(runWorker(req, *shard, *shards, *timeout))
+		exitOn(runWorker(req, *shard, *reconnect, cfg))
 		return
 	}
-	if *shards == 1 {
-		res, err := runJob(req, 0, nil)
+	if cfg.shards == 1 {
+		res, err := runJob(req, 0, nil, nil)
 		exitOn(err)
 		exitOn(emit(res))
 		return
 	}
-	exitOn(coordinate(*job, req, *shards, *timeout))
+	exitOn(coordinate(req, cfg))
 }
 
 // loadJob reads and validates the job request document.
@@ -97,8 +227,9 @@ func loadJob(path string) (service.JobRequest, error) {
 
 // runJob executes the job in this process: shards=0 runs unsharded, a
 // non-nil transport factory runs this worker's shard of a shards-wide
-// fleet. The result mirrors the mrserve payload for the same request.
-func runJob(req service.JobRequest, shards int, transport mpc.TransportFactory) (*service.Result, error) {
+// fleet. ctx, when non-nil, cancels between rounds (worker SIGTERM). The
+// result mirrors the mrserve payload for the same request.
+func runJob(req service.JobRequest, shards int, transport mpc.TransportFactory, ctx context.Context) (*service.Result, error) {
 	alg, _ := core.LookupAlgorithm(req.Alg)
 	id, err := service.SpecID(req.Instance)
 	if err != nil {
@@ -116,7 +247,7 @@ func runJob(req service.JobRequest, shards int, transport mpc.TransportFactory) 
 	if err != nil {
 		return nil, err
 	}
-	p := core.Params{Mu: mu, Seed: req.Seed, Shards: shards, Transport: transport}
+	p := core.Params{Mu: mu, Seed: req.Seed, Shards: shards, Transport: transport, Ctx: ctx}
 	rr, err := alg.Run(in, p, args)
 	if err != nil {
 		return nil, err
@@ -137,30 +268,75 @@ func emit(res *service.Result) error {
 	return err
 }
 
-// runWorker is the child-process body: listen, handshake the mesh over
-// stdio, run the job as one shard of the fleet, report the result.
-func runWorker(req service.JobRequest, shard, shards int, timeout time.Duration) error {
-	node, err := mpc.ListenTCP(shard, shards, "127.0.0.1:0", mpc.TCPOptions{BarrierTimeout: timeout})
-	if err != nil {
-		return err
-	}
-	defer node.Close()
-	fmt.Printf("ADDR %s\n", node.Addr())
-
+// readPeers consumes the coordinator's "PEERS a0 ... a(K-1)" stdin line.
+func readPeers(shard, shards int) ([]string, error) {
 	sc := bufio.NewScanner(os.Stdin)
 	if !sc.Scan() {
-		return fmt.Errorf("shard %d: coordinator hung up before PEERS: %v", shard, sc.Err())
+		return nil, fmt.Errorf("shard %d: coordinator hung up before PEERS: %v", shard, sc.Err())
 	}
 	fields := strings.Fields(sc.Text())
 	if len(fields) != shards+1 || fields[0] != "PEERS" {
-		return fmt.Errorf("shard %d: bad handshake line %q", shard, sc.Text())
+		return nil, fmt.Errorf("shard %d: bad handshake line %q", shard, sc.Text())
 	}
-	if err := node.Connect(fields[1:]); err != nil {
-		return err
-	}
+	return fields[1:], nil
+}
 
-	res, err := runJob(req, shards, node.Factory())
+// runWorker is the child-process body: listen (or rejoin), handshake the
+// mesh over stdio, run the job as one shard of the fleet, report the
+// result. SIGTERM is graceful: the current round completes, the node
+// close flushes the final EOR frames, and the worker exits 0.
+func runWorker(req service.JobRequest, shard int, reconnect bool, cfg cliConfig) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	opts := cfg.transportOpts()
+
+	var node *mpc.TCPNode
+	if reconnect {
+		peers, err := readPeers(shard, cfg.shards)
+		if err != nil {
+			return err
+		}
+		n, resume, err := mpc.ReconnectTCP(shard, cfg.shards, peers, opts)
+		if err != nil {
+			return fmt.Errorf("shard %d: rejoin: %w", shard, err)
+		}
+		node = n
+		fmt.Printf("RESUME %d\n", resume)
+	} else {
+		n, err := mpc.ListenTCP(shard, cfg.shards, "127.0.0.1:0", opts)
+		if err != nil {
+			return err
+		}
+		node = n
+		fmt.Printf("ADDR %s\n", node.Addr())
+		peers, err := readPeers(shard, cfg.shards)
+		if err != nil {
+			node.Close()
+			return err
+		}
+		if err := node.Connect(peers); err != nil {
+			node.Close()
+			return err
+		}
+	}
+	defer node.Close()
+
+	factory := node.Factory()
+	if !reconnect {
+		// Respawned workers run clean: the chaos wrapper would hide the
+		// endpoint's resume interface from the engine, and the original
+		// schedule keeps running in the survivors anyway.
+		factory = cfg.chaos().Wrap(factory)
+	}
+	res, err := runJob(req, cfg.shards, factory, ctx)
 	if err != nil {
+		if ctx.Err() != nil && errors.Is(err, context.Canceled) {
+			// Graceful SIGTERM: the round in progress completed before the
+			// cancellation was observed; the deferred close flushes the
+			// writers (final EORs included) and we exit 0.
+			fmt.Println("STOPPED")
+			return nil
+		}
 		return fmt.Errorf("shard %d: %w", shard, err)
 	}
 	out, err := json.Marshal(res)
@@ -171,9 +347,50 @@ func runWorker(req service.JobRequest, shard, shards int, timeout time.Duration)
 	return nil
 }
 
-// coordinate forks the worker fleet, brokers the address exchange, and
-// checks that every worker reports the identical result.
-func coordinate(jobPath string, req service.JobRequest, shards int, timeout time.Duration) error {
+// workerEvent is one line of a worker's stdout (or its exit) delivered to
+// the supervisor loop.
+type workerEvent struct {
+	shard int
+	tag   string // ADDR, RESULT, RESUME, STOPPED, or "eof"
+	text  string
+}
+
+// workerTags are the stdout protocol lines; everything else is relayed to
+// the supervisor's stderr as worker log output.
+var workerTags = []string{"ADDR", "RESULT", "RESUME", "STOPPED"}
+
+// watchWorker relays one worker's tagged stdout lines into events and
+// reports stream end (= process exit) as an "eof" event.
+func watchWorker(shard int, out io.Reader, events chan<- workerEvent) {
+	sc := bufio.NewScanner(out)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // result documents can be large
+	for sc.Scan() {
+		line := sc.Text()
+		tagged := false
+		for _, tag := range workerTags {
+			if rest, ok := strings.CutPrefix(line, tag+" "); ok {
+				events <- workerEvent{shard: shard, tag: tag, text: rest}
+				tagged = true
+				break
+			}
+			if line == tag {
+				events <- workerEvent{shard: shard, tag: tag}
+				tagged = true
+				break
+			}
+		}
+		if !tagged {
+			fmt.Fprintf(os.Stderr, "mrshard: shard %d: %s\n", shard, line)
+		}
+	}
+	events <- workerEvent{shard: shard, tag: "eof"}
+}
+
+// coordinate forks the worker fleet, brokers the address exchange,
+// supervises the workers — respawning any that die before reporting,
+// within the -max-respawns budget — and checks that every shard reports
+// the identical result.
+func coordinate(req service.JobRequest, cfg cliConfig) error {
 	self, err := os.Executable()
 	if err != nil {
 		return err
@@ -181,9 +398,10 @@ func coordinate(jobPath string, req service.JobRequest, shards int, timeout time
 	type proc struct {
 		cmd *exec.Cmd
 		in  io.WriteCloser
-		out *bufio.Scanner
 	}
+	shards := cfg.shards
 	procs := make([]proc, shards)
+	events := make(chan workerEvent, shards*4)
 	defer func() {
 		for _, p := range procs {
 			if p.cmd != nil && p.cmd.Process != nil {
@@ -193,26 +411,8 @@ func coordinate(jobPath string, req service.JobRequest, shards int, timeout time
 		}
 	}()
 
-	// readLine fetches the next "<TAG> payload" line from a worker.
-	readLine := func(i int, tag string) (string, error) {
-		for procs[i].out.Scan() {
-			line := procs[i].out.Text()
-			if rest, ok := strings.CutPrefix(line, tag+" "); ok {
-				return rest, nil
-			}
-			fmt.Fprintf(os.Stderr, "mrshard: shard %d: %s\n", i, line)
-		}
-		if err := procs[i].out.Err(); err != nil {
-			return "", fmt.Errorf("shard %d: %w", i, err)
-		}
-		return "", fmt.Errorf("shard %d exited before %s", i, tag)
-	}
-
-	addrs := make([]string, shards)
-	for i := 0; i < shards; i++ {
-		cmd := exec.Command(self,
-			"-worker", "-shard", fmt.Sprint(i), "-shards", fmt.Sprint(shards),
-			"-job", jobPath, "-timeout", timeout.String())
+	spawn := func(i int, reconnect bool) error {
+		cmd := exec.Command(self, cfg.workerArgs(i, reconnect)...)
 		cmd.Stderr = os.Stderr
 		in, err := cmd.StdinPipe()
 		if err != nil {
@@ -225,14 +425,38 @@ func coordinate(jobPath string, req service.JobRequest, shards int, timeout time
 		if err := cmd.Start(); err != nil {
 			return fmt.Errorf("start shard %d: %w", i, err)
 		}
-		procs[i] = proc{cmd: cmd, in: in, out: bufio.NewScanner(out)}
+		procs[i] = proc{cmd: cmd, in: in}
+		go watchWorker(i, out, events)
+		return nil
 	}
-	for i := range procs {
-		addr, err := readLine(i, "ADDR")
-		if err != nil {
+	// reap waits for shard i's dead process and clears its slot.
+	reap := func(i int) error {
+		err := procs[i].cmd.Wait()
+		procs[i] = proc{}
+		return err
+	}
+
+	for i := 0; i < shards; i++ {
+		if err := spawn(i, false); err != nil {
 			return err
 		}
-		addrs[i] = addr
+	}
+
+	// Address exchange: a worker dying before ADDR is a startup failure,
+	// not something replay can recover.
+	addrs := make([]string, shards)
+	for got := 0; got < shards; {
+		ev := <-events
+		switch ev.tag {
+		case "ADDR":
+			if addrs[ev.shard] == "" {
+				got++
+			}
+			addrs[ev.shard] = ev.text
+		case "eof":
+			err := reap(ev.shard)
+			return fmt.Errorf("shard %d exited before ADDR: %v", ev.shard, err)
+		}
 	}
 	peers := "PEERS " + strings.Join(addrs, " ") + "\n"
 	for i := range procs {
@@ -241,31 +465,68 @@ func coordinate(jobPath string, req service.JobRequest, shards int, timeout time
 		}
 	}
 
+	// Supervision loop: collect RESULTs; a worker exiting without one is
+	// respawned with the resume handshake while the survivors hold the
+	// round open, until the budget runs out.
 	results := make([]string, shards)
-	for i := range procs {
-		res, err := readLine(i, "RESULT")
-		if err != nil {
-			return err
+	respawns := make([]int, shards)
+	done, exited := 0, 0
+	for done < shards || exited < shards {
+		ev := <-events
+		switch ev.tag {
+		case "RESULT":
+			if results[ev.shard] == "" {
+				done++
+			}
+			results[ev.shard] = ev.text
+		case "RESUME":
+			fmt.Fprintf(os.Stderr, "mrshard: shard %d rejoined, resuming at wire round %s\n", ev.shard, ev.text)
+		case "STOPPED":
+			fmt.Fprintf(os.Stderr, "mrshard: shard %d stopped gracefully (SIGTERM)\n", ev.shard)
+		case "eof":
+			err := reap(ev.shard)
+			if results[ev.shard] != "" {
+				// Normal completion; a nonzero exit after a result still
+				// fails the job (the worker saw something we should not
+				// paper over).
+				if err != nil {
+					return fmt.Errorf("shard %d: %w", ev.shard, err)
+				}
+				exited++
+				continue
+			}
+			respawns[ev.shard]++
+			if !cfg.recovery() || respawns[ev.shard] > cfg.maxRespawns {
+				return fmt.Errorf("shard %d died before reporting (%v) with respawn budget exhausted (%d/%d)",
+					ev.shard, err, respawns[ev.shard]-1, cfg.maxRespawns)
+			}
+			fmt.Fprintf(os.Stderr, "mrshard: shard %d died (%v); respawning (attempt %d/%d)\n",
+				ev.shard, err, respawns[ev.shard], cfg.maxRespawns)
+			mpc.AddWorkerRespawns(1)
+			if err := spawn(ev.shard, true); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(procs[ev.shard].in, peers); err != nil {
+				return fmt.Errorf("shard %d: send peers after respawn: %w", ev.shard, err)
+			}
 		}
-		results[i] = res
-	}
-	for i := range procs {
-		procs[i].in.Close()
-		if err := procs[i].cmd.Wait(); err != nil {
-			return fmt.Errorf("shard %d: %w", i, err)
-		}
-		procs[i].cmd = nil
 	}
 
-	// The determinism contract: every replica computed the job in full, so
-	// every replica must hold the byte-identical result.
+	// The determinism contract: every replica computed the job in full —
+	// respawned or not — so every replica must hold the byte-identical
+	// result.
 	for i := 1; i < shards; i++ {
 		if results[i] != results[0] {
 			return fmt.Errorf("results diverged across shards:\n  shard 0: %s\n  shard %d: %s",
 				results[0], i, results[i])
 		}
 	}
-	fmt.Fprintf(os.Stderr, "mrshard: %d workers agreed (%s)\n", shards, summarize(results[0]))
+	total := 0
+	for _, r := range respawns {
+		total += r
+	}
+	fmt.Fprintf(os.Stderr, "mrshard: %d workers agreed after %d respawn(s) (%s)\n",
+		shards, total, summarize(results[0]))
 	fmt.Println(results[0])
 	return nil
 }

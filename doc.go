@@ -13,7 +13,10 @@
 //     and sharded execution: clusters partitioned across K shards over a
 //     pluggable transport — in-memory zero-copy or framed CRC-checked
 //     TCP — with results, metrics, and traces bit-identical to unsharded
-//     runs);
+//     runs, and fault tolerance on top: retrying dials with seeded
+//     backoff, heartbeat failure detection, a round-checkpointed wire log
+//     feeding deterministic replay recovery of crashed workers, and a
+//     seeded chaos-injection wrapper for testing it all);
 //   - internal/core     — the paper's eight MapReduce algorithms plus the
 //     Luby and filtering baselines, dispatched through the algorithm
 //     registry (name → runner + parameter schema);
@@ -33,9 +36,12 @@
 //   - internal/rng      — deterministic splittable randomness.
 //
 // Entry points: cmd/mrbench (regenerate every Figure 1 row), cmd/mrrun (run
-// one algorithm), cmd/mrserve (the job-serving daemon), cmd/mrshard (one
-// job across K cooperating processes over the TCP transport, results
-// byte-identical across the fleet), examples/ (runnable scenarios), and the
+// one algorithm), cmd/mrserve (the job-serving daemon, degrading sharded
+// jobs to bit-identical unsharded execution on transport failure),
+// cmd/mrshard (one job across K cooperating processes over the TCP
+// transport, results byte-identical across the fleet — workers killed
+// mid-job are respawned and recovered by deterministic replay),
+// examples/ (runnable scenarios), and the
 // root-level benchmarks in bench_test.go (one per Figure 1 row, plus the
 // service throughput and sharded-round pairs). See README.md, DESIGN.md
 // and EXPERIMENTS.md.

@@ -30,6 +30,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/mpc"
@@ -71,6 +72,10 @@ type Params struct {
 	// the in-memory group (single-process sharding). Multi-process fleets
 	// (cmd/mrshard) install a TCP node factory here.
 	Transport mpc.TransportFactory
+	// Ctx, when non-nil, cancels the run between rounds: once canceled,
+	// every cluster's next Round returns the context's error, so an
+	// abandoned job stops burning rounds instead of running to completion.
+	Ctx context.Context
 }
 
 func (p Params) maxIter() int {
@@ -128,6 +133,7 @@ func newCluster(machines, cap int, p Params, slack float64) *mpc.Cluster {
 		Sparse:    !p.Dense,
 		Shards:    p.Shards,
 		Transport: p.Transport,
+		Ctx:       p.Ctx,
 	})
 }
 

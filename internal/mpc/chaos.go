@@ -1,0 +1,173 @@
+package mpc
+
+// Fault injection as a first-class subsystem: ChaosSpec wraps any
+// TransportFactory with a seeded, deterministic schedule of faults —
+// delays, duplicate frames, connection kills ("drops": without delivery
+// acknowledgements a silently dropped frame is indistinguishable from a
+// slow one, so the detectable version of a drop is a severed connection),
+// and torn writes (garbage bytes mid-stream before the close).
+//
+// The schedule is a pure function of (seed, shard, operation index): every
+// run of the same workload with the same spec injects the same faults at
+// the same points, which is what lets the chaos tests assert bit-identical
+// results under fault load. Faults requiring a real wire (kills, tears)
+// apply only to TCP endpoints and are skipped for in-memory transports;
+// delays and duplicates apply everywhere duplicates are safe (duplication
+// needs an encoding transport — re-sending a retained batch would alias
+// pooled columns).
+//
+// Injected faults are counted process-wide and exported via ChaosTotals for
+// the service layer's /metrics.
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// ChaosSpec is a deterministic fault schedule. Each fault family triggers
+// on every Nth transport operation (Send or Barrier) of an endpoint, phase-
+// shifted per shard by the seed so the fleet's faults don't align. Zero
+// values disable the family; the zero spec injects nothing.
+type ChaosSpec struct {
+	// Seed decorrelates the per-shard fault phases. Same seed, same faults.
+	Seed uint64
+	// DelayEvery delays every Nth operation by Delay before it executes.
+	DelayEvery int
+	Delay      time.Duration
+	// DupEvery re-sends every Nth batch (encoding transports only); the
+	// receiver's dedup must drop the copy.
+	DupEvery int
+	// DropEvery kills the connection to the operation's peer on every Nth
+	// operation (TCP only): queued frames are lost and both sides see a
+	// connection error — recovery redials and replays, or the round fails.
+	DropEvery int
+	// TearEvery tears the connection on every Nth operation (TCP only):
+	// garbage bytes land mid-stream before the close, so the peer sees a
+	// checksum/framing failure instead of a clean disconnect.
+	TearEvery int
+}
+
+// Enabled reports whether the spec injects any faults at all.
+func (s ChaosSpec) Enabled() bool {
+	return s.DelayEvery > 0 || s.DupEvery > 0 || s.DropEvery > 0 || s.TearEvery > 0
+}
+
+// Wrap returns a TransportFactory injecting this spec's faults around the
+// endpoints of inner. A disabled spec returns inner unchanged.
+func (s ChaosSpec) Wrap(inner TransportFactory) TransportFactory {
+	if !s.Enabled() {
+		return inner
+	}
+	return func(shards int) ([]Transport, error) {
+		eps, err := inner(shards)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Transport, len(eps))
+		for i, ep := range eps {
+			out[i] = newChaosEndpoint(ep, s)
+		}
+		return out, nil
+	}
+}
+
+// Process-wide fault-injection counters.
+var (
+	chaosDelays atomic.Uint64
+	chaosDups   atomic.Uint64
+	chaosDrops  atomic.Uint64
+	chaosTears  atomic.Uint64
+)
+
+// ChaosTotals reports process-wide injected fault counts by family.
+func ChaosTotals() (delays, dups, drops, tears uint64) {
+	return chaosDelays.Load(), chaosDups.Load(), chaosDrops.Load(), chaosTears.Load()
+}
+
+// chaosEndpoint wraps one Transport with the fault schedule.
+type chaosEndpoint struct {
+	inner Transport
+	spec  ChaosSpec
+	ops   uint64
+	// Per-fault phase offsets, derived from (seed, shard, family).
+	phDelay, phDup, phDrop, phTear uint64
+}
+
+func newChaosEndpoint(inner Transport, s ChaosSpec) *chaosEndpoint {
+	e := &chaosEndpoint{inner: inner, spec: s}
+	sh := uint64(inner.Shard())
+	e.phDelay = chaosPhase(s.Seed, sh, 1, s.DelayEvery)
+	e.phDup = chaosPhase(s.Seed, sh, 2, s.DupEvery)
+	e.phDrop = chaosPhase(s.Seed, sh, 3, s.DropEvery)
+	e.phTear = chaosPhase(s.Seed, sh, 4, s.TearEvery)
+	return e
+}
+
+func chaosPhase(seed, shard, family uint64, every int) uint64 {
+	if every <= 0 {
+		return 0
+	}
+	return splitmix64(seed ^ shard<<8 ^ family) % uint64(every)
+}
+
+func chaosDue(op uint64, every int, phase uint64) bool {
+	return every > 0 && op%uint64(every) == phase
+}
+
+// inject applies the wire-level faults scheduled for operation op, directed
+// at peer.
+func (e *chaosEndpoint) inject(op uint64, peer int) {
+	s := e.spec
+	if chaosDue(op, s.DelayEvery, e.phDelay) && s.Delay > 0 {
+		chaosDelays.Add(1)
+		time.Sleep(s.Delay)
+	}
+	tn, ok := e.inner.(*tcpEndpoint)
+	if !ok || peer == e.inner.Shard() {
+		return
+	}
+	if chaosDue(op, s.TearEvery, e.phTear) && tn.node.TearConn(peer) {
+		chaosTears.Add(1)
+	}
+	if chaosDue(op, s.DropEvery, e.phDrop) && tn.node.KillConn(peer) {
+		chaosDrops.Add(1)
+	}
+}
+
+func (e *chaosEndpoint) Shard() int    { return e.inner.Shard() }
+func (e *chaosEndpoint) Shards() int   { return e.inner.Shards() }
+func (e *chaosEndpoint) Retains() bool { return e.inner.Retains() }
+func (e *chaosEndpoint) Close() error  { return e.inner.Close() }
+
+func (e *chaosEndpoint) Send(dst int, b *Batch) error {
+	op := e.ops
+	e.ops++
+	e.inject(op, dst)
+	if err := e.inner.Send(dst, b); err != nil {
+		return err
+	}
+	if chaosDue(op, e.spec.DupEvery, e.phDup) && !e.inner.Retains() {
+		// An encoding transport re-frames the batch, so the duplicate is a
+		// bit-identical second frame the receiver must dedup away.
+		chaosDups.Add(1)
+		return e.inner.Send(dst, b)
+	}
+	return nil
+}
+
+func (e *chaosEndpoint) Barrier(seq uint32, armed []int32) error {
+	op := e.ops
+	e.ops++
+	if k := e.inner.Shards(); k > 1 {
+		peer := int(op % uint64(k))
+		if peer == e.inner.Shard() {
+			peer = (peer + 1) % k
+		}
+		e.inject(op, peer)
+	}
+	return e.inner.Barrier(seq, armed)
+}
+
+func (e *chaosEndpoint) Receive(seq uint32) (*Exchange, error) {
+	return e.inner.Receive(seq)
+}

@@ -48,6 +48,7 @@
 package mpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -103,6 +104,11 @@ type Config struct {
 	// process drives (transport.go). Nil selects the in-memory group
 	// covering every shard — single-process sharding.
 	Transport TransportFactory
+	// Ctx, when non-nil, is checked between rounds: once it is canceled,
+	// Round and Quiet return its error (wrapped) instead of executing, so an
+	// abandoned job stops burning rounds at the next round boundary. Nil
+	// means no cancellation.
+	Ctx context.Context
 }
 
 // RoundStat is the per-round record captured when tracing is enabled.
@@ -225,17 +231,26 @@ func (c *Cluster) Shards() int {
 }
 
 // ready reports whether the cluster can run a round, translating closed
-// clusters, transport-factory failures, and earlier transport errors into
-// the error every subsequent Round/Quiet returns.
+// clusters, canceled contexts, transport-factory failures, and earlier
+// transport errors into the error every subsequent Round/Quiet returns.
+// Transport-layer failures are additionally marked with ErrTransport so
+// callers can distinguish fabric faults (healable by a deterministic re-run
+// elsewhere) from algorithmic errors; cancellation deliberately is not — a
+// canceled job is abandoned, not re-run.
 func (c *Cluster) ready() error {
 	if c.closed {
 		return ErrClusterClosed
 	}
+	if ctx := c.cfg.Ctx; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("mpc: round canceled: %w", err)
+		}
+	}
 	if c.shardErr != nil {
-		return c.shardErr
+		return fmt.Errorf("%w: %w", ErrTransport, c.shardErr)
 	}
 	if c.shard != nil && c.shard.broken != nil {
-		return fmt.Errorf("mpc: cluster unusable after transport error: %w", c.shard.broken)
+		return fmt.Errorf("mpc: cluster unusable after transport error: %w: %w", ErrTransport, c.shard.broken)
 	}
 	return nil
 }
@@ -459,7 +474,7 @@ func (c *Cluster) Round(f RoundFunc) error {
 	if c.shard != nil {
 		if err := c.shard.merge(run, sparse); err != nil {
 			c.shard.broken = err
-			return fmt.Errorf("mpc: round %d transport exchange: %w", c.metrics.Rounds, err)
+			return fmt.Errorf("mpc: round %d transport exchange: %w: %w", c.metrics.Rounds, ErrTransport, err)
 		}
 	} else {
 		mergeOne := func(machine int) {

@@ -55,6 +55,20 @@ import (
 	"fmt"
 )
 
+// resumable is implemented by transports whose node rejoined an established
+// mesh after a crash (ReconnectTCP): rounds before the resume point are
+// re-executed detached — purely locally, no wire activity — because the
+// peers already consumed them, and the engine reattaches to the wire
+// exactly at the resume round while peers replay what this process missed.
+type resumable interface {
+	// DetachedRound reports whether cluster-relative round seq predates the
+	// resume point.
+	DetachedRound(seq uint32) bool
+	// NoteDetachedRound records a locally-replayed round so the transport's
+	// sequence tracking stays aligned with the wire.
+	NoteDetachedRound(seq uint32)
+}
+
 // shardEngine is the sharded-execution state of a Cluster. It exists only
 // when the effective shard count is at least 2.
 type shardEngine struct {
@@ -67,6 +81,13 @@ type shardEngine struct {
 	owned   []bool // shard -> this process ships its traffic
 	seq     uint32 // rounds exchanged so far
 	broken  error  // first transport error; poisons subsequent rounds
+
+	// res is set when this process's single endpoint supports detached
+	// replay (a respawned worker); detached flags the round in flight as
+	// predating the resume point, which turns off shipping entirely —
+	// every column is delivered locally, as on a pure replica.
+	res      resumable
+	detached bool
 
 	// Per-round scratch, reused so a steady-state round allocates little.
 	bat        [][]*Batch  // [src shard][dst shard] outbound batches
@@ -149,6 +170,13 @@ func newShardEngine(c *Cluster, cfg Config) (*shardEngine, error) {
 		sc.owned[s] = true
 		sc.epOf[s] = i
 	}
+	// A multi-process worker owns exactly one endpoint; if its node rejoined
+	// the mesh after a crash, rounds before the resume point replay detached.
+	if len(eps) == 1 {
+		if r, ok := eps[0].(resumable); ok {
+			sc.res = r
+		}
+	}
 	return sc, nil
 }
 
@@ -208,8 +236,8 @@ func (sc *shardEngine) mergeOne(m int) {
 	for _, dest := range o.dests {
 		t := int(sc.shardOf[dest])
 		col := o.byDest[dest]
-		ship := sc.owned[s] && t != s
-		local := s == t || !sc.owned[t]
+		ship := !sc.detached && sc.owned[s] && t != s
+		local := s == t || !sc.owned[t] || sc.detached
 		if ship {
 			wcol := col
 			if local && sc.eps[sc.epOf[s]].Retains() {
@@ -251,6 +279,11 @@ func (sc *shardEngine) mergeOne(m int) {
 func (sc *shardEngine) merge(run []int, sparse bool) error {
 	c := sc.c
 
+	// A respawned worker replays rounds before its resume point detached:
+	// purely local delivery, no wire activity — the peers consumed those
+	// rounds long ago and deterministic re-execution rebuilds the state.
+	sc.detached = sc.res != nil && sc.res.DetachedRound(sc.seq+1)
+
 	// Phase A: ascending walk over the machines that ran.
 	if sparse {
 		for _, m := range run {
@@ -274,6 +307,17 @@ func (sc *shardEngine) merge(run []int, sparse bool) error {
 	// (with its armed control column), then collect the peers' exchanges.
 	sc.seq++
 	seq := sc.seq
+	if sc.detached {
+		// Detached replay: every column was delivered locally in Phase A and
+		// arming is already complete (mergeOne enqueued the self-armed
+		// machines of all shards — the whole fleet runs locally here), so
+		// the round only advances sequence tracking.
+		sc.res.NoteDetachedRound(seq)
+		for s := range sc.shardArmed {
+			sc.shardArmed[s] = sc.shardArmed[s][:0]
+		}
+		return nil
+	}
 	for s := 0; s < sc.k; s++ {
 		ei := sc.epOf[s]
 		for t := 0; t < sc.k; t++ {

@@ -142,6 +142,14 @@ func TransportTotals() (batches, bytes uint64) {
 // errTransportClosed is the base error for operations on closed endpoints.
 var errTransportClosed = errors.New("mpc: transport endpoint closed")
 
+// ErrTransport marks every transport-layer failure surfaced from Round (or
+// from a transport factory via the first Round): connection loss, barrier
+// timeout, protocol desync, corrupt frames. Callers use errors.Is(err,
+// ErrTransport) to distinguish fabric failures — which a deterministic
+// re-run on different infrastructure (e.g. mrserve's unsharded fallback)
+// can heal — from algorithmic or input errors, which it cannot.
+var ErrTransport = errors.New("mpc: transport failure")
+
 // ---------------------------------------------------------------------------
 // In-memory transport
 

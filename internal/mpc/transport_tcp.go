@@ -12,8 +12,9 @@ package mpc
 // Every frame is a 20-byte little-endian header followed by the payload:
 //
 //	offset  size  field
-//	0       4     seq         round sequence number
-//	4       1     kind        1 batch · 2 end-of-round · 3 hello
+//	0       4     seq         round sequence number (0 for control frames)
+//	4       1     kind        1 batch · 2 end-of-round · 3 hello ·
+//	                          4 hello-ack · 5 heartbeat · 6 resume
 //	5       1     src         source shard
 //	6       1     dst         destination shard
 //	7       1     reserved    0
@@ -29,8 +30,35 @@ package mpc
 //
 // — the plane's column layout verbatim, so encode/decode is a handful of
 // bulk copies. An end-of-round payload is the armed control column: a u32
-// count followed by u32 machine ids. A hello payload (sent once by the
-// dialing side of each connection) is magic · shard · shard count.
+// count followed by u32 machine ids. A hello payload (sent by the dialing
+// side of each connection) is magic · shard · shard count · flags ·
+// nextNeeded; a hello-ack payload is the single u32 wire round the acking
+// side still needs from the dialer, and a resume payload is the single u32
+// fleet-wide resume round a respawned worker settled on. Heartbeats carry
+// no payload.
+//
+// # Failure detection and recovery
+//
+// Dial and hello exchange retry with deterministic exponential
+// backoff+jitter (see backoffDelay). When TransportOpts.HeartbeatInterval
+// is set, idle connections carry heartbeat frames and a peer silent for
+// PeerDeadAfter is declared dead mid-round instead of stalling the barrier
+// until its timeout.
+//
+// With TransportOpts.Recover enabled the node keeps a wire log — a bounded
+// ring of the last W rounds' outbound frames (see wirelog.go) — and a
+// connection failure marks the peer down instead of failing the round: the
+// original dialer of the pair redials with backoff, and either side
+// accepts a reconnect handshake that replays the logged frames the other
+// still needs. A respawned worker rejoins via ReconnectTCP: it dials every
+// peer, learns the earliest round any of them still needs from it (the
+// hello-ack), announces that round as the fleet-wide resume point, then
+// re-executes earlier rounds detached (purely local, deterministic) and
+// reattaches to the wire exactly at the resume round while peers replay
+// what it missed. Determinism makes replayed frames bit-identical to the
+// originals, so receivers drop duplicates by sequence number and the
+// recovered run's results, metrics, and traces match the fault-free run
+// byte for byte.
 //
 // The framing discipline — checksummed fixed header, checksummed payload,
 // truncation and corruption always detected — follows the graph
@@ -46,6 +74,7 @@ import (
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -55,33 +84,27 @@ var tcpCastagnoli = crc32.MakeTable(crc32.Castagnoli)
 var errBadFrame = errors.New("mpc: corrupt transport frame")
 
 const (
-	frameHdrSize = 20
-	frameBatch   = 1
-	frameEOR     = 2
-	frameHello   = 3
-	helloMagic   = 0x4d525348 // "MRSH"
+	frameHdrSize   = 20
+	frameBatch     = 1
+	frameEOR       = 2
+	frameHello     = 3
+	frameHelloAck  = 4
+	frameHeartbeat = 5
+	frameResume    = 6
+	helloMagic     = 0x4d525348 // "MRSH"
+	helloLen       = 20
+	// helloFlagReconnect marks a hello as a reconnect handshake: the dialer
+	// is rejoining an established mesh and expects a hello-ack (and replay)
+	// rather than initial mesh assembly.
+	helloFlagReconnect = 1
+	// resumeUnknown in a reconnect hello's nextNeeded field means the dialer
+	// is a respawned worker that lost its sequence state; it will announce
+	// the fleet-wide resume round in a follow-up resume frame.
+	resumeUnknown = ^uint32(0)
 	// maxFramePayload bounds a frame so a corrupt length prefix cannot ask
 	// the decoder to allocate gigabytes.
 	maxFramePayload = 1 << 30
-	// tcpConnectTimeout bounds mesh establishment (dial plus hello).
-	tcpConnectTimeout = 30 * time.Second
 )
-
-// TCPOptions tunes a TCP transport node.
-type TCPOptions struct {
-	// BarrierTimeout bounds how long Receive waits for the peers'
-	// end-of-round markers before failing the round; 0 means 2 minutes. A
-	// lost peer or a desynchronized barrier therefore surfaces as an error
-	// from Round, never a hang.
-	BarrierTimeout time.Duration
-}
-
-func (o TCPOptions) barrierTimeout() time.Duration {
-	if o.BarrierTimeout > 0 {
-		return o.BarrierTimeout
-	}
-	return 2 * time.Minute
-}
 
 // frame assembly ------------------------------------------------------------
 
@@ -138,6 +161,37 @@ func readFrame(r io.Reader) (frameHeader, []byte, error) {
 		return frameHeader{}, nil, fmt.Errorf("%w: payload checksum mismatch (got %08x, want %08x)", errBadFrame, got, h.pcrc)
 	}
 	return h, payload, nil
+}
+
+// appendHelloPayload encodes a hello: magic, shard, shard count, flags,
+// and the next wire round the dialer still needs from the accepting side
+// (meaningful only with helloFlagReconnect).
+func appendHelloPayload(dst []byte, shard, shards int, flags, nextNeeded uint32) []byte {
+	var u [helloLen]byte
+	binary.LittleEndian.PutUint32(u[0:], helloMagic)
+	binary.LittleEndian.PutUint32(u[4:], uint32(shard))
+	binary.LittleEndian.PutUint32(u[8:], uint32(shards))
+	binary.LittleEndian.PutUint32(u[12:], flags)
+	binary.LittleEndian.PutUint32(u[16:], nextNeeded)
+	return append(dst, u[:]...)
+}
+
+// helloInfo is a decoded hello payload.
+type helloInfo struct {
+	peer, k           int
+	flags, nextNeeded uint32
+}
+
+func decodeHello(p []byte) (helloInfo, bool) {
+	if len(p) != helloLen || binary.LittleEndian.Uint32(p) != helloMagic {
+		return helloInfo{}, false
+	}
+	return helloInfo{
+		peer:       int(binary.LittleEndian.Uint32(p[4:])),
+		k:          int(binary.LittleEndian.Uint32(p[8:])),
+		flags:      binary.LittleEndian.Uint32(p[12:]),
+		nextNeeded: binary.LittleEndian.Uint32(p[16:]),
+	}, true
 }
 
 // appendBatchPayload encodes a batch's columns.
@@ -301,6 +355,7 @@ func firstErr(errs ...error) error {
 // a connection failure.
 type tcpItem struct {
 	src   int
+	gen   uint64 // connection generation the item arrived on
 	seq   uint32
 	batch *Batch
 	eor   bool
@@ -321,21 +376,39 @@ type tcpItem struct {
 // frames into the node's receive channel.
 type tcpConn struct {
 	peer int
+	gen  uint64
 	c    net.Conn
 	br   *bufio.Reader
+
+	// lastHeard / lastSent (unix nanos) feed heartbeat emission and silence
+	// detection.
+	lastHeard atomic.Int64
+	lastSent  atomic.Int64
 
 	mu      sync.Mutex
 	cond    *sync.Cond
 	q       [][]byte
 	werr    error
 	closing bool
+	running bool
 	flushed chan struct{}
 }
 
 func newTCPConn(peer int, c net.Conn, br *bufio.Reader) *tcpConn {
 	tc := &tcpConn{peer: peer, c: c, br: br, flushed: make(chan struct{})}
 	tc.cond = sync.NewCond(&tc.mu)
+	now := time.Now().UnixNano()
+	tc.lastHeard.Store(now)
+	tc.lastSent.Store(now)
 	return tc
+}
+
+// start launches the writer goroutine.
+func (tc *tcpConn) start() {
+	tc.mu.Lock()
+	tc.running = true
+	tc.mu.Unlock()
+	go tc.writer()
 }
 
 // enqueue hands one encoded frame to the writer goroutine.
@@ -349,6 +422,7 @@ func (tc *tcpConn) enqueue(frame []byte) error {
 		return fmt.Errorf("%w (peer shard %d)", errTransportClosed, tc.peer)
 	}
 	tc.q = append(tc.q, frame)
+	tc.lastSent.Store(time.Now().UnixNano())
 	tc.cond.Signal()
 	return nil
 }
@@ -384,13 +458,32 @@ func (tc *tcpConn) writer() {
 	}
 }
 
-// shutdown asks the writer to flush and close, then waits for it.
+// shutdown asks the writer to flush and close, then waits for it. A
+// connection whose writer never started is simply closed.
 func (tc *tcpConn) shutdown() {
 	tc.mu.Lock()
 	tc.closing = true
 	tc.cond.Broadcast()
+	running := tc.running
 	tc.mu.Unlock()
-	<-tc.flushed
+	if running {
+		<-tc.flushed
+	} else {
+		tc.c.Close()
+	}
+}
+
+// kill severs the connection immediately: queued frames are dropped, the
+// socket closed mid-flight. With recovery enabled the wire log makes the
+// dropped frames replayable; without it both sides observe a hard failure.
+func (tc *tcpConn) kill(err error) {
+	tc.mu.Lock()
+	if tc.werr == nil {
+		tc.werr = err
+	}
+	tc.cond.Broadcast()
+	tc.mu.Unlock()
+	tc.c.Close()
 }
 
 // TCPNode is one process's membership in a TCP transport mesh: a listener,
@@ -401,14 +494,35 @@ func (tc *tcpConn) shutdown() {
 // drained before the next begins).
 type TCPNode struct {
 	shard, shards int
-	opts          TCPOptions
-	ln            net.Listener
-	conns         []*tcpConn // by peer shard; nil at own index
+	opts          TransportOpts
+	ln            net.Listener // nil for a ReconnectTCP node
 	recv          chan tcpItem
 	pend          []tcpItem
 	done          chan struct{}
 	closeOnce     sync.Once
 	readers       sync.WaitGroup
+	wlog          *wireLog // non-nil iff opts.Recover
+
+	// connMu guards the connection table and its down/generation state;
+	// swapping a connection takes the write lock, every send or state probe
+	// the read lock.
+	connMu    sync.RWMutex
+	conns     []*tcpConn // by peer shard; nil at own index
+	connGen   []uint64   // bumped on every swap-in
+	down      []bool     // peer connection failed, awaiting reconnect
+	redialing []bool     // redial goroutine in flight
+	closing   bool
+	addrs     []string // saved at Connect for redials
+
+	// eorSeen[t] is the wire seq of the last end-of-round marker consumed
+	// from peer t — exactly the state a reconnect handshake needs to tell
+	// the peer what to replay (nextNeeded = eorSeen+1). Written by the
+	// round-driving goroutine, read by accept/redial goroutines.
+	eorSeen []atomic.Uint32
+
+	// resumeWire, on a ReconnectTCP node, is the first wire seq the
+	// respawned worker runs attached; rounds below it replay detached.
+	resumeWire uint32
 
 	// seqBase rebases wire sequence numbers across endpoint generations: a
 	// long-lived worker node serves one cluster after another, each
@@ -419,17 +533,37 @@ type TCPNode struct {
 	// same clusters for the same rounds, so bases stay in lockstep.
 	seqBase uint32
 	// gone[t] records a clean close from peer t that arrived after its
-	// end-of-round marker: the peer finished and exited. Any later round
-	// that still needs t fails fast instead of waiting out the barrier
-	// timeout. Only the round-driving goroutine touches it (via Receive).
-	gone []bool
+	// end-of-round marker: the peer finished and exited. Without recovery,
+	// any later round that still needs t fails fast instead of waiting out
+	// the barrier timeout; with recovery a respawn may still rejoin.
+	gone []atomic.Bool
+}
+
+func newTCPNode(shard, shards int, opts TransportOpts) *TCPNode {
+	n := &TCPNode{
+		shard:     shard,
+		shards:    shards,
+		opts:      opts,
+		recv:      make(chan tcpItem, 4*shards+8),
+		done:      make(chan struct{}),
+		conns:     make([]*tcpConn, shards),
+		connGen:   make([]uint64, shards),
+		down:      make([]bool, shards),
+		redialing: make([]bool, shards),
+		eorSeen:   make([]atomic.Uint32, shards),
+		gone:      make([]atomic.Bool, shards),
+	}
+	if opts.Recover {
+		n.wlog = newWireLog(shard, opts.wireLogRounds(), opts.wireLogMemBytes(), opts.WireLogDir)
+	}
+	return n
 }
 
 // ListenTCP creates a transport node for the given shard, listening on
 // addr (e.g. "127.0.0.1:0"). Call Connect with every node's address to
 // establish the mesh, then Endpoint for each cluster run, and Close when
 // the fleet is done.
-func ListenTCP(shard, shards int, addr string, opts TCPOptions) (*TCPNode, error) {
+func ListenTCP(shard, shards int, addr string, opts TransportOpts) (*TCPNode, error) {
 	if shards < 1 || shard < 0 || shard >= shards {
 		return nil, fmt.Errorf("mpc: tcp node shard %d out of range (K=%d)", shard, shards)
 	}
@@ -440,30 +574,37 @@ func ListenTCP(shard, shards int, addr string, opts TCPOptions) (*TCPNode, error
 	if err != nil {
 		return nil, fmt.Errorf("mpc: tcp node listen: %w", err)
 	}
-	return &TCPNode{
-		shard:  shard,
-		shards: shards,
-		opts:   opts,
-		ln:     ln,
-		conns:  make([]*tcpConn, shards),
-		recv:   make(chan tcpItem, 4*shards+8),
-		done:   make(chan struct{}),
-		gone:   make([]bool, shards),
-	}, nil
+	n := newTCPNode(shard, shards, opts)
+	n.ln = ln
+	return n, nil
 }
 
-// Addr returns the node's listen address.
-func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+// Addr returns the node's listen address ("" for a reconnected node, which
+// has no listener).
+func (n *TCPNode) Addr() string {
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
+
+// connectWindow bounds mesh establishment (all dials plus hellos, and the
+// accept side's wait for slower fleet members).
+func (n *TCPNode) connectWindow() time.Duration {
+	return n.opts.dialTimeout() * time.Duration(n.opts.dialRetries()+2)
+}
 
 // Connect establishes the full mesh: this node dials every higher-numbered
 // shard (addrs indexed by shard; its own entry is ignored) and accepts a
 // connection from every lower-numbered shard, identified by a hello frame.
 // One connection per unordered pair, reused in both directions and across
-// cluster runs.
+// cluster runs. Dials and hello writes retry with deterministic
+// backoff+jitter up to the configured retry budget.
 func (n *TCPNode) Connect(addrs []string) error {
 	if len(addrs) != n.shards {
 		return fmt.Errorf("mpc: tcp node connect: %d addresses for %d shards", len(addrs), n.shards)
 	}
+	n.addrs = append([]string(nil), addrs...)
 	type accepted struct {
 		peer int
 		tc   *tcpConn
@@ -473,7 +614,7 @@ func (n *TCPNode) Connect(addrs []string) error {
 	acceptCh := make(chan accepted, lower)
 	if lower > 0 {
 		if d, ok := n.ln.(interface{ SetDeadline(time.Time) error }); ok {
-			d.SetDeadline(time.Now().Add(tcpConnectTimeout))
+			d.SetDeadline(time.Now().Add(n.connectWindow()))
 		}
 		go func() {
 			for i := 0; i < lower; i++ {
@@ -484,39 +625,28 @@ func (n *TCPNode) Connect(addrs []string) error {
 				}
 				br := bufio.NewReaderSize(c, 1<<16)
 				hdr, payload, err := readFrame(br)
-				if err != nil || hdr.kind != frameHello || len(payload) != 12 {
+				if err != nil || hdr.kind != frameHello {
 					c.Close()
 					acceptCh <- accepted{err: fmt.Errorf("mpc: tcp node handshake: bad hello (%v)", err)}
 					return
 				}
-				magic := binary.LittleEndian.Uint32(payload[0:])
-				peer := int(binary.LittleEndian.Uint32(payload[4:]))
-				k := int(binary.LittleEndian.Uint32(payload[8:]))
-				if magic != helloMagic || k != n.shards || peer < 0 || peer >= n.shard {
+				h, ok := decodeHello(payload)
+				if !ok || h.k != n.shards || h.peer < 0 || h.peer >= n.shard || h.flags != 0 {
 					c.Close()
-					acceptCh <- accepted{err: fmt.Errorf("mpc: tcp node handshake: hello from invalid peer %d (magic %08x, K %d)", peer, magic, k)}
+					acceptCh <- accepted{err: fmt.Errorf("mpc: tcp node handshake: hello from invalid peer %d (K %d, flags %#x)", h.peer, h.k, h.flags)}
 					return
 				}
-				acceptCh <- accepted{peer: peer, tc: newTCPConn(peer, c, br)}
+				acceptCh <- accepted{peer: h.peer, tc: newTCPConn(h.peer, c, br)}
 			}
 		}()
 	}
 	// Dial every higher shard while the lower ones dial us.
 	for t := n.shard + 1; t < n.shards; t++ {
-		c, err := net.DialTimeout("tcp", addrs[t], tcpConnectTimeout)
+		tc, err := n.dialMesh(t, addrs[t])
 		if err != nil {
-			return fmt.Errorf("mpc: tcp node dial shard %d (%s): %w", t, addrs[t], err)
+			return err
 		}
-		var hello [12]byte
-		binary.LittleEndian.PutUint32(hello[0:], helloMagic)
-		binary.LittleEndian.PutUint32(hello[4:], uint32(n.shard))
-		binary.LittleEndian.PutUint32(hello[8:], uint32(n.shards))
-		frame := appendFrame(nil, 0, frameHello, byte(n.shard), byte(t), hello[:])
-		if _, err := c.Write(frame); err != nil {
-			c.Close()
-			return fmt.Errorf("mpc: tcp node hello to shard %d: %w", t, err)
-		}
-		n.conns[t] = newTCPConn(t, c, bufio.NewReaderSize(c, 1<<16))
+		n.conns[t] = tc
 	}
 	for i := 0; i < lower; i++ {
 		a := <-acceptCh
@@ -532,13 +662,303 @@ func (n *TCPNode) Connect(addrs []string) error {
 	if d, ok := n.ln.(interface{ SetDeadline(time.Time) error }); ok {
 		d.SetDeadline(time.Time{})
 	}
-	for _, tc := range n.conns {
+	for t, tc := range n.conns {
 		if tc == nil {
 			continue
 		}
-		go tc.writer()
+		n.connGen[t] = 1
+		tc.gen = 1
+		tc.start()
 		n.readers.Add(1)
 		go n.reader(tc)
+	}
+	// The listener keeps accepting after mesh-up: reconnect handshakes from
+	// redialing peers and respawned workers arrive here.
+	n.readers.Add(1)
+	go n.acceptLoop()
+	if n.opts.HeartbeatInterval > 0 {
+		n.readers.Add(1)
+		go n.heartbeatLoop()
+	}
+	return nil
+}
+
+// dialMesh dials one higher-numbered peer and sends the initial hello,
+// retrying the dial-plus-hello exchange on the backoff schedule.
+func (n *TCPNode) dialMesh(t int, addr string) (*tcpConn, error) {
+	o := n.opts
+	seed := o.RetrySeed
+	if seed == 0 {
+		seed = uint64(n.shard+1)<<16 ^ uint64(t+1)
+	}
+	attempts := o.dialRetries() + 1
+	var lastErr error
+	for a := 1; a <= attempts; a++ {
+		if a > 1 {
+			transportRetriesTotal.Add(1)
+			time.Sleep(backoffDelay(a-1, o.retryBase(), o.retryMax(), seed))
+		}
+		c, err := net.DialTimeout("tcp", addr, o.dialTimeout())
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		hello := appendHelloPayload(nil, n.shard, n.shards, 0, 0)
+		frame := appendFrame(nil, 0, frameHello, byte(n.shard), byte(t), hello)
+		c.SetDeadline(time.Now().Add(o.dialTimeout()))
+		if _, err := c.Write(frame); err != nil {
+			c.Close()
+			lastErr = err
+			continue
+		}
+		c.SetDeadline(time.Time{})
+		return newTCPConn(t, c, bufio.NewReaderSize(c, 1<<16)), nil
+	}
+	return nil, fmt.Errorf("mpc: tcp node dial shard %d (%s) after %d attempts: %w", t, addr, attempts, lastErr)
+}
+
+// dialReconnect performs one reconnect dial: hello (with the reconnect
+// flag and our nextNeeded), then the peer's hello-ack telling us the first
+// wire round it still needs from us.
+func (n *TCPNode) dialReconnect(peer int, addr string, nextNeeded uint32) (net.Conn, *bufio.Reader, uint32, error) {
+	c, err := net.DialTimeout("tcp", addr, n.opts.dialTimeout())
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	c.SetDeadline(time.Now().Add(n.opts.dialTimeout()))
+	hello := appendHelloPayload(nil, n.shard, n.shards, helloFlagReconnect, nextNeeded)
+	if _, err := c.Write(appendFrame(nil, 0, frameHello, byte(n.shard), byte(peer), hello)); err != nil {
+		c.Close()
+		return nil, nil, 0, err
+	}
+	br := bufio.NewReaderSize(c, 1<<16)
+	hdr, payload, err := readFrame(br)
+	if err != nil || hdr.kind != frameHelloAck || len(payload) != 4 {
+		c.Close()
+		return nil, nil, 0, fmt.Errorf("mpc: tcp reconnect to shard %d: bad hello-ack (%v)", peer, err)
+	}
+	c.SetDeadline(time.Time{})
+	return c, br, binary.LittleEndian.Uint32(payload), nil
+}
+
+// acceptLoop accepts reconnect handshakes after mesh establishment, until
+// the listener closes.
+func (n *TCPNode) acceptLoop() {
+	defer n.readers.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.handleReconnect(c)
+	}
+}
+
+// handleReconnect validates one reconnect handshake and swaps the
+// connection in, replaying logged frames from the round the peer needs. A
+// respawned worker (nextNeeded == resumeUnknown) gets our ack first and
+// then tells us the fleet-wide resume round it settled on.
+func (n *TCPNode) handleReconnect(c net.Conn) {
+	if !n.opts.Recover {
+		c.Close()
+		return
+	}
+	c.SetDeadline(time.Now().Add(n.connectWindow()))
+	br := bufio.NewReaderSize(c, 1<<16)
+	hdr, payload, err := readFrame(br)
+	if err != nil || hdr.kind != frameHello {
+		c.Close()
+		return
+	}
+	h, ok := decodeHello(payload)
+	if !ok || h.k != n.shards || h.peer < 0 || h.peer >= n.shards || h.peer == n.shard || h.flags&helloFlagReconnect == 0 {
+		c.Close()
+		return
+	}
+	var ack [4]byte
+	binary.LittleEndian.PutUint32(ack[:], n.eorSeen[h.peer].Load()+1)
+	if _, err := c.Write(appendFrame(nil, 0, frameHelloAck, byte(n.shard), byte(h.peer), ack[:])); err != nil {
+		c.Close()
+		return
+	}
+	replayFrom := h.nextNeeded
+	if replayFrom == resumeUnknown {
+		rh, rp, err := readFrame(br)
+		if err != nil || rh.kind != frameResume || len(rp) != 4 {
+			c.Close()
+			return
+		}
+		replayFrom = binary.LittleEndian.Uint32(rp)
+	}
+	c.SetDeadline(time.Time{})
+	n.swapConn(h.peer, c, br, replayFrom)
+}
+
+// swapConn replaces the connection to peer with a fresh one, pre-loading
+// its queue with the wire log's replay from replayFrom so no logged frame
+// can be lost between the swap and the next Send (sends log first, then
+// look up the connection: any frame logged before the replay snapshot is
+// in the replay, any logged after sees the new connection).
+func (n *TCPNode) swapConn(peer int, c net.Conn, br *bufio.Reader, replayFrom uint32) error {
+	n.connMu.Lock()
+	if n.closing {
+		n.connMu.Unlock()
+		c.Close()
+		return fmt.Errorf("%w (shard %d)", errTransportClosed, n.shard)
+	}
+	var replay [][]byte
+	if n.wlog != nil {
+		var err error
+		replay, err = n.wlog.replayTo(peer, replayFrom)
+		if err != nil {
+			n.connMu.Unlock()
+			c.Close()
+			return err
+		}
+	}
+	old := n.conns[peer]
+	n.connGen[peer]++
+	tc := newTCPConn(peer, c, br)
+	tc.gen = n.connGen[peer]
+	tc.q = append(tc.q, replay...)
+	n.conns[peer] = tc
+	n.down[peer] = false
+	n.gone[peer].Store(false)
+	n.connMu.Unlock()
+	if old != nil {
+		old.kill(fmt.Errorf("mpc: tcp transport: connection to peer shard %d superseded", peer))
+	}
+	transportReconnectsTotal.Add(1)
+	tc.start()
+	n.readers.Add(1)
+	go n.reader(tc)
+	return nil
+}
+
+// markDown records a failed peer connection and, when this node is the
+// original dialer of the pair, kicks off the redial loop.
+func (n *TCPNode) markDown(peer int) {
+	if peer < 0 || peer >= n.shards || peer == n.shard {
+		return
+	}
+	n.connMu.Lock()
+	if n.closing {
+		n.connMu.Unlock()
+		return
+	}
+	n.down[peer] = true
+	spawn := n.opts.Recover && peer > n.shard && !n.redialing[peer] && len(n.addrs) == n.shards
+	if spawn {
+		n.redialing[peer] = true
+	}
+	n.connMu.Unlock()
+	if spawn {
+		go n.redial(peer)
+	}
+}
+
+// redial re-establishes a failed connection from the dialer side on the
+// backoff schedule, aborting if the peer reconnected to us first.
+func (n *TCPNode) redial(peer int) {
+	defer func() {
+		n.connMu.Lock()
+		n.redialing[peer] = false
+		n.connMu.Unlock()
+	}()
+	o := n.opts
+	seed := o.RetrySeed
+	if seed == 0 {
+		seed = uint64(n.shard+1)<<16 ^ uint64(peer+1)
+	}
+	attempts := o.dialRetries() + 1
+	for a := 1; a <= attempts; a++ {
+		if a > 1 {
+			transportRetriesTotal.Add(1)
+			t := time.NewTimer(backoffDelay(a-1, o.retryBase(), o.retryMax(), seed))
+			select {
+			case <-t.C:
+			case <-n.done:
+				t.Stop()
+				return
+			}
+		}
+		n.connMu.RLock()
+		stillDown := n.down[peer] && !n.closing
+		addr := n.addrs[peer]
+		n.connMu.RUnlock()
+		if !stillDown {
+			return
+		}
+		c, br, ackNext, err := n.dialReconnect(peer, addr, n.eorSeen[peer].Load()+1)
+		if err != nil {
+			continue
+		}
+		n.swapConn(peer, c, br, ackNext)
+		return
+	}
+}
+
+// heartbeatLoop emits a heartbeat frame on every connection that has been
+// idle for the configured interval, so silence detection on the far side
+// has a signal to miss.
+func (n *TCPNode) heartbeatLoop() {
+	defer n.readers.Done()
+	iv := n.opts.HeartbeatInterval
+	step := iv / 2
+	if step < time.Millisecond {
+		step = time.Millisecond
+	}
+	tick := time.NewTicker(step)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-tick.C:
+		}
+		now := time.Now().UnixNano()
+		n.connMu.RLock()
+		conns := append([]*tcpConn(nil), n.conns...)
+		n.connMu.RUnlock()
+		for _, tc := range conns {
+			if tc == nil || now-tc.lastSent.Load() < int64(iv) {
+				continue
+			}
+			// Best-effort: an enqueue failure means the connection is dying
+			// and the reader/down path is already handling it.
+			tc.enqueue(appendFrame(nil, 0, frameHeartbeat, byte(n.shard), byte(tc.peer), nil))
+		}
+	}
+}
+
+// sendFrame routes one outbound data frame: logged first (when recovery is
+// on — the log, not the socket queue, is the durable buffer), then queued
+// on the peer's current connection. With recovery, a missing or failing
+// connection swallows the frame (replay will deliver it); without, it
+// surfaces as an error.
+func (n *TCPNode) sendFrame(peer int, seq uint32, frame []byte) error {
+	if n.wlog != nil {
+		n.wlog.append(peer, seq, frame)
+	}
+	n.connMu.RLock()
+	tc := n.conns[peer]
+	isDown := n.down[peer]
+	n.connMu.RUnlock()
+	if tc == nil {
+		if n.opts.Recover {
+			return nil
+		}
+		return fmt.Errorf("mpc: tcp transport: no connection to peer shard %d", peer)
+	}
+	if isDown && n.opts.Recover {
+		return nil
+	}
+	if err := tc.enqueue(frame); err != nil {
+		if n.opts.Recover {
+			n.markDown(peer)
+			return nil
+		}
+		return err
 	}
 	return nil
 }
@@ -556,30 +976,48 @@ func (n *TCPNode) reader(tc *tcpConn) {
 			} else {
 				err = fmt.Errorf("mpc: tcp transport from peer shard %d: %w", tc.peer, err)
 			}
-			n.push(tcpItem{src: tc.peer, err: err, eof: clean})
+			if !clean && n.opts.Recover {
+				// A non-clean death (killed or torn locally) starts the redial
+				// immediately, even if this side's engine already finished its
+				// rounds and will never call Receive again — a lagging peer
+				// may still need the replay. Clean EOFs stay with Receive's
+				// round-aware handling so ordinary teardown doesn't redial.
+				n.connMu.RLock()
+				current := tc.gen == n.connGen[tc.peer]
+				n.connMu.RUnlock()
+				if current {
+					n.markDown(tc.peer)
+				}
+			}
+			n.push(tcpItem{src: tc.peer, gen: tc.gen, err: err, eof: clean})
 			return
 		}
+		tc.lastHeard.Store(time.Now().UnixNano())
+		if hdr.kind == frameHeartbeat {
+			// Liveness only; updating lastHeard was the whole effect.
+			continue
+		}
 		if int(hdr.src) != tc.peer || int(hdr.dst) != n.shard {
-			n.push(tcpItem{src: tc.peer, err: fmt.Errorf("mpc: tcp transport: frame claims %d->%d on the %d<->%d connection", hdr.src, hdr.dst, tc.peer, n.shard)})
+			n.push(tcpItem{src: tc.peer, gen: tc.gen, err: fmt.Errorf("mpc: tcp transport: frame claims %d->%d on the %d<->%d connection", hdr.src, hdr.dst, tc.peer, n.shard)})
 			return
 		}
 		switch hdr.kind {
 		case frameBatch:
 			b, derr := decodeBatchPayload(tc.peer, n.shard, payload)
 			if derr != nil {
-				n.push(tcpItem{src: tc.peer, err: fmt.Errorf("mpc: tcp transport from peer shard %d: %w", tc.peer, derr)})
+				n.push(tcpItem{src: tc.peer, gen: tc.gen, err: fmt.Errorf("mpc: tcp transport from peer shard %d: %w", tc.peer, derr)})
 				return
 			}
-			n.push(tcpItem{src: tc.peer, seq: hdr.seq, batch: b})
+			n.push(tcpItem{src: tc.peer, gen: tc.gen, seq: hdr.seq, batch: b})
 		case frameEOR:
 			armed, derr := decodeEORPayload(payload)
 			if derr != nil {
-				n.push(tcpItem{src: tc.peer, err: fmt.Errorf("mpc: tcp transport from peer shard %d: %w", tc.peer, derr)})
+				n.push(tcpItem{src: tc.peer, gen: tc.gen, err: fmt.Errorf("mpc: tcp transport from peer shard %d: %w", tc.peer, derr)})
 				return
 			}
-			n.push(tcpItem{src: tc.peer, seq: hdr.seq, eor: true, armed: armed})
+			n.push(tcpItem{src: tc.peer, gen: tc.gen, seq: hdr.seq, eor: true, armed: armed})
 		default:
-			n.push(tcpItem{src: tc.peer, err: fmt.Errorf("mpc: tcp transport from peer shard %d: unknown frame kind %d", tc.peer, hdr.kind)})
+			n.push(tcpItem{src: tc.peer, gen: tc.gen, err: fmt.Errorf("mpc: tcp transport from peer shard %d: unknown frame kind %d", tc.peer, hdr.kind)})
 			return
 		}
 	}
@@ -596,32 +1034,226 @@ func (n *TCPNode) push(it tcpItem) {
 	}
 }
 
+// KillConn severs the connection to peer abruptly (a chaos hook): queued
+// frames are lost and both sides observe a connection error. With recovery
+// enabled the dialer side redials and replay makes the loss invisible;
+// without it the round fails, as it would on a real network fault. Reports
+// whether a connection existed.
+func (n *TCPNode) KillConn(peer int) bool {
+	n.connMu.RLock()
+	var tc *tcpConn
+	if peer >= 0 && peer < len(n.conns) {
+		tc = n.conns[peer]
+	}
+	n.connMu.RUnlock()
+	if tc == nil {
+		return false
+	}
+	tc.kill(fmt.Errorf("mpc: chaos: connection %d<->%d killed", n.shard, peer))
+	return true
+}
+
+// TearConn injects garbage into the connection's byte stream and then
+// severs it (a chaos hook): the peer observes a torn write — a checksum or
+// framing failure mid-stream — rather than a clean close.
+func (n *TCPNode) TearConn(peer int) bool {
+	n.connMu.RLock()
+	var tc *tcpConn
+	if peer >= 0 && peer < len(n.conns) {
+		tc = n.conns[peer]
+	}
+	n.connMu.RUnlock()
+	if tc == nil {
+		return false
+	}
+	// Racing the writer goroutine is the point: the garbage lands at an
+	// arbitrary offset in the stream, exactly like a torn write.
+	tc.c.Write([]byte{0xde, 0xad, 0xfa, 0x11, 0x00, 0xff, 0x00, 0xff})
+	tc.kill(fmt.Errorf("mpc: chaos: connection %d<->%d torn", n.shard, peer))
+	return true
+}
+
+// Abort tears the node down abruptly — no flush, queued frames lost — the
+// in-process equivalent of kill -9 for chaos tests. Idempotent with Close.
+func (n *TCPNode) Abort() {
+	n.closeOnce.Do(func() {
+		n.connMu.Lock()
+		n.closing = true
+		conns := append([]*tcpConn(nil), n.conns...)
+		n.connMu.Unlock()
+		for _, tc := range conns {
+			if tc != nil {
+				tc.kill(fmt.Errorf("mpc: tcp transport shard %d aborted", n.shard))
+			}
+		}
+		if n.ln != nil {
+			n.ln.Close()
+		}
+		close(n.done)
+		n.readers.Wait()
+		n.drainRecv()
+		if n.wlog != nil {
+			n.wlog.close()
+		}
+	})
+}
+
 // Close tears down the mesh: queued outbound frames are flushed first, so
 // peers still collecting the final round observe a clean shutdown.
 // Idempotent.
 func (n *TCPNode) Close() error {
 	n.closeOnce.Do(func() {
-		for _, tc := range n.conns {
+		n.connMu.Lock()
+		n.closing = true
+		conns := append([]*tcpConn(nil), n.conns...)
+		n.connMu.Unlock()
+		for _, tc := range conns {
 			if tc != nil {
 				tc.shutdown()
 			}
 		}
-		n.ln.Close()
+		if n.ln != nil {
+			n.ln.Close()
+		}
 		close(n.done)
 		n.readers.Wait()
-		// Recycle any columns still parked in the receive queue.
-		for {
-			select {
-			case it := <-n.recv:
-				if it.batch != nil {
-					it.batch.recycle()
-				}
-			default:
-				return
-			}
+		n.drainRecv()
+		if n.wlog != nil {
+			n.wlog.close()
 		}
 	})
 	return nil
+}
+
+// drainRecv recycles any columns still parked in the receive queue.
+func (n *TCPNode) drainRecv() {
+	for {
+		select {
+		case it := <-n.recv:
+			if it.batch != nil {
+				it.batch.recycle()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// ReconnectTCP rejoins an established mesh as the respawned incarnation of
+// a dead worker. It dials every peer (the node has no listener of its own)
+// with a reconnect hello, collects each peer's hello-ack — the first wire
+// round that peer still needs from this shard — and announces the minimum
+// as the fleet-wide resume round A. Peers replay their logged frames from
+// A; this worker re-executes rounds below A detached (purely local — the
+// replicated SPMD execution is deterministic, so local state is free) and
+// reattaches to the wire exactly at A. Returns the node and A. Recovery is
+// forced on regardless of opts.Recover.
+//
+// Lockstep execution keeps the fleet within one round of the dead worker,
+// so A is at most one round behind the most advanced peer and the one-round
+// lookahead stash absorbs the spread.
+func ReconnectTCP(shard, shards int, addrs []string, opts TransportOpts) (*TCPNode, uint32, error) {
+	if shards < 1 || shard < 0 || shard >= shards {
+		return nil, 0, fmt.Errorf("mpc: tcp reconnect shard %d out of range (K=%d)", shard, shards)
+	}
+	if shards > 256 {
+		return nil, 0, fmt.Errorf("mpc: tcp transport supports at most 256 shards, got %d", shards)
+	}
+	if len(addrs) != shards {
+		return nil, 0, fmt.Errorf("mpc: tcp reconnect: %d addresses for %d shards", len(addrs), shards)
+	}
+	opts.Recover = true
+	n := newTCPNode(shard, shards, opts)
+	n.addrs = append([]string(nil), addrs...)
+	type dialed struct {
+		tc   *tcpConn
+		next uint32
+	}
+	peers := make([]dialed, shards)
+	fail := func(err error) (*TCPNode, uint32, error) {
+		for _, d := range peers {
+			if d.tc != nil {
+				d.tc.c.Close()
+			}
+		}
+		n.wlog.close()
+		close(n.done)
+		return nil, 0, err
+	}
+	seed := opts.RetrySeed
+	if seed == 0 {
+		seed = uint64(shard+1) * 0x9e3779b9
+	}
+	for t := 0; t < shards; t++ {
+		if t == shard {
+			continue
+		}
+		var (
+			c    net.Conn
+			br   *bufio.Reader
+			next uint32
+			err  error
+		)
+		attempts := opts.dialRetries() + 1
+		for a := 1; a <= attempts; a++ {
+			if a > 1 {
+				transportRetriesTotal.Add(1)
+				time.Sleep(backoffDelay(a-1, opts.retryBase(), opts.retryMax(), seed^uint64(t)))
+			}
+			c, br, next, err = n.dialReconnect(t, addrs[t], resumeUnknown)
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			return fail(fmt.Errorf("mpc: tcp reconnect shard %d: peer shard %d: %w", shard, t, err))
+		}
+		tc := newTCPConn(t, c, br)
+		tc.gen = 1
+		peers[t] = dialed{tc: tc, next: next}
+	}
+	resume := uint32(math.MaxUint32)
+	for t := range peers {
+		if t != shard && peers[t].next < resume {
+			resume = peers[t].next
+		}
+	}
+	if shards == 1 {
+		resume = 1
+	}
+	// Announce the agreed resume round, then bring the connections up.
+	var rp [4]byte
+	binary.LittleEndian.PutUint32(rp[:], resume)
+	for t := range peers {
+		if t == shard {
+			continue
+		}
+		tc := peers[t].tc
+		tc.c.SetDeadline(time.Now().Add(opts.dialTimeout()))
+		if _, err := tc.c.Write(appendFrame(nil, 0, frameResume, byte(shard), byte(t), rp[:])); err != nil {
+			return fail(fmt.Errorf("mpc: tcp reconnect shard %d: resume to peer shard %d: %w", shard, t, err))
+		}
+		tc.c.SetDeadline(time.Time{})
+	}
+	for t := range peers {
+		if t == shard {
+			continue
+		}
+		tc := peers[t].tc
+		n.connGen[t] = 1
+		n.conns[t] = tc
+		n.eorSeen[t].Store(resume - 1)
+		tc.start()
+		n.readers.Add(1)
+		go n.reader(tc)
+	}
+	n.resumeWire = resume
+	if opts.HeartbeatInterval > 0 {
+		n.readers.Add(1)
+		go n.heartbeatLoop()
+	}
+	workerRespawnsTotal.Add(1)
+	return n, resume, nil
 }
 
 // Endpoint returns a Transport over the node's mesh for one cluster run
@@ -659,10 +1291,10 @@ func (n *TCPNode) Factory() TransportFactory {
 	}
 }
 
-// tcpEndpoint is one cluster run's Transport over a TCPNode. ownsNodes
-// lists nodes the endpoint closes with itself (the loopback group's nodes
-// are owned by their endpoints; a worker process's long-lived node is
-// not).
+// tcpEndpoint is one cluster run's Transport over a TCPNode. ownsNode
+// marks endpoints that close their node with themselves (the loopback
+// group's nodes are owned by their endpoints; a worker process's
+// long-lived node is not).
 type tcpEndpoint struct {
 	node         *TCPNode
 	k            int
@@ -671,11 +1303,26 @@ type tcpEndpoint struct {
 	lastReceived uint32
 	ownsNode     bool
 	scratch      []byte
+	batchSeen    []bool // per-Receive dedup: one batch per source shard per round
 }
 
 func (e *tcpEndpoint) Shard() int    { return e.node.shard }
 func (e *tcpEndpoint) Shards() int   { return e.k }
 func (e *tcpEndpoint) Retains() bool { return false }
+
+// DetachedRound reports whether cluster-relative round seq predates the
+// node's resume point: a respawned worker re-executes those rounds purely
+// locally (deterministic replay) with no wire activity. Implements the
+// engine's resumable interface.
+func (e *tcpEndpoint) DetachedRound(seq uint32) bool {
+	return e.base+seq < e.node.resumeWire
+}
+
+// NoteDetachedRound records a locally-replayed round so sequence tracking
+// (and the seqBase advance on Close) stays aligned with the wire.
+func (e *tcpEndpoint) NoteDetachedRound(seq uint32) {
+	e.lastBarrier, e.lastReceived = seq, seq
+}
 
 // Send implements Transport: the batch is encoded and queued on the
 // destination's connection; the writer goroutine pipelines the actual
@@ -687,12 +1334,14 @@ func (e *tcpEndpoint) Send(dst int, b *Batch) error {
 	transportBatchesTotal.Add(1)
 	payload := appendBatchPayload(e.scratch[:0], b)
 	e.scratch = payload[:0]
-	frame := appendFrame(nil, e.base+e.lastBarrier+1, frameBatch, byte(e.node.shard), byte(dst), payload)
-	return e.node.conns[dst].enqueue(frame)
+	wseq := e.base + e.lastBarrier + 1
+	frame := appendFrame(nil, wseq, frameBatch, byte(e.node.shard), byte(dst), payload)
+	return e.node.sendFrame(dst, wseq, frame)
 }
 
 // Barrier implements Transport: one end-of-round frame, carrying the armed
-// control column, to every effective peer.
+// control column, to every effective peer. Barriering round seq also
+// evicts wire-log rounds no replay can need anymore.
 func (e *tcpEndpoint) Barrier(seq uint32, armed []int32) error {
 	if seq != e.lastBarrier+1 {
 		return fmt.Errorf("mpc: tcp transport shard %d: barrier for round %d out of order (expected %d)", e.node.shard, seq, e.lastBarrier+1)
@@ -700,42 +1349,79 @@ func (e *tcpEndpoint) Barrier(seq uint32, armed []int32) error {
 	e.lastBarrier = seq
 	payload := appendEORPayload(e.scratch[:0], armed)
 	e.scratch = payload[:0]
+	wseq := e.base + seq
 	for t := 0; t < e.k; t++ {
 		if t == e.node.shard {
 			continue
 		}
-		frame := appendFrame(nil, e.base+seq, frameEOR, byte(e.node.shard), byte(t), payload)
-		if err := e.node.conns[t].enqueue(frame); err != nil {
+		frame := appendFrame(nil, wseq, frameEOR, byte(e.node.shard), byte(t), payload)
+		if err := e.node.sendFrame(t, wseq, frame); err != nil {
 			return err
 		}
+	}
+	if e.node.wlog != nil {
+		e.node.wlog.evict(wseq)
 	}
 	return nil
 }
 
 // Receive implements Transport: it drains the node's inbound queue until
 // every effective peer's end-of-round marker for seq has arrived, staging
-// any early next-round traffic for the following call. Connection
-// failures, protocol desyncs, and the barrier timeout all surface as
-// errors.
+// any early next-round traffic for the following call. Replayed duplicates
+// from reconnecting peers are dropped by sequence number (determinism makes
+// them bit-identical to what was already consumed). Connection failures,
+// protocol desyncs, and the barrier timeout surface as errors — except with
+// recovery enabled, where a connection failure marks the peer down and the
+// wait continues while redial/replay heal the mesh, bounded by the barrier
+// timeout. With heartbeats configured, a peer silent past PeerDeadAfter is
+// declared dead mid-round instead of stalling until that timeout.
 func (e *tcpEndpoint) Receive(seq uint32) (*Exchange, error) {
 	if seq != e.lastReceived+1 {
 		return nil, fmt.Errorf("mpc: tcp transport shard %d: receive for round %d out of order (expected %d)", e.node.shard, seq, e.lastReceived+1)
 	}
 	n := e.node
+	recov := n.opts.Recover
 	want := e.k - 1
 	wseq := e.base + seq
 	ex := &Exchange{Armed: make([][]int32, e.k)}
 	eors := 0
+	if cap(e.batchSeen) < e.k {
+		e.batchSeen = make([]bool, e.k)
+	}
+	e.batchSeen = e.batchSeen[:e.k]
+	for i := range e.batchSeen {
+		e.batchSeen[i] = false
+	}
 	consume := func(it tcpItem) error {
 		switch {
 		case it.err != nil:
+			n.connMu.RLock()
+			cur := n.connGen[it.src]
+			n.connMu.RUnlock()
+			if it.gen < cur {
+				// A superseded connection's death is history, not news.
+				return nil
+			}
 			if it.eof && it.src < e.k && ex.Armed[it.src] != nil {
 				// The peer closed cleanly after delivering this round's
 				// marker: it finished the job and exited first.
-				n.gone[it.src] = true
+				n.gone[it.src].Store(true)
+				return nil
+			}
+			if recov {
+				n.markDown(it.src)
 				return nil
 			}
 			return it.err
+		case it.seq < wseq:
+			// A replayed duplicate of a round already consumed: a
+			// reconnecting peer resends conservatively, and determinism
+			// guarantees the copy we consumed was bit-identical.
+			if it.batch != nil {
+				it.batch.recycle()
+			}
+			staleFramesDropped.Add(1)
+			return nil
 		case it.seq == wseq+1:
 			// Peer already finished its next round's compute; keep for the
 			// next Receive.
@@ -748,15 +1434,28 @@ func (e *tcpEndpoint) Receive(seq uint32) (*Exchange, error) {
 				return fmt.Errorf("mpc: tcp transport shard %d: end-of-round from shard %d outside effective shard count %d", n.shard, it.src, e.k)
 			}
 			if ex.Armed[it.src] != nil {
-				return fmt.Errorf("mpc: tcp transport shard %d: duplicate end-of-round from shard %d in round %d", n.shard, it.src, seq)
+				// Duplicate marker from a replay overlap.
+				staleFramesDropped.Add(1)
+				return nil
 			}
 			if it.armed == nil {
 				it.armed = []int32{}
 			}
 			ex.Armed[it.src] = it.armed
+			n.eorSeen[it.src].Store(wseq)
 			eors++
 			return nil
 		default:
+			if it.src < e.k && e.batchSeen[it.src] {
+				// Duplicate batch from a replay overlap; at most one batch
+				// per source shard per round leaves the engine.
+				it.batch.recycle()
+				staleFramesDropped.Add(1)
+				return nil
+			}
+			if it.src < e.k {
+				e.batchSeen[it.src] = true
+			}
 			ex.Batches = append(ex.Batches, it.batch)
 			return nil
 		}
@@ -779,18 +1478,55 @@ func (e *tcpEndpoint) Receive(seq uint32) (*Exchange, error) {
 		}
 	}
 	// A peer that already finished and exited can never deliver this
-	// round's marker: fail now rather than waiting out the timeout.
-	for t := 0; t < e.k; t++ {
-		if t != n.shard && n.gone[t] && ex.Armed[t] == nil {
-			return fail(fmt.Errorf("mpc: tcp transport: peer shard %d disconnected", t))
+	// round's marker: without recovery, fail now rather than waiting out
+	// the timeout (with recovery a respawn may still rejoin).
+	if !recov {
+		for t := 0; t < e.k; t++ {
+			if t != n.shard && n.gone[t].Load() && ex.Armed[t] == nil {
+				return fail(fmt.Errorf("mpc: tcp transport: peer shard %d disconnected", t))
+			}
 		}
 	}
 	timer := time.NewTimer(n.opts.barrierTimeout())
 	defer timer.Stop()
+	var silence <-chan time.Time
+	pd := n.opts.peerDeadAfter()
+	if pd > 0 {
+		step := pd / 4
+		if step < time.Millisecond {
+			step = time.Millisecond
+		}
+		st := time.NewTicker(step)
+		defer st.Stop()
+		silence = st.C
+	}
 	for eors < want {
 		select {
 		case it := <-n.recv:
 			if err := consume(it); err != nil {
+				return fail(err)
+			}
+		case <-silence:
+			now := time.Now().UnixNano()
+			for t := 0; t < e.k; t++ {
+				if t == n.shard || ex.Armed[t] != nil {
+					continue
+				}
+				n.connMu.RLock()
+				tc := n.conns[t]
+				isDown := n.down[t]
+				n.connMu.RUnlock()
+				if tc == nil || isDown || now-tc.lastHeard.Load() <= int64(pd) {
+					continue
+				}
+				err := fmt.Errorf("mpc: tcp transport shard %d: peer shard %d silent for over %v during round %d (missed heartbeats)", n.shard, t, pd, seq)
+				if recov {
+					// Declare the connection dead; the down/redial path
+					// takes over.
+					tc.kill(err)
+					n.markDown(t)
+					continue
+				}
 				return fail(err)
 			}
 		case <-timer.C:
@@ -820,7 +1556,7 @@ func (e *tcpEndpoint) Close() error {
 // fully connected, one endpoint per node, all owned by (and closed with)
 // the cluster. It exercises the real wire path — framing, checksums,
 // socket scheduling — without any other process.
-func TCPLoopback(opts TCPOptions) TransportFactory {
+func TCPLoopback(opts TransportOpts) TransportFactory {
 	return func(shards int) ([]Transport, error) {
 		nodes := make([]*TCPNode, shards)
 		fail := func(err error) ([]Transport, error) {

@@ -1,0 +1,250 @@
+package mpc
+
+// The wire log: the sender-side round-checkpointed record of outbound
+// transport frames that makes deterministic replay recovery possible.
+//
+// Each recovery-enabled TCP node logs every encoded outbound frame (batch
+// and end-of-round alike — the bytes that went, or should have gone, on
+// the wire) keyed by (destination peer, wire sequence number). The log is
+// a bounded ring over rounds: when round s is barriered, rounds at or
+// below s-W are evicted — lockstep execution keeps peers within one round
+// of each other, so a small W is already safe and the default (8) is
+// generous slack for respawn latency.
+//
+// When a peer reconnects — a redial after a torn connection, or a
+// respawned worker rejoining via ReconnectTCP — the node replays its
+// logged frames to that peer from the round the peer still needs. Replayed
+// frames are bit-identical to the originals (the whole execution is
+// deterministic), so a receiver that already consumed some of them simply
+// drops the duplicates.
+//
+// Memory is bounded twice over: the ring bounds rounds, and a byte budget
+// spills the oldest retained rounds to disk (one file per round, each
+// frame length-prefixed and CRC-32C'd — frames internally carry CRCs too,
+// so a spilled round is doubly checksummed). Spill files are removed on
+// eviction and on close.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// wlogRound is one round's outbound frames, in send order, with the
+// destination peer of each frame recorded alongside.
+type wlogRound struct {
+	seq    uint32
+	frames [][]byte // nil when spilled
+	peers  []int    // destination peer per frame (kept in memory even when spilled)
+	bytes  int64
+	file   string // non-empty when the frames live on disk
+}
+
+// wireLog is the per-node outbound frame log. All methods are safe for
+// concurrent use: the round engine appends while accept/redial goroutines
+// replay.
+type wireLog struct {
+	shard     int
+	keep      int   // rounds retained after eviction
+	memBudget int64 // in-memory frame bytes before spilling
+	dir       string
+
+	mu       sync.Mutex
+	rounds   []*wlogRound // ascending seq
+	memBytes int64
+	closed   bool
+}
+
+// newWireLog builds a log retaining `keep` rounds, spilling to dir beyond
+// memBudget bytes. dir == "" uses the OS temp directory.
+func newWireLog(shard, keep int, memBudget int64, dir string) *wireLog {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	return &wireLog{shard: shard, keep: keep, memBudget: memBudget, dir: dir}
+}
+
+// append records one outbound frame for round seq addressed to peer.
+// Frames must arrive in non-decreasing round order (the round engine's
+// send order guarantees it).
+func (l *wireLog) append(peer int, seq uint32, frame []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	var r *wlogRound
+	if n := len(l.rounds); n > 0 && l.rounds[n-1].seq == seq {
+		r = l.rounds[n-1]
+	} else {
+		r = &wlogRound{seq: seq}
+		l.rounds = append(l.rounds, r)
+	}
+	r.frames = append(r.frames, frame)
+	r.peers = append(r.peers, peer)
+	r.bytes += int64(len(frame))
+	l.memBytes += int64(len(frame))
+	l.spillLocked()
+}
+
+// evict drops every round at or below barriered-keep, the rounds no replay
+// can ever need again.
+func (l *wireLog) evict(barriered uint32) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if int64(barriered) < int64(l.keep) {
+		return
+	}
+	cut := barriered - uint32(l.keep)
+	i := 0
+	for i < len(l.rounds) && l.rounds[i].seq <= cut {
+		r := l.rounds[i]
+		if r.file != "" {
+			os.Remove(r.file)
+		} else {
+			l.memBytes -= r.bytes
+		}
+		i++
+	}
+	if i > 0 {
+		l.rounds = append(l.rounds[:0], l.rounds[i:]...)
+	}
+}
+
+// oldest returns the lowest retained round seq, or (0, false) when empty.
+func (l *wireLog) oldest() (uint32, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.rounds) == 0 {
+		return 0, false
+	}
+	return l.rounds[0].seq, true
+}
+
+// replayTo returns every logged frame addressed to peer with round >= from,
+// in (round, send order) order. It fails if a needed round was already
+// evicted — the peer fell more than W rounds behind and replay cannot make
+// it whole.
+func (l *wireLog) replayTo(peer int, from uint32) ([][]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.rounds) > 0 && from < l.rounds[0].seq {
+		// Rounds below the retained window were evicted only after being
+		// barriered at least W rounds ago; a peer asking for them is
+		// unrecoverably behind.
+		return nil, fmt.Errorf("mpc: wire log shard %d: round %d needed for replay, oldest retained is %d (W=%d)",
+			l.shard, from, l.rounds[0].seq, l.keep)
+	}
+	var out [][]byte
+	for _, r := range l.rounds {
+		if r.seq < from {
+			continue
+		}
+		frames := r.frames
+		if r.file != "" {
+			loaded, err := readWlogFile(r.file, len(r.peers))
+			if err != nil {
+				return nil, fmt.Errorf("mpc: wire log shard %d: reload round %d: %w", l.shard, r.seq, err)
+			}
+			frames = loaded
+		}
+		for i, f := range frames {
+			if r.peers[i] == peer {
+				out = append(out, f)
+			}
+		}
+	}
+	return out, nil
+}
+
+// close evicts everything, removing spill files.
+func (l *wireLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	for _, r := range l.rounds {
+		if r.file != "" {
+			os.Remove(r.file)
+		}
+	}
+	l.rounds = nil
+	l.memBytes = 0
+}
+
+// spillLocked moves the oldest in-memory rounds to disk while the byte
+// budget is exceeded, never touching the newest round (it is still being
+// appended to). Requires l.mu.
+func (l *wireLog) spillLocked() {
+	for i := 0; l.memBytes > l.memBudget && i < len(l.rounds)-1; i++ {
+		r := l.rounds[i]
+		if r.file != "" {
+			continue
+		}
+		path := filepath.Join(l.dir, fmt.Sprintf("wlog-%d-%d-%d.bin", os.Getpid(), l.shard, r.seq))
+		if err := writeWlogFile(path, r.frames); err != nil {
+			// Spilling is an optimization; on failure the round stays in
+			// memory and the budget is simply exceeded.
+			os.Remove(path)
+			continue
+		}
+		l.memBytes -= r.bytes
+		r.file = path
+		r.frames = nil
+	}
+}
+
+// Spill file format: per frame, u32 length + u32 CRC-32C + bytes.
+
+func writeWlogFile(path string, frames [][]byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var hdr [8]byte
+	for _, fr := range frames {
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(fr)))
+		binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(fr, tcpCastagnoli))
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.Write(fr); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+func readWlogFile(path string, count int) ([][]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	frames := make([][]byte, 0, count)
+	off := 0
+	for off < len(data) {
+		if off+8 > len(data) {
+			return nil, fmt.Errorf("%w: truncated spilled wire-log record", errBadFrame)
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		want := binary.LittleEndian.Uint32(data[off+4:])
+		off += 8
+		if off+n > len(data) {
+			return nil, fmt.Errorf("%w: spilled wire-log record overruns file", errBadFrame)
+		}
+		fr := data[off : off+n : off+n]
+		if got := crc32.Checksum(fr, tcpCastagnoli); got != want {
+			return nil, fmt.Errorf("%w: spilled wire-log record checksum mismatch (got %08x, want %08x)", errBadFrame, got, want)
+		}
+		frames = append(frames, fr)
+		off += n
+	}
+	if len(frames) != count {
+		return nil, fmt.Errorf("%w: spilled wire-log round holds %d frames, expected %d", errBadFrame, len(frames), count)
+	}
+	return frames, nil
+}

@@ -1,5 +1,7 @@
 package service
 
+import "context"
+
 // The single-flight batcher: concurrent jobs with identical keys — same
 // (instance spec, algorithm, canonical args, µ, seed) — coalesce into one
 // flight. The first job becomes the flight leader and is the one the
@@ -23,6 +25,14 @@ type flight struct {
 	mu     float64
 	seed   uint64
 	jobs   []*Job
+
+	// ctx cancels the execution between simulator rounds once every waiter
+	// has abandoned the flight (Engine.Abandon). waiters counts jobs whose
+	// submitter is still interested; it is guarded by the engine mutex like
+	// the rest of the flight.
+	ctx     context.Context
+	cancel  context.CancelFunc
+	waiters int
 }
 
 // batcher indexes open flights by job key. All methods require the engine
@@ -41,11 +51,15 @@ func newBatcher() *batcher {
 func (b *batcher) attach(key string, j *Job, open func() *flight) (f *flight, leader bool) {
 	if f, ok := b.flights[key]; ok {
 		f.jobs = append(f.jobs, j)
+		f.waiters++
+		j.flight = f
 		return f, false
 	}
 	f = open()
 	f.key = key
 	f.jobs = []*Job{j}
+	f.waiters = 1
+	j.flight = f
 	b.flights[key] = f
 	return f, true
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/mpc"
 )
 
 // JobRequest is one job submission: run an algorithm on an instance with a
@@ -77,6 +79,9 @@ type Job struct {
 	created  time.Time
 	finished time.Time
 	done     chan struct{}
+	// flight is the execution this job is attached to, nil for cache hits;
+	// Engine.Abandon uses it to withdraw this job's interest in the result.
+	flight *flight
 }
 
 // JobView is the JSON projection of a Job.
@@ -96,6 +101,7 @@ type Engine struct {
 	cfg       Config
 	metrics   *Metrics
 	instances *instanceCache
+	transport mpc.TransportFactory // resolved once from cfg (nil = in-memory)
 
 	mu      sync.Mutex
 	closed  bool
@@ -117,6 +123,7 @@ func NewEngine(cfg Config) *Engine {
 		cfg:       cfg,
 		metrics:   m,
 		instances: newInstanceCache(cfg.Instances, cfg.DataDir, m),
+		transport: cfg.transport(),
 		batch:     newBatcher(),
 		results:   newResultStore(cfg.Results),
 		jobs:      make(map[string]*Job),
@@ -125,6 +132,10 @@ func NewEngine(cfg Config) *Engine {
 	// Export the configured shard count as a gauge so operators can tell a
 	// sharded deployment from /metrics alone.
 	m.inc("shards", uint64(cfg.Shards))
+	// Seed the degradation counters so they render as explicit zeros in
+	// /metrics before the first incident.
+	m.inc("fallback_unsharded_total", 0)
+	m.inc("jobs_abandoned_total", 0)
 	for i := 0; i < cfg.Pool; i++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -203,8 +214,9 @@ func (e *Engine) Submit(req JobRequest) (*Job, error) {
 		return j, nil
 	}
 	f, leader := e.batch.attach(key, j, func() *flight {
+		ctx, cancel := context.WithCancel(context.Background())
 		return &flight{alg: req.Alg, spec: req.Instance, instID: instID,
-			args: args, mu: mu, seed: req.Seed}
+			args: args, mu: mu, seed: req.Seed, ctx: ctx, cancel: cancel}
 	})
 	if leader {
 		j.Source = SourceRun
@@ -213,6 +225,7 @@ func (e *Engine) Submit(req JobRequest) (*Job, error) {
 		default:
 			// Queue full: roll back the flight and the job record.
 			e.batch.complete(key)
+			f.cancel()
 			delete(e.jobs, j.ID)
 			e.history = e.history[:len(e.history)-1]
 			e.metrics.inc("jobs_rejected_total", 1)
@@ -223,6 +236,26 @@ func (e *Engine) Submit(req JobRequest) (*Job, error) {
 		e.metrics.inc("jobs_coalesced_total", 1)
 	}
 	return j, nil
+}
+
+// Abandon withdraws j's interest in its flight's result — the HTTP layer
+// calls it when a waiting client disconnects. When every job attached to
+// the flight has been abandoned, the flight's context is canceled and the
+// execution stops at its next simulator round instead of silently running
+// to completion; the jobs then finish failed with the cancellation error.
+// Abandoning a completed or cache-served job is a no-op.
+func (e *Engine) Abandon(j *Job) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f := j.flight
+	if f == nil || j.Status == StatusDone || j.Status == StatusFailed {
+		return
+	}
+	e.metrics.inc("jobs_abandoned_total", 1)
+	f.waiters--
+	if f.waiters <= 0 && f.cancel != nil {
+		f.cancel()
+	}
 }
 
 // Wait blocks until the job completes and returns its final snapshot.
@@ -354,7 +387,7 @@ func (e *Engine) execute(f *flight) {
 	if err == nil {
 		var run *core.RunResult
 		alg, _ := core.LookupAlgorithm(f.alg)
-		run, err = alg.Run(in, core.Params{Mu: f.mu, Seed: f.seed, Workers: e.cfg.Workers, Shards: e.cfg.Shards}, f.args)
+		run, err = e.run(alg, in, f)
 		if err == nil {
 			res = &Result{
 				InstanceID: f.instID, Alg: f.alg, Args: f.args,
@@ -372,6 +405,9 @@ func (e *Engine) execute(f *flight) {
 		e.finishLocked(j, res, err)
 	}
 	e.mu.Unlock()
+	if f.cancel != nil {
+		f.cancel()
+	}
 	e.metrics.observeLatency(time.Since(start))
 	if err != nil {
 		e.metrics.inc("flights_failed_total", 1)
@@ -379,6 +415,26 @@ func (e *Engine) execute(f *flight) {
 		e.metrics.inc("flights_executed_total", 1)
 		e.metrics.observeActivity(res.Metrics)
 	}
+}
+
+// run executes one flight's algorithm under the engine's sharding and
+// transport configuration. A sharded flight that dies with a transport
+// error — its fleet unhealthy beyond what recovery could repair — is
+// gracefully degraded: the job re-runs unsharded in this process, which is
+// bit-identical by construction (sharded and unsharded execution carry the
+// same results, metrics and traces), and the incident is counted in
+// fallback_unsharded_total. Canceled flights are not retried: their error
+// is deliberately not an mpc.ErrTransport, and nobody is waiting.
+func (e *Engine) run(alg core.Algorithm, in core.Input, f *flight) (*core.RunResult, error) {
+	p := core.Params{Mu: f.mu, Seed: f.seed, Workers: e.cfg.Workers,
+		Shards: e.cfg.Shards, Transport: e.transport, Ctx: f.ctx}
+	run, err := alg.Run(in, p, f.args)
+	if err != nil && errors.Is(err, mpc.ErrTransport) && e.cfg.Shards > 1 && !e.cfg.NoFallback {
+		e.metrics.inc("fallback_unsharded_total", 1)
+		p.Shards, p.Transport = 0, nil
+		run, err = alg.Run(in, p, f.args)
+	}
+	return run, err
 }
 
 // finishLocked completes a job; requires the engine mutex.

@@ -75,7 +75,10 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-j.Done():
 		case <-r.Context().Done():
-			// The job keeps running; the client just stopped waiting.
+			// The client stopped waiting: withdraw this job's interest so a
+			// flight nobody wants anymore cancels at its next round instead
+			// of burning the worker slot to completion.
+			s.engine.Abandon(j)
 			writeJSON(w, http.StatusAccepted, s.engine.Snapshot(j))
 			return
 		}

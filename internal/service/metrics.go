@@ -160,6 +160,17 @@ func (m *Metrics) WritePlain(w io.Writer) error {
 	lines = append(lines,
 		fmt.Sprintf("mrserve_transport_batches_total %d", tBatches),
 		fmt.Sprintf("mrserve_transport_bytes_total %d", tBytes))
+	// Fault-tolerance activity, also process-wide: dial/send retries,
+	// connection re-establishments with replay, worker respawns (counted by
+	// the mrshard supervisor via mpc.AddWorkerRespawns), and the faults the
+	// chaos harness injected on purpose.
+	retries, reconnects, respawns := mpc.RecoveryTotals()
+	delays, dups, drops, tears := mpc.ChaosTotals()
+	lines = append(lines,
+		fmt.Sprintf("mrserve_transport_retries_total %d", retries),
+		fmt.Sprintf("mrserve_transport_reconnects_total %d", reconnects),
+		fmt.Sprintf("mrserve_worker_respawns_total %d", respawns),
+		fmt.Sprintf("mrserve_chaos_faults_total %d", delays+dups+drops+tears))
 	m.mu.Unlock()
 
 	for _, line := range lines {

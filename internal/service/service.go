@@ -35,7 +35,11 @@
 // worker pool and per-job round executor change wall-clock, never results.
 package service
 
-import "runtime"
+import (
+	"runtime"
+
+	"repro/internal/mpc"
+)
 
 // Config sizes the engine.
 type Config struct {
@@ -62,6 +66,28 @@ type Config struct {
 	QueueDepth int
 	// JobHistory caps retained completed job records. Default: 4096.
 	JobHistory int
+	// Transport selects the wire for sharded jobs: "" or "mem" exchanges
+	// cross-shard column batches through the in-memory group, "tcp"
+	// through a loopback TCP mesh (one node per shard inside this
+	// process) — the same frame encoding, checksums and recovery
+	// machinery cmd/mrshard uses across real processes. Results are
+	// bit-identical either way; anything else is treated as "mem"
+	// (cmd/mrserve validates the flag before it gets here).
+	Transport string
+	// TransportOpts tunes the sharded transport: dial/barrier deadlines,
+	// retry budget, heartbeat cadence and the recovery wire log. The zero
+	// value uses the mpc defaults.
+	TransportOpts mpc.TransportOpts
+	// NoFallback disables graceful degradation: by default a sharded job
+	// whose flight fails with mpc.ErrTransport is re-executed unsharded
+	// in-process (bit-identical by construction — the shards replicate the
+	// same SPMD program) and counted in fallback_unsharded_total. With
+	// NoFallback set the job fails instead.
+	NoFallback bool
+	// Chaos injects a deterministic fault schedule into every sharded
+	// job's transport endpoints (soak/testing tool); the zero spec
+	// injects nothing.
+	Chaos mpc.ChaosSpec
 	// DataDir, when set, is the out-of-core instance store: uploaded and
 	// preloaded graphs are spooled there as content-addressed raw binary
 	// containers (<id>.mrg) and served zero-copy through graph.OpenMapped,
@@ -69,6 +95,29 @@ type Config struct {
 	// uploads resurrect from the spool instead of failing. Empty disables
 	// spooling; instances live on the heap.
 	DataDir string
+
+	// transportFactory overrides the resolved transport (tests).
+	transportFactory mpc.TransportFactory
+}
+
+// transport resolves the factory handed to core.Params.Transport for
+// sharded jobs: the test hook if set, else the named transport, with the
+// chaos schedule (if any) wrapped around it.
+func (c Config) transport() mpc.TransportFactory {
+	f := c.transportFactory
+	if f == nil {
+		switch c.Transport {
+		case "tcp":
+			f = mpc.TCPLoopback(c.TransportOpts)
+		default:
+			if c.Chaos.Enabled() {
+				// Chaos needs a concrete factory to wrap; nil would select
+				// the in-memory group deep inside mpc, past the wrapper.
+				f = mpc.MemTransport
+			}
+		}
+	}
+	return c.Chaos.Wrap(f)
 }
 
 // withDefaults fills zero fields.

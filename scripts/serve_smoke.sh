@@ -62,9 +62,22 @@ assert job["result"] == want, "cached result differs from cold result"
 print("cache hit identical")
 EOF
 
-curl -sf "$ADDR/metrics" | grep -q "mrserve_jobs_completed_total 2" ||
-  { echo "metrics missing completed=2"; curl -sf "$ADDR/metrics"; exit 1; }
-echo "metrics ok"
+curl -sf "$ADDR/metrics" >/tmp/smoke_metrics.txt
+grep -q "mrserve_jobs_completed_total 2" /tmp/smoke_metrics.txt ||
+  { echo "metrics missing completed=2"; cat /tmp/smoke_metrics.txt; exit 1; }
+# The fault-tolerance counters must be exported (and all zero on this
+# clean, unsharded run — no retries, no respawns, no chaos, no fallback).
+for line in \
+  "mrserve_fallback_unsharded_total 0" \
+  "mrserve_jobs_abandoned_total 0" \
+  "mrserve_transport_retries_total 0" \
+  "mrserve_transport_reconnects_total 0" \
+  "mrserve_worker_respawns_total 0" \
+  "mrserve_chaos_faults_total 0"; do
+  grep -q "^$line$" /tmp/smoke_metrics.txt ||
+    { echo "metrics missing \"$line\""; cat /tmp/smoke_metrics.txt; exit 1; }
+done
+echo "metrics ok (recovery counters exported)"
 
 kill -INT "$SRV"
 wait "$SRV" || true
