@@ -16,8 +16,11 @@
 // experiment's mean/max active machines per simulator round (the measured
 // per-round work under sparse scheduling), so performance trajectories can
 // be tracked across commits (e.g. `mrbench -quick -json >
-// BENCH_quick.json`). The per-experiment text footer reports the same
-// activity numbers.
+// BENCH_quick.json`). Each experiment additionally carries a
+// round_phase_wall_clock_us object — the mean per-round compute/merge/
+// barrier phase times measured by a trace sink attached to every algorithm
+// run (timing only; the CI trajectory check strips wall_clock keys). The
+// per-experiment text footer reports the same activity and phase numbers.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the selected
 // experiments (the heap profile is taken after a final GC), so performance
@@ -36,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 // jsonExperiment is the machine-readable form of one experiment run.
@@ -44,15 +48,21 @@ import (
 // experiment's algorithm runs; like the result cells they are deterministic
 // given the seed, so the CI trajectory check covers them.
 type jsonExperiment struct {
-	ID                 string    `json:"id"`
-	Title              string    `json:"title"`
-	PaperClaim         string    `json:"paper_claim,omitempty"`
-	WallClockMS        float64   `json:"wall_clock_ms"`
-	ActiveMeanPerRound float64   `json:"active_mean_per_round"`
-	ActiveMaxPerRound  int       `json:"active_max_per_round"`
-	Columns            []string  `json:"columns"`
-	Rows               []jsonRow `json:"rows"`
-	Notes              []string  `json:"notes,omitempty"`
+	ID                 string  `json:"id"`
+	Title              string  `json:"title"`
+	PaperClaim         string  `json:"paper_claim,omitempty"`
+	WallClockMS        float64 `json:"wall_clock_ms"`
+	ActiveMeanPerRound float64 `json:"active_mean_per_round"`
+	ActiveMaxPerRound  int     `json:"active_max_per_round"`
+	// RoundPhase breaks the experiment's wall-clock down into mean
+	// per-round phase times (compute/merge/barrier/replay µs) across every
+	// algorithm run, measured by a trace sink on the simulator. Like
+	// wall_clock_ms it is timing, not model output; the CI trajectory check
+	// strips every key containing "wall_clock" before diffing.
+	RoundPhase *obs.PhaseMeans `json:"round_phase_wall_clock_us,omitempty"`
+	Columns    []string        `json:"columns"`
+	Rows       []jsonRow       `json:"rows"`
+	Notes      []string        `json:"notes,omitempty"`
 }
 
 type jsonRow struct {
@@ -161,12 +171,14 @@ func realMain() int {
 		// Per-experiment header line: id, wall-clock, and the active worker
 		// count, so recorded trajectories can attribute speedups.
 		start := time.Now()
-		tab, err := e.Run(bench.RunConfig{Seed: *seed, Quick: *quick, Workers: *workers, Shards: *shards})
+		acc := &obs.PhaseAccumulator{}
+		tab, err := e.Run(bench.RunConfig{Seed: *seed, Quick: *quick, Workers: *workers, Shards: *shards, Sink: acc})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mrbench: %s failed: %v\n", e.ID, err)
 			return 1
 		}
 		elapsed := time.Since(start)
+		phases := acc.Means()
 		if *asJSON {
 			je := jsonExperiment{
 				ID:                 tab.ID,
@@ -178,6 +190,9 @@ func realMain() int {
 				Columns:            tab.Columns,
 				Notes:              tab.Notes,
 			}
+			if phases.Rounds > 0 {
+				je.RoundPhase = &phases
+			}
 			for _, row := range tab.Rows {
 				je.Rows = append(je.Rows, jsonRow{Config: row.Config, Cells: row.Cells})
 			}
@@ -188,9 +203,10 @@ func realMain() int {
 			fmt.Fprintf(os.Stderr, "mrbench: write: %v\n", err)
 			return 1
 		}
-		fmt.Printf("_%s completed in %v (workers=%d, active machines/round: mean %.1f, max %d)._\n\n",
+		fmt.Printf("_%s completed in %v (workers=%d, active machines/round: mean %.1f, max %d; mean µs/round: compute %.1f, merge %.1f, barrier %.1f)._\n\n",
 			e.ID, elapsed.Round(time.Millisecond), activeWorkers,
-			tab.ActiveMeanPerRound(), tab.ActiveMaxPerRound())
+			tab.ActiveMeanPerRound(), tab.ActiveMaxPerRound(),
+			phases.ComputeUS, phases.MergeUS, phases.BarrierUS)
 	}
 	if *asJSON {
 		report.TotalWallClockMS = float64(time.Since(total).Microseconds()) / 1000

@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/mpc"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/service"
 	"repro/internal/setcover"
@@ -48,6 +49,7 @@ func main() {
 	load := flag.String("load", "", "load the graph from a file (text, binary container, or gzip of either — sniffed) instead of generating one")
 	save := flag.String("save", "", "save the generated graph before running (.mrg binary container, .mrgz compressed container, .gz gzip, else text)")
 	convert := flag.String("convert", "", "with -load: stream-convert the input to a raw binary container at this path and exit without running")
+	traceOut := flag.String("trace-out", "", "write a Chrome-trace-event/Perfetto JSON file of per-round phase timings (open in ui.perfetto.dev)")
 	workers := flag.Int("workers", 0, "round-executor pool size: 0|1 sequential, >1 that many goroutines, -1 one per CPU")
 	shards := flag.Int("shards", 0, "partition clusters across this many in-process shards (0|1 unsharded; results are bit-identical)")
 	transport := flag.String("transport", "mem", "sharded transport: mem (in-memory) or tcp (loopback TCP mesh in-process)")
@@ -155,7 +157,21 @@ func main() {
 		exitOn(fmt.Errorf("-transport must be mem or tcp, got %q", *transport))
 	}
 
-	res, err := entry.Run(in, core.Params{Mu: *mu, Seed: *seed, Workers: *workers, Shards: *shards, Transport: factory}, args)
+	p := core.Params{Mu: *mu, Seed: *seed, Workers: *workers, Shards: *shards, Transport: factory}
+	var sink *obs.ChromeTraceSink
+	if *traceOut != "" {
+		var err error
+		sink, err = obs.NewChromeTraceFile(*traceOut)
+		exitOn(err)
+		p.Sink = sink
+		p.TraceLabel = *alg
+	}
+	res, err := entry.Run(in, p, args)
+	if sink != nil {
+		// Close even on a failed run so the file is valid, loadable JSON up
+		// to the last completed round.
+		exitOn(sink.Close())
+	}
 	exitOn(err)
 	fmt.Println(res.Summary)
 	m := res.Metrics

@@ -6,7 +6,16 @@
 // Usage:
 //
 //	mrserve [-addr :8080] [-pool P] [-workers W] [-results R] [-instances I]
-//	        [-data DIR] [-preload FILE ...]
+//	        [-data DIR] [-preload FILE ...] [-debug-addr :6060]
+//	        [-log-level info] [-trace-rounds N]
+//
+// With -debug-addr, a second listener serves net/http/pprof under
+// /debug/pprof/ — kept off the public API address so profiling endpoints
+// are never exposed where jobs are. -log-level selects the threshold for
+// structured job lifecycle logs on stderr (debug, info, warn, error, or
+// off); every event carries the job id and algorithm. -trace-rounds sizes
+// the per-job wall-clock round trace served by GET /v1/jobs/{id}/trace
+// (0 = default 256, negative disables).
 //
 // With -data, uploaded and preloaded graphs are spooled to DIR as
 // content-addressed binary containers (<id>.mrg) and served zero-copy
@@ -18,8 +27,9 @@
 //
 // API:
 //
-//	POST /v1/jobs        {"instance": {...}, "alg": "...", "seed": N, "wait": true}
-//	GET  /v1/jobs/{id}   poll a submitted job
+//	POST /v1/jobs            {"instance": {...}, "alg": "...", "seed": N, "wait": true}
+//	GET  /v1/jobs/{id}       poll a submitted job
+//	GET  /v1/jobs/{id}/trace the job's wall-clock round trace (phase timings)
 //	GET  /v1/instances   list cached instances
 //	POST /v1/instances   upload a graph (text, binary container, or gzip of either)
 //	GET  /v1/algorithms  the algorithm registry and parameter schemas
@@ -40,7 +50,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -63,6 +75,9 @@ func main() {
 	results := flag.Int("results", 256, "LRU result-store capacity")
 	instances := flag.Int("instances", 64, "instance-cache capacity")
 	dataDir := flag.String("data", "", "directory for spooled binary containers; uploads are served zero-copy from mmap")
+	debugAddr := flag.String("debug-addr", "", "extra listen address for net/http/pprof profiling endpoints (empty disables)")
+	logLevel := flag.String("log-level", "info", "structured log threshold: debug, info, warn, error, or off")
+	traceRounds := flag.Int("trace-rounds", 0, "per-job round-trace retention for GET /v1/jobs/{id}/trace (0 = default 256, negative disables)")
 	var preload stringList
 	flag.Var(&preload, "preload", "graph file to register as an uploaded instance at start-up (repeatable; any format)")
 	flag.Parse()
@@ -70,6 +85,10 @@ func main() {
 	logger := log.New(os.Stderr, "mrserve: ", log.LstdFlags)
 	if *transport != "" && *transport != "mem" && *transport != "tcp" {
 		logger.Fatalf("-transport must be mem or tcp, got %q", *transport)
+	}
+	slogger, err := buildLogger(*logLevel)
+	if err != nil {
+		logger.Fatal(err)
 	}
 	engine := service.NewEngine(service.Config{
 		Pool:      *pool,
@@ -81,10 +100,12 @@ func main() {
 			DialTimeout:    *dialTimeout,
 			DialRetries:    *dialRetries,
 		},
-		NoFallback: *noFallback,
-		Results:    *results,
-		Instances:  *instances,
-		DataDir:    *dataDir,
+		NoFallback:  *noFallback,
+		Results:     *results,
+		Instances:   *instances,
+		DataDir:     *dataDir,
+		TraceRounds: *traceRounds,
+		Logger:      slogger,
 	})
 	for _, path := range preload {
 		id, info, err := engine.PreloadFile(path)
@@ -94,6 +115,23 @@ func main() {
 		logger.Printf("preloaded %s: id=%s n=%d m=%d mapped=%v", path, id, info.N, info.M, info.Mapped)
 	}
 	server := &http.Server{Addr: *addr, Handler: service.NewServer(engine)}
+
+	if *debugAddr != "" {
+		// Profiling endpoints get their own mux and listener so they never
+		// leak onto the public API address.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Printf("pprof listening on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				logger.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -119,6 +157,27 @@ func main() {
 		engine.Close()
 		logger.Print("bye")
 	}
+}
+
+// buildLogger maps -log-level onto a text slog.Logger on stderr; "off"
+// returns nil (the engine substitutes its nop logger).
+func buildLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "off":
+		return nil, nil
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level must be debug, info, warn, error or off, got %q", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
 }
 
 // stringList is a repeatable string flag.

@@ -74,6 +74,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/exec"
 	"os/signal"
@@ -84,6 +85,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mpc"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -105,7 +107,16 @@ type cliConfig struct {
 	chaosDupEvery  int
 	chaosDropEvery int
 	chaosTearEvery int
+
+	// Fleet observability outputs (coordinator only; workers are told to
+	// emit STATS lines when either is set).
+	fleetReport string
+	traceOut    string
 }
+
+// statsWanted reports whether workers should stream per-round STATS lines
+// to the supervisor.
+func (c cliConfig) statsWanted() bool { return c.fleetReport != "" || c.traceOut != "" }
 
 // recovery reports whether the fleet runs with failure recovery enabled.
 func (c cliConfig) recovery() bool { return c.maxRespawns > 0 }
@@ -145,6 +156,11 @@ func (c cliConfig) workerArgs(shard int, reconnect bool) []string {
 		"-wirelog-rounds", fmt.Sprint(c.wirelogRounds),
 		"-max-respawns", fmt.Sprint(c.maxRespawns),
 	}
+	if c.statsWanted() {
+		// Respawned workers emit STATS too: their replayed rounds are
+		// exactly what a fleet timeline should show.
+		args = append(args, "-stats")
+	}
 	if reconnect {
 		args = append(args, "-reconnect")
 	} else {
@@ -180,9 +196,12 @@ func main() {
 	flag.IntVar(&cfg.chaosDupEvery, "chaos-dup-every", 0, "duplicate every Nth batch frame (0 disables)")
 	flag.IntVar(&cfg.chaosDropEvery, "chaos-drop-every", 0, "kill the connection on every Nth op (0 disables)")
 	flag.IntVar(&cfg.chaosTearEvery, "chaos-tear-every", 0, "tear the connection mid-frame on every Nth op (0 disables)")
+	flag.StringVar(&cfg.fleetReport, "fleet-report", "", "write the merged fleet timeline (per-shard round stats + supervision events) as JSON to this file")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "write a Chrome-trace-event/Perfetto JSON fleet timeline to this file (one track per shard; open in ui.perfetto.dev)")
 	worker := flag.Bool("worker", false, "internal: run as a shard worker (spawned by the coordinator)")
 	shard := flag.Int("shard", 0, "internal: this worker's shard index")
 	reconnect := flag.Bool("reconnect", false, "internal: rejoin a running fleet after a crash (resume handshake)")
+	stats := flag.Bool("stats", false, "internal: stream per-round STATS lines on stdout for the supervisor")
 	flag.Parse()
 
 	if cfg.shards < 1 || cfg.shards > 256 {
@@ -192,16 +211,51 @@ func main() {
 	exitOn(err)
 
 	if *worker {
-		exitOn(runWorker(req, *shard, *reconnect, cfg))
+		exitOn(runWorker(req, *shard, *reconnect, *stats, cfg))
 		return
 	}
 	if cfg.shards == 1 {
-		res, err := runJob(req, 0, nil, nil)
-		exitOn(err)
-		exitOn(emit(res))
+		exitOn(runSingle(req, cfg))
 		return
 	}
 	exitOn(coordinate(req, cfg))
+}
+
+// runSingle is the -shards 1 path: the job runs unsharded in this process,
+// with the observability outputs attached directly instead of through the
+// STATS protocol.
+func runSingle(req service.JobRequest, cfg cliConfig) error {
+	var sinks []obs.TraceSink
+	var chrome *obs.ChromeTraceSink
+	var collect *collectorSink
+	if cfg.traceOut != "" {
+		c, err := obs.NewChromeTraceFile(cfg.traceOut)
+		if err != nil {
+			return err
+		}
+		chrome = c
+		sinks = append(sinks, chrome)
+	}
+	if cfg.fleetReport != "" {
+		collect = &collectorSink{}
+		sinks = append(sinks, collect)
+	}
+	res, err := runJob(req, 0, nil, nil, obs.MultiSink(sinks...), req.Alg)
+	if chrome != nil {
+		if cerr := chrome.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if collect != nil {
+		report := fleetReport{Alg: req.Alg, Shards: 1, Rounds: [][]roundStats{collect.stats}}
+		if err := report.write(cfg.fleetReport); err != nil {
+			return err
+		}
+	}
+	return emit(res)
 }
 
 // loadJob reads and validates the job request document.
@@ -227,9 +281,11 @@ func loadJob(path string) (service.JobRequest, error) {
 
 // runJob executes the job in this process: shards=0 runs unsharded, a
 // non-nil transport factory runs this worker's shard of a shards-wide
-// fleet. ctx, when non-nil, cancels between rounds (worker SIGTERM). The
-// result mirrors the mrserve payload for the same request.
-func runJob(req service.JobRequest, shards int, transport mpc.TransportFactory, ctx context.Context) (*service.Result, error) {
+// fleet. ctx, when non-nil, cancels between rounds (worker SIGTERM). A
+// non-nil sink receives the wall-clock round spans (observability only —
+// the result is bit-identical with or without it). The result mirrors the
+// mrserve payload for the same request.
+func runJob(req service.JobRequest, shards int, transport mpc.TransportFactory, ctx context.Context, sink obs.TraceSink, label string) (*service.Result, error) {
 	alg, _ := core.LookupAlgorithm(req.Alg)
 	id, err := service.SpecID(req.Instance)
 	if err != nil {
@@ -248,6 +304,10 @@ func runJob(req service.JobRequest, shards int, transport mpc.TransportFactory, 
 		return nil, err
 	}
 	p := core.Params{Mu: mu, Seed: req.Seed, Shards: shards, Transport: transport, Ctx: ctx}
+	if sink != nil {
+		p.Sink = sink
+		p.TraceLabel = label
+	}
 	rr, err := alg.Run(in, p, args)
 	if err != nil {
 		return nil, err
@@ -285,7 +345,7 @@ func readPeers(shard, shards int) ([]string, error) {
 // mesh over stdio, run the job as one shard of the fleet, report the
 // result. SIGTERM is graceful: the current round completes, the node
 // close flushes the final EOR frames, and the worker exits 0.
-func runWorker(req service.JobRequest, shard int, reconnect bool, cfg cliConfig) error {
+func runWorker(req service.JobRequest, shard int, reconnect, stats bool, cfg cliConfig) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
 	defer stop()
 	opts := cfg.transportOpts()
@@ -328,7 +388,11 @@ func runWorker(req service.JobRequest, shard int, reconnect bool, cfg cliConfig)
 		// schedule keeps running in the survivors anyway.
 		factory = cfg.chaos().Wrap(factory)
 	}
-	res, err := runJob(req, cfg.shards, factory, ctx)
+	var sink obs.TraceSink
+	if stats {
+		sink = &statsSink{w: os.Stdout}
+	}
+	res, err := runJob(req, cfg.shards, factory, ctx, sink, req.Alg)
 	if err != nil {
 		if ctx.Err() != nil && errors.Is(err, context.Canceled) {
 			// Graceful SIGTERM: the round in progress completed before the
@@ -357,7 +421,7 @@ type workerEvent struct {
 
 // workerTags are the stdout protocol lines; everything else is relayed to
 // the supervisor's stderr as worker log output.
-var workerTags = []string{"ADDR", "RESULT", "RESUME", "STOPPED"}
+var workerTags = []string{"ADDR", "RESULT", "RESUME", "STOPPED", "STATS"}
 
 // watchWorker relays one worker's tagged stdout lines into events and
 // reports stream end (= process exit) as an "eof" event.
@@ -467,9 +531,18 @@ func coordinate(req service.JobRequest, cfg cliConfig) error {
 
 	// Supervision loop: collect RESULTs; a worker exiting without one is
 	// respawned with the resume handshake while the survivors hold the
-	// round open, until the budget runs out.
+	// round open, until the budget runs out. STATS lines and supervision
+	// events accumulate into the fleet timeline.
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	results := make([]string, shards)
 	respawns := make([]int, shards)
+	stats := make([][]roundStats, shards)
+	var timeline []fleetEvent
+	record := func(shard int, event, detail string) {
+		timeline = append(timeline, fleetEvent{
+			TimeUS: time.Now().UnixMicro(), Shard: shard, Event: event, Detail: detail,
+		})
+	}
 	done, exited := 0, 0
 	for done < shards || exited < shards {
 		ev := <-events
@@ -479,10 +552,18 @@ func coordinate(req service.JobRequest, cfg cliConfig) error {
 				done++
 			}
 			results[ev.shard] = ev.text
+			record(ev.shard, "result", "")
+		case "STATS":
+			var st roundStats
+			if err := json.Unmarshal([]byte(ev.text), &st); err == nil {
+				stats[ev.shard] = append(stats[ev.shard], st)
+			}
 		case "RESUME":
-			fmt.Fprintf(os.Stderr, "mrshard: shard %d rejoined, resuming at wire round %s\n", ev.shard, ev.text)
+			logger.Info("shard rejoined, resuming", "shard", ev.shard, "wire_round", ev.text)
+			record(ev.shard, "resume", "wire round "+ev.text)
 		case "STOPPED":
-			fmt.Fprintf(os.Stderr, "mrshard: shard %d stopped gracefully (SIGTERM)\n", ev.shard)
+			logger.Info("shard stopped gracefully (SIGTERM)", "shard", ev.shard)
+			record(ev.shard, "stopped", "")
 		case "eof":
 			err := reap(ev.shard)
 			if results[ev.shard] != "" {
@@ -500,8 +581,9 @@ func coordinate(req service.JobRequest, cfg cliConfig) error {
 				return fmt.Errorf("shard %d died before reporting (%v) with respawn budget exhausted (%d/%d)",
 					ev.shard, err, respawns[ev.shard]-1, cfg.maxRespawns)
 			}
-			fmt.Fprintf(os.Stderr, "mrshard: shard %d died (%v); respawning (attempt %d/%d)\n",
-				ev.shard, err, respawns[ev.shard], cfg.maxRespawns)
+			logger.Warn("shard died; respawning", "shard", ev.shard, "cause", fmt.Sprint(err),
+				"attempt", respawns[ev.shard], "budget", cfg.maxRespawns)
+			record(ev.shard, "respawn", fmt.Sprintf("attempt %d/%d", respawns[ev.shard], cfg.maxRespawns))
 			mpc.AddWorkerRespawns(1)
 			if err := spawn(ev.shard, true); err != nil {
 				return err
@@ -525,8 +607,21 @@ func coordinate(req service.JobRequest, cfg cliConfig) error {
 	for _, r := range respawns {
 		total += r
 	}
-	fmt.Fprintf(os.Stderr, "mrshard: %d workers agreed after %d respawn(s) (%s)\n",
-		shards, total, summarize(results[0]))
+	logger.Info("workers agreed", "shards", shards, "respawns", total, "summary", summarize(results[0]))
+	if cfg.fleetReport != "" {
+		report := fleetReport{Alg: req.Alg, Shards: shards, Respawns: total,
+			Events: timeline, Rounds: stats}
+		if err := report.write(cfg.fleetReport); err != nil {
+			return fmt.Errorf("fleet report: %w", err)
+		}
+		logger.Info("fleet report written", "path", cfg.fleetReport)
+	}
+	if cfg.traceOut != "" {
+		if err := writeFleetTrace(cfg.traceOut, req.Alg, stats); err != nil {
+			return fmt.Errorf("fleet trace: %w", err)
+		}
+		logger.Info("fleet trace written", "path", cfg.traceOut)
+	}
 	fmt.Println(results[0])
 	return nil
 }

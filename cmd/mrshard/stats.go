@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The fleet timeline: workers stream one "STATS {json}" line per executed
+// round over the stdio protocol, the supervisor merges them with its own
+// supervision events (respawns, resumes, graceful stops) into one
+// exportable report (-fleet-report) and, optionally, a Perfetto timeline
+// with one track per shard (-trace-out). All of it is wall-clock
+// observability: the job's result document is byte-identical whether STATS
+// are streamed or not.
+
+// roundStats is the STATS line payload — an obs.RoundSpan flattened to
+// JSON with microsecond durations. StartUS anchors the span on the shared
+// machine clock (all workers are local processes), which is what lets the
+// coordinator rebuild one coherent timeline from K independent streams.
+type roundStats struct {
+	Cluster  int64 `json:"cluster"`
+	Round    int   `json:"round"`
+	Active   int   `json:"active"`
+	MaxLoad  int   `json:"max_load"`
+	Words    int64 `json:"words"`
+	Messages int   `json:"messages"`
+	StartUS  int64 `json:"start_us"` // span start, unix microseconds
+
+	WallUS    float64 `json:"wall_clock_us"`
+	ComputeUS float64 `json:"compute_us"`
+	MergeUS   float64 `json:"merge_us"`
+	BarrierUS float64 `json:"barrier_us,omitempty"`
+	ReplayUS  float64 `json:"replay_us,omitempty"`
+
+	ShardWireWords []int64 `json:"shard_wire_words,omitempty"`
+}
+
+// usOf converts a duration to float microseconds.
+func usOf(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// statsFromSpan flattens a span for the wire (ShardWords is copied: the
+// producer reuses its backing array between rounds).
+func statsFromSpan(s obs.RoundSpan) roundStats {
+	st := roundStats{
+		Cluster: s.Cluster, Round: s.Round, Active: s.Active,
+		MaxLoad: s.MaxLoad, Words: s.Words, Messages: s.Messages,
+		StartUS:   s.Start.UnixMicro(),
+		WallUS:    usOf(s.Duration()),
+		ComputeUS: usOf(s.Compute),
+		MergeUS:   usOf(s.Merge),
+		BarrierUS: usOf(s.Barrier),
+		ReplayUS:  usOf(s.Replay),
+	}
+	if len(s.ShardWords) > 0 {
+		st.ShardWireWords = append([]int64(nil), s.ShardWords...)
+	}
+	return st
+}
+
+// spanFromStats rebuilds a span in the coordinator. The track identity
+// folds the shard index into the cluster id (a worker's local cluster
+// numbering restarts at 1 in every process) and labels it with the shard,
+// so the Perfetto export renders one named track per (shard, cluster).
+func spanFromStats(st roundStats, shard int, alg string) obs.RoundSpan {
+	start := time.UnixMicro(st.StartUS)
+	dur := func(us float64) time.Duration { return time.Duration(us * 1e3) }
+	return obs.RoundSpan{
+		Label:    fmt.Sprintf("%s shard %d", alg, shard),
+		Cluster:  int64(shard+1)<<20 | st.Cluster,
+		Round:    st.Round,
+		Active:   st.Active,
+		MaxLoad:  st.MaxLoad,
+		Words:    st.Words,
+		Messages: st.Messages,
+		Start:    start,
+		End:      start.Add(dur(st.WallUS)),
+		Compute:  dur(st.ComputeUS),
+		Merge:    dur(st.MergeUS),
+		Barrier:  dur(st.BarrierUS),
+		Replay:   dur(st.ReplayUS),
+	}
+}
+
+// statsSink streams spans as STATS lines on a worker's stdout.
+type statsSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *statsSink) RoundDone(sp obs.RoundSpan) {
+	b, err := json.Marshal(statsFromSpan(sp))
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	fmt.Fprintf(s.w, "STATS %s\n", b)
+	s.mu.Unlock()
+}
+
+func (s *statsSink) Close() error { return nil }
+
+// collectorSink accumulates spans in memory (the -shards 1 path, where
+// there is no stdio protocol to stream through).
+type collectorSink struct {
+	mu    sync.Mutex
+	stats []roundStats
+}
+
+func (c *collectorSink) RoundDone(sp obs.RoundSpan) {
+	c.mu.Lock()
+	c.stats = append(c.stats, statsFromSpan(sp))
+	c.mu.Unlock()
+}
+
+func (c *collectorSink) Close() error { return nil }
+
+// fleetEvent is one supervision event on the merged timeline.
+type fleetEvent struct {
+	TimeUS int64  `json:"time_us"` // unix microseconds, coordinator clock
+	Shard  int    `json:"shard"`
+	Event  string `json:"event"` // respawn, resume, stopped, result
+	Detail string `json:"detail,omitempty"`
+}
+
+// fleetReport is the -fleet-report document.
+type fleetReport struct {
+	Alg      string         `json:"alg"`
+	Shards   int            `json:"shards"`
+	Respawns int            `json:"respawns,omitempty"`
+	Events   []fleetEvent   `json:"events,omitempty"`
+	Rounds   [][]roundStats `json:"rounds"` // indexed by shard
+}
+
+func (r fleetReport) write(path string) error {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// writeFleetTrace exports the merged per-shard stats as a Chrome trace.
+// The zero timestamp is the earliest span start so every ts is
+// non-negative; shards are emitted in order, and each shard's stream is
+// already time-ordered, which keeps per-track timestamps monotonic.
+func writeFleetTrace(path, alg string, rounds [][]roundStats) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	zero := time.Now()
+	for _, perShard := range rounds {
+		for _, st := range perShard {
+			if t := time.UnixMicro(st.StartUS); t.Before(zero) {
+				zero = t
+			}
+		}
+	}
+	sink := obs.NewChromeTraceAt(f, zero)
+	for shard, perShard := range rounds {
+		for _, st := range perShard {
+			sink.RoundDone(spanFromStats(st, shard, alg))
+		}
+	}
+	return sink.Close()
+}

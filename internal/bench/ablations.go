@@ -63,7 +63,7 @@ func runAblationSampleSize(rc RunConfig) (*Table, error) {
 	base := math.Pow(float64(n), 1+mu)
 	for _, scale := range []float64{0.25, 0.5, 1, 2, 4} {
 		etaW := int(base * scale)
-		res, err := core.RLRSetCover(inst, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards},
+		res, err := core.RLRSetCover(inst, rc.params(mu, r.Uint64()),
 			core.CoverOptions{VertexCoverMode: true, Eta: etaW})
 		if err != nil {
 			return nil, err
@@ -100,11 +100,11 @@ func runAblationGroupSize(rc RunConfig) (*Table, error) {
 	r := rng.New(rc.Seed)
 	g := graph.Density(n, 0.3, r.Split())
 	for _, mu := range []float64{0.1, 0.2, 0.3, 0.4} {
-		r2, err := core.MIS(g, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards})
+		r2, err := core.MIS(g, rc.params(mu, r.Uint64()))
 		if err != nil {
 			return nil, err
 		}
-		r6, err := core.MISFast(g, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards})
+		r6, err := core.MISFast(g, rc.params(mu, r.Uint64()))
 		if err != nil {
 			return nil, err
 		}
@@ -183,7 +183,7 @@ func runAblationBroadcast(rc RunConfig) (*Table, error) {
 	r := rng.New(rc.Seed)
 	inst := setcover.RandomFrequency(n, int(math.Pow(float64(n), 1.35)), 4, 10, r.Split())
 	for _, mu := range []float64{0.05, 0.15, 0.3, 0.5} {
-		res, err := core.RLRSetCover(inst, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards}, core.CoverOptions{})
+		res, err := core.RLRSetCover(inst, rc.params(mu, r.Uint64()), core.CoverOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -224,7 +224,7 @@ func runAblationBucketing(rc RunConfig) (*Table, error) {
 	inst := setcover.RandomSized(n, m, 10, 8, r.Split())
 	greedy := inst.Weight(seq.GreedySetCover(inst, 0))
 	for _, eps := range []float64{0.05, 0.2, 0.5, 1.0} {
-		res, err := core.HGSetCover(inst, core.Params{Mu: 0.3, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards}, core.HGCoverOptions{Eps: eps})
+		res, err := core.HGSetCover(inst, rc.params(0.3, r.Uint64()), core.HGCoverOptions{Eps: eps})
 		if err != nil {
 			return nil, err
 		}

@@ -20,7 +20,9 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/mpc"
+	"repro/internal/obs"
 )
 
 // Row is one measured configuration of an experiment.
@@ -94,6 +96,24 @@ type RunConfig struct {
 	// over the in-memory transport, forwarded to core.Params.Shards.
 	// Results are bit-identical for every setting; 0 or 1 runs unsharded.
 	Shards int
+	// Sink, when non-nil, receives the wall-clock round spans of every
+	// algorithm run (core.Params.Sink) — mrbench attaches a phase
+	// accumulator per experiment to report mean compute/merge/barrier time
+	// per round. Purely observational: results are bit-identical with or
+	// without it.
+	Sink obs.TraceSink
+}
+
+// params builds the core.Params for one algorithm run: the experiment's µ
+// and per-run seed plus the harness-wide executor, sharding and tracing
+// knobs. Every experiment goes through here so a configured trace sink
+// covers the whole sweep.
+func (rc RunConfig) params(mu float64, seed uint64) core.Params {
+	p := core.Params{Mu: mu, Seed: seed, Workers: rc.Workers, Shards: rc.Shards}
+	if rc.Sink != nil {
+		p.Sink = rc.Sink
+	}
+	return p
 }
 
 // Experiment produces a Table given a run configuration.

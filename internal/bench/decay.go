@@ -75,7 +75,7 @@ func runDecay(rc RunConfig) (*Table, error) {
 		w[i] = wr.UniformWeight(1, 10)
 	}
 	inst := setcover.FromVertexCover(g, w)
-	cres, err := core.RLRSetCover(inst, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards},
+	cres, err := core.RLRSetCover(inst, rc.params(mu, r.Uint64()),
 		core.CoverOptions{VertexCoverMode: true})
 	if err != nil {
 		return nil, err
@@ -93,7 +93,7 @@ func runDecay(rc RunConfig) (*Table, error) {
 	// Algorithm 4 (matching): |E_i| history at η = n^{1+µ}.
 	g2 := graph.Density(n, 0.45, r.Split())
 	g2.AssignUniformWeights(r.Split(), 1, 100)
-	mres, err := core.RLRMatching(g2, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards}, core.MatchingOptions{})
+	mres, err := core.RLRMatching(g2, rc.params(mu, r.Uint64()), core.MatchingOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +108,7 @@ func runDecay(rc RunConfig) (*Table, error) {
 	})
 
 	// Appendix C (matching at η = Θ(n)): slower, constant-factor decay.
-	lres, err := core.RLRMatching(g2, core.Params{Mu: 0, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards},
+	lres, err := core.RLRMatching(g2, rc.params(0, r.Uint64()),
 		core.MatchingOptions{Eta: g2.N})
 	if err != nil {
 		return nil, err
@@ -124,7 +124,7 @@ func runDecay(rc RunConfig) (*Table, error) {
 	})
 
 	// Algorithm 6 (MIS): |E_k| history.
-	ires, err := core.MISFast(g2, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards})
+	ires, err := core.MISFast(g2, rc.params(mu, r.Uint64()))
 	if err != nil {
 		return nil, err
 	}

@@ -48,7 +48,7 @@ func runFig1VertexColouring(rc RunConfig) (*Table, error) {
 	r := rng.New(rc.Seed)
 	for _, cf := range colouringConfs(rc.Quick) {
 		g := graph.Density(cf.n, cf.c, r.Split())
-		res, err := core.VertexColouring(g, core.Params{Mu: cf.mu, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards})
+		res, err := core.VertexColouring(g, rc.params(cf.mu, r.Uint64()))
 		if err != nil {
 			return nil, err
 		}
@@ -87,7 +87,7 @@ func runFig1EdgeColouring(rc RunConfig) (*Table, error) {
 	r := rng.New(rc.Seed)
 	for _, cf := range colouringConfs(rc.Quick) {
 		g := graph.Density(cf.n, cf.c, r.Split())
-		res, err := core.EdgeColouring(g, core.Params{Mu: cf.mu, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards})
+		res, err := core.EdgeColouring(g, rc.params(cf.mu, r.Uint64()))
 		if err != nil {
 			return nil, err
 		}

@@ -53,7 +53,7 @@ func runFig1VertexCover(rc RunConfig) (*Table, error) {
 					w[i] = wr.UniformWeight(1, 10)
 				}
 				inst := setcover.FromVertexCover(g, w)
-				res, err := core.RLRSetCover(inst, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards},
+				res, err := core.RLRSetCover(inst, rc.params(mu, r.Uint64()),
 					core.CoverOptions{VertexCoverMode: true})
 				if err != nil {
 					return nil, err
@@ -101,7 +101,7 @@ func runFig1SetCoverF(rc RunConfig) (*Table, error) {
 	for _, f := range fs {
 		m := int(math.Pow(float64(n), 1.4))
 		inst := setcover.RandomFrequency(n, m, f, 10, r.Split())
-		res, err := core.RLRSetCover(inst, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards}, core.CoverOptions{})
+		res, err := core.RLRSetCover(inst, rc.params(mu, r.Uint64()), core.CoverOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -149,7 +149,7 @@ func runFig1SetCoverLnDelta(rc RunConfig) (*Table, error) {
 	r := rng.New(rc.Seed)
 	for _, cf := range confs {
 		inst := setcover.RandomSized(cf.n, cf.m, cf.delta, 8, r.Split())
-		res, err := core.HGSetCover(inst, core.Params{Mu: 0.3, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards}, core.HGCoverOptions{Eps: eps})
+		res, err := core.HGSetCover(inst, rc.params(0.3, r.Uint64()), core.HGCoverOptions{Eps: eps})
 		if err != nil {
 			return nil, err
 		}

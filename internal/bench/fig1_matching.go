@@ -47,13 +47,13 @@ func runFig1Matching(rc RunConfig) (*Table, error) {
 			for _, mu := range mus {
 				g := graph.Density(n, c, r.Split())
 				g.AssignUniformWeights(r.Split(), 1, 100)
-				res, err := core.RLRMatching(g, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards}, core.MatchingOptions{})
+				res, err := core.RLRMatching(g, rc.params(mu, r.Uint64()), core.MatchingOptions{})
 				if err != nil {
 					return nil, err
 				}
 				ps := graph.MatchingWeight(g, seq.LocalRatioMatching(g))
 				gr := graph.MatchingWeight(g, seq.GreedyMatching(g))
-				lay, err := core.FilteringWeightedMatching(g, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards})
+				lay, err := core.FilteringWeightedMatching(g, rc.params(mu, r.Uint64()))
 				if err != nil {
 					return nil, err
 				}
@@ -103,7 +103,7 @@ func runFig1MatchingLinear(rc RunConfig) (*Table, error) {
 	for _, n := range ns {
 		g := graph.Density(n, c, r.Split())
 		g.AssignUniformWeights(r.Split(), 1, 100)
-		res, err := core.RLRMatching(g, core.Params{Mu: 0, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards}, core.MatchingOptions{Eta: n})
+		res, err := core.RLRMatching(g, rc.params(0, r.Uint64()), core.MatchingOptions{Eta: n})
 		if err != nil {
 			return nil, err
 		}
@@ -145,7 +145,7 @@ func runFig1BMatching(rc RunConfig) (*Table, error) {
 	}
 	for _, bcap := range bs {
 		bf := func(int) int { return bcap }
-		res, err := core.BMatching(g, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards}, core.BMatchingOptions{B: bf, Eps: eps})
+		res, err := core.BMatching(g, rc.params(mu, r.Uint64()), core.BMatchingOptions{B: bf, Eps: eps})
 		if err != nil {
 			return nil, err
 		}

@@ -48,13 +48,13 @@ func runFig1MIS(rc RunConfig) (*Table, error) {
 			run  func() (*core.MISResult, error)
 		}{
 			{"HG-simple (Alg 2)", func() (*core.MISResult, error) {
-				return core.MIS(g, core.Params{Mu: cf.mu, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards})
+				return core.MIS(g, rc.params(cf.mu, r.Uint64()))
 			}},
 			{"HG-fast (Alg 6)", func() (*core.MISResult, error) {
-				return core.MISFast(g, core.Params{Mu: cf.mu, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards})
+				return core.MISFast(g, rc.params(cf.mu, r.Uint64()))
 			}},
 			{"Luby", func() (*core.MISResult, error) {
-				return core.LubyMIS(g, core.Params{Mu: cf.mu, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards})
+				return core.LubyMIS(g, rc.params(cf.mu, r.Uint64()))
 			}},
 		}
 		for _, a := range algos {
@@ -108,7 +108,7 @@ func runFig1Clique(rc RunConfig) (*Table, error) {
 	for _, cf := range confs {
 		g := graph.Density(cf.n, cf.c, r.Split())
 		graph.PlantClique(g, cf.plant, r.Split())
-		res, err := core.MaximalClique(g, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards})
+		res, err := core.MaximalClique(g, rc.params(mu, r.Uint64()))
 		if err != nil {
 			return nil, err
 		}

@@ -53,7 +53,7 @@ func runVariance(rc RunConfig) (*Table, error) {
 	var ratios, iters, rounds []float64
 	failures := 0
 	for trial := 0; trial < trials; trial++ {
-		res, err := core.RLRMatching(g, core.Params{Mu: 0.1, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards}, core.MatchingOptions{})
+		res, err := core.RLRMatching(g, rc.params(0.1, r.Uint64()), core.MatchingOptions{})
 		if err != nil {
 			failures++
 			continue
@@ -81,7 +81,7 @@ func runVariance(rc RunConfig) (*Table, error) {
 	ratios, iters, rounds = nil, nil, nil
 	failures = 0
 	for trial := 0; trial < trials; trial++ {
-		res, err := core.RLRSetCover(vcInst, core.Params{Mu: 0.1, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards},
+		res, err := core.RLRSetCover(vcInst, rc.params(0.1, r.Uint64()),
 			core.CoverOptions{VertexCoverMode: true})
 		if err != nil {
 			failures++
@@ -111,7 +111,7 @@ func runVariance(rc RunConfig) (*Table, error) {
 	iters, rounds = nil, nil
 	failures = 0
 	for trial := 0; trial < trials; trial++ {
-		res, err := core.MISFast(g, core.Params{Mu: 0.1, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards})
+		res, err := core.MISFast(g, rc.params(0.1, r.Uint64()))
 		if err != nil {
 			failures++
 			continue

@@ -53,7 +53,7 @@ func runWorkloads(rc RunConfig) (*Table, error) {
 	for _, fam := range families {
 		g := fam.g
 		g.AssignUniformWeights(r.Split(), 1, 100)
-		mres, err := core.RLRMatching(g, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards}, core.MatchingOptions{})
+		mres, err := core.RLRMatching(g, rc.params(mu, r.Uint64()), core.MatchingOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -61,14 +61,14 @@ func runWorkloads(rc RunConfig) (*Table, error) {
 			return nil, errInvalid("matching on " + fam.name)
 		}
 		ps := graph.MatchingWeight(g, seq.LocalRatioMatching(g))
-		ires, err := core.MISFast(g, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards})
+		ires, err := core.MISFast(g, rc.params(mu, r.Uint64()))
 		if err != nil {
 			return nil, err
 		}
 		if !graph.IsMaximalIndependentSet(g, ires.Set) {
 			return nil, errInvalid("MIS on " + fam.name)
 		}
-		cres, err := core.VertexColouring(g, core.Params{Mu: mu, Seed: r.Uint64(), Workers: rc.Workers, Shards: rc.Shards})
+		cres, err := core.VertexColouring(g, rc.params(mu, r.Uint64()))
 		if err != nil {
 			return nil, err
 		}

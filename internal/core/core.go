@@ -34,6 +34,7 @@ import (
 	"math"
 
 	"repro/internal/mpc"
+	"repro/internal/obs"
 )
 
 // Params are the model parameters shared by all algorithms.
@@ -76,6 +77,13 @@ type Params struct {
 	// every cluster's next Round returns the context's error, so an
 	// abandoned job stops burning rounds instead of running to completion.
 	Ctx context.Context
+	// Sink, when non-nil, streams a wall-clock phase-timed span per
+	// simulator round to the observability layer (mpc.Config.Sink).
+	// Timing is segregated from the deterministic results and metrics:
+	// attaching a sink never changes what a run computes.
+	Sink obs.TraceSink
+	// TraceLabel annotates the run's trace spans (e.g. a job id).
+	TraceLabel string
 }
 
 func (p Params) maxIter() int {
@@ -126,14 +134,16 @@ func newCluster(machines, cap int, p Params, slack float64) *mpc.Cluster {
 		enforced = int(float64(cap) * slack)
 	}
 	return mpc.NewCluster(mpc.Config{
-		Machines:  machines,
-		SpaceCap:  enforced,
-		Strict:    p.Strict,
-		Workers:   p.Workers,
-		Sparse:    !p.Dense,
-		Shards:    p.Shards,
-		Transport: p.Transport,
-		Ctx:       p.Ctx,
+		Machines:   machines,
+		SpaceCap:   enforced,
+		Strict:     p.Strict,
+		Workers:    p.Workers,
+		Sparse:     !p.Dense,
+		Shards:     p.Shards,
+		Transport:  p.Transport,
+		Ctx:        p.Ctx,
+		Sink:       p.Sink,
+		TraceLabel: p.TraceLabel,
 	})
 }
 

@@ -52,6 +52,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrSpaceExceeded is returned when a machine exceeds its space cap in
@@ -109,6 +113,17 @@ type Config struct {
 	// abandoned job stops burning rounds at the next round boundary. Nil
 	// means no cancellation.
 	Ctx context.Context
+	// Sink, when non-nil, receives an obs.RoundSpan at the end of every
+	// round (Quiet rounds included): wall-clock phase timings — compute,
+	// merge, barrier/replay exchange — next to the round's model
+	// quantities. Timing lives only in the spans, never in Metrics or
+	// RoundStat, so attaching a sink changes nothing the equivalence
+	// suites compare; with Sink nil the round path takes no timestamps
+	// and performs no allocations for tracing.
+	Sink obs.TraceSink
+	// TraceLabel annotates the cluster's spans (a job id, an algorithm
+	// name); purely cosmetic.
+	TraceLabel string
 }
 
 // RoundStat is the per-round record captured when tracing is enabled.
@@ -176,7 +191,13 @@ type Cluster struct {
 	shard    *shardEngine
 	shardErr error
 	closed   bool
+	// traceID identifies this cluster in trace spans; allocated only when
+	// a sink is configured, never reused within the process.
+	traceID int64
 }
+
+// traceClusterSeq allocates process-unique cluster ids for trace spans.
+var traceClusterSeq atomic.Int64
 
 // NewCluster returns a cluster with the given configuration.
 func NewCluster(cfg Config) *Cluster {
@@ -197,6 +218,9 @@ func NewCluster(cfg Config) *Cluster {
 	c.exec, c.pool = newExecutor(cfg)
 	for machine := range c.outboxes {
 		c.outboxes[machine] = Outbox{from: machine, cluster: c}
+	}
+	if cfg.Sink != nil {
+		c.traceID = traceClusterSeq.Add(1)
 	}
 	c.shard, c.shardErr = newShardEngine(c, cfg)
 	return c
@@ -414,6 +438,13 @@ func (c *Cluster) Round(f RoundFunc) error {
 	if err := c.ready(); err != nil {
 		return err
 	}
+	// Phase timing exists only for the sink: with no sink configured no
+	// timestamp is taken and nothing below allocates for tracing.
+	sink := c.cfg.Sink
+	var spanStart, computeEnd time.Time
+	if sink != nil {
+		spanStart = time.Now()
+	}
 	c.metrics.Rounds++
 	M := c.cfg.Machines
 
@@ -457,6 +488,9 @@ func (c *Cluster) Round(f RoundFunc) error {
 		})
 	}
 	c.inRound = false
+	if sink != nil {
+		computeEnd = time.Now()
+	}
 	c.metrics.ActiveSum += int64(active)
 	if active > c.metrics.ActiveMax {
 		c.metrics.ActiveMax = active
@@ -557,6 +591,44 @@ func (c *Cluster) Round(f RoundFunc) error {
 		for machine := 0; machine < M; machine++ {
 			c.outboxes[machine].reset()
 		}
+	}
+
+	if sink != nil {
+		end := time.Now()
+		span := obs.RoundSpan{
+			Label:   c.cfg.TraceLabel,
+			Cluster: c.traceID,
+			Round:   c.metrics.Rounds,
+			Active:  active,
+			MaxLoad: maxLoad,
+			Start:   spanStart,
+			End:     end,
+			Compute: computeEnd.Sub(spanStart),
+		}
+		// Everything after compute is merge bookkeeping except the sharded
+		// transport exchange, which the shard engine timed separately — as
+		// a live barrier, or as replay when a respawned worker re-executed
+		// the round detached from the wire.
+		post := end.Sub(computeEnd)
+		if c.shard != nil {
+			exch := c.shard.phaseExchange
+			if c.shard.lastDetached {
+				span.Replay = exch
+			} else {
+				span.Barrier = exch
+			}
+			if post > exch {
+				span.Merge = post - exch
+			}
+			span.ShardWords = c.shard.traceWire
+		} else {
+			span.Merge = post
+		}
+		for _, m := range c.recv {
+			span.Words += int64(c.inbox[m].words)
+			span.Messages += c.inbox[m].records
+		}
+		sink.RoundDone(span)
 	}
 
 	if violated && c.cfg.Strict {
@@ -676,6 +748,11 @@ func (c *Cluster) Quiet() error {
 	if err := c.ready(); err != nil {
 		return err
 	}
+	sink := c.cfg.Sink
+	var spanStart time.Time
+	if sink != nil {
+		spanStart = time.Now()
+	}
 	c.metrics.Rounds++
 	c.drainArmed()
 	// A no-op round discards any traffic delivered for it.
@@ -694,6 +771,17 @@ func (c *Cluster) Quiet() error {
 	c.metrics.Violations += violations
 	if c.cfg.Trace {
 		c.trace = append(c.trace, RoundStat{Round: c.metrics.Rounds, MaxLoad: maxLoad})
+	}
+	if sink != nil {
+		// A quiet round has no compute or exchange; its whole (tiny)
+		// duration is bookkeeping, kept in the stream so round numbers
+		// stay contiguous in exported timelines.
+		end := time.Now()
+		sink.RoundDone(obs.RoundSpan{
+			Label: c.cfg.TraceLabel, Cluster: c.traceID,
+			Round: c.metrics.Rounds, MaxLoad: maxLoad,
+			Start: spanStart, End: end, Merge: end.Sub(spanStart),
+		})
 	}
 	if violations > 0 && c.cfg.Strict {
 		return fmt.Errorf("%w (cap %d words)", ErrSpaceExceeded, c.cfg.SpaceCap)

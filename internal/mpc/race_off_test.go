@@ -1,0 +1,7 @@
+//go:build !race
+
+package mpc
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation allocates, so allocation pins skip themselves.
+const raceEnabled = false

@@ -53,6 +53,7 @@ package mpc
 
 import (
 	"fmt"
+	"time"
 )
 
 // resumable is implemented by transports whose node rejoined an established
@@ -96,6 +97,14 @@ type shardEngine struct {
 	msgs       []int64     // [shard] records sent this round
 	wirePre    [][]segment // [machine] wire columns from shards below the dest's
 	wirePost   [][]segment // [machine] wire columns from shards above the dest's
+
+	// Trace-only state (nil/zero unless the cluster has a Config.Sink):
+	// wall-clock of the round's Phase B wire exchange, whether that round
+	// replayed detached, and the wire words shipped per destination shard.
+	// Strictly observational — never read by the deterministic round path.
+	phaseExchange time.Duration
+	lastDetached  bool
+	traceWire     []int64
 }
 
 // effectiveShards returns the shard count a config actually runs with: K
@@ -142,6 +151,9 @@ func newShardEngine(c *Cluster, cfg Config) (*shardEngine, error) {
 		msgs:       make([]int64, k),
 		wirePre:    make([][]segment, M),
 		wirePost:   make([][]segment, M),
+	}
+	if cfg.Sink != nil {
+		sc.traceWire = make([]int64, k)
 	}
 	for s := 0; s <= k; s++ {
 		sc.bounds[s] = s * M / k
@@ -238,6 +250,9 @@ func (sc *shardEngine) mergeOne(m int) {
 		col := o.byDest[dest]
 		ship := !sc.detached && sc.owned[s] && t != s
 		local := s == t || !sc.owned[t] || sc.detached
+		if ship && sc.traceWire != nil {
+			sc.traceWire[t] += int64(col.words)
+		}
 		if ship {
 			wcol := col
 			if local && sc.eps[sc.epOf[s]].Retains() {
@@ -278,11 +293,19 @@ func (sc *shardEngine) mergeOne(m int) {
 // indeterminate and the cluster refuses further rounds.
 func (sc *shardEngine) merge(run []int, sparse bool) error {
 	c := sc.c
+	traced := c.cfg.Sink != nil
+	if traced {
+		sc.phaseExchange = 0
+		for i := range sc.traceWire {
+			sc.traceWire[i] = 0
+		}
+	}
 
 	// A respawned worker replays rounds before its resume point detached:
 	// purely local delivery, no wire activity — the peers consumed those
 	// rounds long ago and deterministic re-execution rebuilds the state.
 	sc.detached = sc.res != nil && sc.res.DetachedRound(sc.seq+1)
+	sc.lastDetached = sc.detached
 
 	// Phase A: ascending walk over the machines that ran.
 	if sparse {
@@ -307,6 +330,10 @@ func (sc *shardEngine) merge(run []int, sparse bool) error {
 	// (with its armed control column), then collect the peers' exchanges.
 	sc.seq++
 	seq := sc.seq
+	var exchStart time.Time
+	if traced {
+		exchStart = time.Now()
+	}
 	if sc.detached {
 		// Detached replay: every column was delivered locally in Phase A and
 		// arming is already complete (mergeOne enqueued the self-armed
@@ -315,6 +342,9 @@ func (sc *shardEngine) merge(run []int, sparse bool) error {
 		sc.res.NoteDetachedRound(seq)
 		for s := range sc.shardArmed {
 			sc.shardArmed[s] = sc.shardArmed[s][:0]
+		}
+		if traced {
+			sc.phaseExchange = time.Since(exchStart)
 		}
 		return nil
 	}
@@ -380,6 +410,9 @@ func (sc *shardEngine) merge(run []int, sparse bool) error {
 				return fmt.Errorf("shard %d receive: %w", ep.Shard(), err)
 			}
 		}
+	}
+	if traced {
+		sc.phaseExchange = time.Since(exchStart)
 	}
 	return nil
 }

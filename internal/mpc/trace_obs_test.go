@@ -1,0 +1,158 @@
+package mpc
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestTracingDoesNotChangeResults is the determinism-vs-timing segregation
+// proof at the mpc layer: attaching a TraceSink changes nothing the
+// equivalence suites compare — state, metrics, and model traces are
+// bit-identical with and without a sink, unsharded and sharded — while the
+// sink itself observes exactly the executed rounds.
+func TestTracingDoesNotChangeResults(t *testing.T) {
+	for _, sparse := range []bool{false, true} {
+		for _, shards := range []int{0, 3} {
+			base := Config{Machines: 33, SpaceCap: 1 << 20, Sparse: sparse, Shards: shards}
+			wantState, wantMetrics, wantTrace, err := runShardWorkload(base)
+			if err != nil {
+				t.Fatalf("sparse=%v shards=%d untraced: %v", sparse, shards, err)
+			}
+
+			ring := obs.NewRingSink(1024)
+			traced := base
+			traced.Sink = ring
+			traced.TraceLabel = "workload"
+			state, metrics, trace, err := runShardWorkload(traced)
+			if err != nil {
+				t.Fatalf("sparse=%v shards=%d traced: %v", sparse, shards, err)
+			}
+			if !reflect.DeepEqual(state, wantState) {
+				t.Errorf("sparse=%v shards=%d: tracing changed state", sparse, shards)
+			}
+			if metrics != wantMetrics {
+				t.Errorf("sparse=%v shards=%d: tracing changed metrics\n got %+v\nwant %+v",
+					sparse, shards, metrics, wantMetrics)
+			}
+			if !reflect.DeepEqual(trace, wantTrace) {
+				t.Errorf("sparse=%v shards=%d: tracing changed the model trace", sparse, shards)
+			}
+
+			// The sink saw every round, in order, with the model quantities
+			// agreeing with the model trace and timing fields consistent.
+			spans := ring.Snapshot()
+			if len(spans) != metrics.Rounds {
+				t.Fatalf("sparse=%v shards=%d: %d spans for %d rounds",
+					sparse, shards, len(spans), metrics.Rounds)
+			}
+			for i, s := range spans {
+				st := wantTrace[i]
+				if s.Round != st.Round || s.Words != st.Words ||
+					s.Messages != st.Messages || s.MaxLoad != st.MaxLoad ||
+					s.Active != st.Active {
+					t.Errorf("span %d model quantities diverge from RoundStat:\nspan %+v\nstat %+v",
+						i, s, st)
+				}
+				if s.Label != "workload" || s.Cluster == 0 {
+					t.Errorf("span %d label/cluster not set: %+v", i, s)
+				}
+				if s.End.Before(s.Start) {
+					t.Errorf("span %d ends before it starts", i)
+				}
+				if sum := s.Compute + s.Merge + s.Barrier + s.Replay; sum > s.Duration()+time.Millisecond {
+					t.Errorf("span %d phases (%v) exceed duration (%v)", i, sum, s.Duration())
+				}
+				if shards > 1 && s.Active > 0 && len(s.ShardWords) != 3 {
+					t.Errorf("span %d: sharded run should report 3 shard wire columns, got %v",
+						i, s.ShardWords)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedSpanWireWords checks the per-shard wire accounting: in a
+// single-process sharded cluster every cross-shard column is shipped, so
+// summing a round's ShardWords over rounds must equal the wire words the
+// transport actually moved (which the in-memory transport counts too).
+func TestShardedSpanWireWords(t *testing.T) {
+	ring := obs.NewRingSink(64)
+	c := NewCluster(Config{Machines: 8, Shards: 2, Sink: ring})
+	defer c.Close()
+	// Machine m sends one 2-word record to machine (m+4)%8 — every column
+	// crosses the shard boundary (shards are [0,4) and [4,8)).
+	err := c.Round(func(m int, in *Inbox, out *Outbox) {
+		out.SendInts((m+4)%8, int64(m), int64(m))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := ring.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("want 1 span, got %d", len(spans))
+	}
+	var wire int64
+	for _, w := range spans[0].ShardWords {
+		wire += w
+	}
+	if wire != spans[0].Words {
+		t.Errorf("all traffic is cross-shard here, so wire words (%d) should equal delivered words (%d)",
+			wire, spans[0].Words)
+	}
+}
+
+// TestQuietRoundEmitsSpan checks Quiet keeps the span stream's round
+// numbering contiguous with no compute or exchange time.
+func TestQuietRoundEmitsSpan(t *testing.T) {
+	ring := obs.NewRingSink(8)
+	c := NewCluster(Config{Machines: 4, Sink: ring})
+	defer c.Close()
+	if err := c.Round(func(m int, in *Inbox, out *Outbox) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiet(); err != nil {
+		t.Fatal(err)
+	}
+	spans := ring.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("want 2 spans, got %d", len(spans))
+	}
+	q := spans[1]
+	if q.Round != 2 || q.Compute != 0 || q.Barrier != 0 || q.Active != 0 {
+		t.Errorf("quiet span wrong: %+v", q)
+	}
+}
+
+// TestRoundTraceOffNoAllocs pins the tracing-off contract: with no sink
+// configured the steady-state round path allocates exactly what it did
+// before tracing existed (1 object per round for this workload, a fixed
+// Round bookkeeping cost) — the instrumentation adds zero.
+func TestRoundTraceOffNoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; pin measured without -race")
+	}
+	const machines = 64
+	c := NewCluster(Config{Machines: machines})
+	defer c.Close()
+	round := func() {
+		err := c.Round(func(m int, in *Inbox, out *Outbox) {
+			for _, ok := in.Next(); ok; _, ok = in.Next() {
+			}
+			out.SendInts((m+machines/2)%machines, int64(m), int64(m))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		round() // warm the column pool and merge scratch
+	}
+	const preTraceBaseline = 1 // measured on this workload before tracing landed
+	if avg := testing.AllocsPerRun(100, round); avg > preTraceBaseline {
+		t.Fatalf("tracing-off round allocates %.1f objects per round, want <= %d (tracing must add zero)",
+			avg, preTraceBaseline)
+	}
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Histogram is a fixed-size power-of-two-bucket histogram: bucket i counts
+// observations <= 2^i, observations beyond the last bound land in +Inf.
+// It renders in the cumulative Prometheus style:
+//
+//	<name>_bucket{le="1"} c0
+//	<name>_bucket{le="2"} c0+c1
+//	...
+//	<name>_bucket{le="+Inf"} total
+//	<name>_sum s
+//	<name>_count n
+//
+// which is byte-for-byte the format mrserve's /metrics has always used
+// for its latency and activity histograms.
+type Histogram struct {
+	name string
+
+	mu      sync.Mutex
+	buckets []uint64
+	over    uint64
+	sum     float64
+	count   uint64
+}
+
+// NewHistogram returns a histogram with bounds 1, 2, 4, ..., 2^(buckets-1).
+func NewHistogram(name string, buckets int) *Histogram {
+	return &Histogram{name: name, buckets: make([]uint64, buckets)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.sum += v
+	h.count++
+	bound := 1.0
+	placed := false
+	for i := range h.buckets {
+		if v <= bound {
+			h.buckets[i]++
+			placed = true
+			break
+		}
+		bound *= 2
+	}
+	if !placed {
+		h.over++
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// AppendText implements Collector.
+func (h *Histogram) AppendText(dst []string) []string {
+	h.mu.Lock()
+	cum := uint64(0)
+	bound := 1
+	for i := range h.buckets {
+		cum += h.buckets[i]
+		dst = append(dst, fmt.Sprintf("%s_bucket{le=%q} %d", h.name, fmt.Sprint(bound), cum))
+		bound *= 2
+	}
+	dst = append(dst,
+		fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d", h.name, cum+h.over),
+		fmt.Sprintf("%s_sum %.3f", h.name, h.sum),
+		fmt.Sprintf("%s_count %d", h.name, h.count))
+	h.mu.Unlock()
+	return dst
+}

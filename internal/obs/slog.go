@@ -1,0 +1,21 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// nopHandler drops every record without formatting it. Enabled returns
+// false, so callers skip attribute evaluation entirely — a daemon built
+// without -log pays nothing for its lifecycle logging calls.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// NopLogger returns a logger that discards everything. Components take a
+// *slog.Logger and substitute this for nil so call sites never need a nil
+// check.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }

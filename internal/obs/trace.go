@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// RoundSpan is the wall-clock record of one simulator round, streamed to a
+// TraceSink as the round ends. It deliberately duplicates the *model*
+// quantities of mpc.RoundStat (round number, words, messages, load,
+// activity) next to the *timing* quantities the model must never see:
+// phase durations and real timestamps. The model structs stay
+// bit-identical across executors and shard counts; spans do not and are
+// never compared for identity.
+//
+// The phase split follows the round structure of mpc.Cluster.Round:
+//
+//	Compute — the executor running the scheduled RoundFuncs
+//	Merge   — post-barrier bookkeeping: the sender walk, inbox assembly,
+//	          space accounting (everything after compute except the wire)
+//	Barrier — the sharded transport exchange: Send + Barrier + Receive +
+//	          ingest (zero when unsharded)
+//	Replay  — a detached replay round's exchange phase on a respawned
+//	          worker: the round is re-executed locally, so the wire time
+//	          it replaces is reported separately from a live barrier
+type RoundSpan struct {
+	// Label identifies the traced execution (a job id, an algorithm name);
+	// empty when the caller never set one.
+	Label string
+	// Cluster distinguishes concurrently traced clusters within one
+	// process; ids are allocated per traced cluster and never reused.
+	Cluster int64
+	// Round is the 1-based round number (mpc.RoundStat.Round).
+	Round int
+	// Active is the number of RoundFunc invocations this round.
+	Active int
+	// MaxLoad is the round's per-machine space high-water mark, in words.
+	MaxLoad int
+	// Words and Messages are the traffic delivered into next-round inboxes.
+	Words    int64
+	Messages int
+
+	// Start and End bound the round in real time.
+	Start, End time.Time
+	// Compute, Merge, Barrier and Replay partition End.Sub(Start) (up to
+	// the instants between phases); see the phase split above.
+	Compute, Merge, Barrier, Replay time.Duration
+
+	// ShardWords[t] is the wire words this process shipped to shard t this
+	// round (nil when unsharded). The slice is scratch owned by the
+	// producer, valid only during the RoundDone call — sinks that retain
+	// the span must copy it.
+	ShardWords []int64
+}
+
+// Duration returns the round's total wall-clock time.
+func (s RoundSpan) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// TraceSink consumes round spans. RoundDone is called synchronously at
+// the end of every traced round, from whichever goroutine drives the
+// cluster; a sink shared across clusters must be safe for concurrent use.
+// Close flushes and releases the sink (file sinks write their trailer).
+type TraceSink interface {
+	RoundDone(s RoundSpan)
+	Close() error
+}
+
+// multiSink fans spans out to several sinks.
+type multiSink struct {
+	sinks []TraceSink
+}
+
+// MultiSink returns a sink that forwards every span to each of sinks in
+// order and closes them all (returning the first error). Nil entries are
+// skipped; with zero or one live sinks the sink (or nil) is returned
+// directly.
+func MultiSink(sinks ...TraceSink) TraceSink {
+	live := make([]TraceSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &multiSink{sinks: live}
+}
+
+func (m *multiSink) RoundDone(s RoundSpan) {
+	for _, sink := range m.sinks {
+		sink.RoundDone(s)
+	}
+}
+
+func (m *multiSink) Close() error {
+	var first error
+	for _, sink := range m.sinks {
+		if err := sink.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// PhaseAccumulator is a TraceSink that folds spans into per-phase totals —
+// the aggregate mrbench reports per experiment. Safe for concurrent use.
+type PhaseAccumulator struct {
+	mu      sync.Mutex
+	rounds  int64
+	compute time.Duration
+	merge   time.Duration
+	barrier time.Duration
+	replay  time.Duration
+}
+
+// PhaseMeans is an accumulator snapshot: mean microseconds per round for
+// each phase across every observed round.
+type PhaseMeans struct {
+	Rounds    int64   `json:"rounds"`
+	ComputeUS float64 `json:"compute_us"`
+	MergeUS   float64 `json:"merge_us"`
+	BarrierUS float64 `json:"barrier_us"`
+	ReplayUS  float64 `json:"replay_us,omitempty"`
+}
+
+// RoundDone implements TraceSink.
+func (a *PhaseAccumulator) RoundDone(s RoundSpan) {
+	a.mu.Lock()
+	a.rounds++
+	a.compute += s.Compute
+	a.merge += s.Merge
+	a.barrier += s.Barrier
+	a.replay += s.Replay
+	a.mu.Unlock()
+}
+
+// Close implements TraceSink; it keeps the totals readable.
+func (a *PhaseAccumulator) Close() error { return nil }
+
+// Means returns the per-round phase means observed so far.
+func (a *PhaseAccumulator) Means() PhaseMeans {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m := PhaseMeans{Rounds: a.rounds}
+	if a.rounds == 0 {
+		return m
+	}
+	per := func(d time.Duration) float64 {
+		return float64(d.Microseconds()) / float64(a.rounds)
+	}
+	m.ComputeUS = per(a.compute)
+	m.MergeUS = per(a.merge)
+	m.BarrierUS = per(a.barrier)
+	m.ReplayUS = per(a.replay)
+	return m
+}

@@ -1,6 +1,10 @@
 package service
 
-import "context"
+import (
+	"context"
+
+	"repro/internal/obs"
+)
 
 // The single-flight batcher: concurrent jobs with identical keys — same
 // (instance spec, algorithm, canonical args, µ, seed) — coalesce into one
@@ -25,6 +29,12 @@ type flight struct {
 	mu     float64
 	seed   uint64
 	jobs   []*Job
+
+	// ring retains the flight's newest round spans (wall-clock phase
+	// timings) for GET /v1/jobs/{id}/trace; nil when tracing is disabled.
+	// It is internally synchronized, so a running flight's trace can be
+	// snapshotted live without the engine mutex.
+	ring *obs.RingSink
 
 	// ctx cancels the execution between simulator rounds once every waiter
 	// has abandoned the flight (Engine.Abandon). waiters counts jobs whose

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strings"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/mpc"
+	"repro/internal/obs"
 )
 
 // JobRequest is one job submission: run an algorithm on an instance with a
@@ -100,6 +102,7 @@ type JobView struct {
 type Engine struct {
 	cfg       Config
 	metrics   *Metrics
+	log       *slog.Logger
 	instances *instanceCache
 	transport mpc.TransportFactory // resolved once from cfg (nil = in-memory)
 
@@ -122,6 +125,7 @@ func NewEngine(cfg Config) *Engine {
 	e := &Engine{
 		cfg:       cfg,
 		metrics:   m,
+		log:       cfg.logger(),
 		instances: newInstanceCache(cfg.Instances, cfg.DataDir, m),
 		transport: cfg.transport(),
 		batch:     newBatcher(),
@@ -211,12 +215,17 @@ func (e *Engine) Submit(req JobRequest) (*Job, error) {
 		j.Source = SourceCache
 		e.finishLocked(j, res, nil)
 		e.metrics.inc("jobs_cache_hits_total", 1)
+		e.log.Info("job served from cache", "job", j.ID, "alg", req.Alg, "instance", instID)
 		return j, nil
 	}
 	f, leader := e.batch.attach(key, j, func() *flight {
 		ctx, cancel := context.WithCancel(context.Background())
-		return &flight{alg: req.Alg, spec: req.Instance, instID: instID,
+		f := &flight{alg: req.Alg, spec: req.Instance, instID: instID,
 			args: args, mu: mu, seed: req.Seed, ctx: ctx, cancel: cancel}
+		if e.cfg.TraceRounds > 0 {
+			f.ring = obs.NewRingSink(e.cfg.TraceRounds)
+		}
+		return f
 	})
 	if leader {
 		j.Source = SourceRun
@@ -235,6 +244,8 @@ func (e *Engine) Submit(req JobRequest) (*Job, error) {
 		j.Source = SourceBatch
 		e.metrics.inc("jobs_coalesced_total", 1)
 	}
+	e.log.Info("job submitted", "job", j.ID, "alg", req.Alg, "instance", instID,
+		"seed", req.Seed, "source", string(j.Source))
 	return j, nil
 }
 
@@ -375,12 +386,18 @@ func (e *Engine) worker() {
 func (e *Engine) execute(f *flight) {
 	start := time.Now()
 	e.mu.Lock()
+	lead := ""
 	for _, j := range f.jobs {
 		if j.Status == StatusQueued {
 			j.Status = StatusRunning
 		}
+		if lead == "" {
+			lead = j.ID
+		}
 	}
 	e.mu.Unlock()
+	e.log.Info("flight executing", "job", lead, "alg", f.alg,
+		"instance", f.instID, "jobs", len(f.jobs))
 
 	var res *Result
 	in, err := e.instances.get(f.instID, f.spec)
@@ -411,9 +428,13 @@ func (e *Engine) execute(f *flight) {
 	e.metrics.observeLatency(time.Since(start))
 	if err != nil {
 		e.metrics.inc("flights_failed_total", 1)
+		e.log.Error("flight failed", "job", lead, "alg", f.alg,
+			"elapsed", time.Since(start), "err", err)
 	} else {
 		e.metrics.inc("flights_executed_total", 1)
 		e.metrics.observeActivity(res.Metrics)
+		e.log.Info("flight done", "job", lead, "alg", f.alg,
+			"elapsed", time.Since(start), "rounds", res.Metrics.Rounds)
 	}
 }
 
@@ -428,9 +449,17 @@ func (e *Engine) execute(f *flight) {
 func (e *Engine) run(alg core.Algorithm, in core.Input, f *flight) (*core.RunResult, error) {
 	p := core.Params{Mu: f.mu, Seed: f.seed, Workers: e.cfg.Workers,
 		Shards: e.cfg.Shards, Transport: e.transport, Ctx: f.ctx}
+	if f.ring != nil {
+		// Guarded assignment: an unconditional p.Sink = f.ring would store a
+		// typed-nil in the interface and turn tracing "on" with a nil sink.
+		p.Sink = f.ring
+		p.TraceLabel = f.alg
+	}
 	run, err := alg.Run(in, p, f.args)
 	if err != nil && errors.Is(err, mpc.ErrTransport) && e.cfg.Shards > 1 && !e.cfg.NoFallback {
 		e.metrics.inc("fallback_unsharded_total", 1)
+		e.log.Warn("sharded flight hit a transport failure; retrying unsharded",
+			"alg", f.alg, "instance", f.instID, "err", err)
 		p.Shards, p.Transport = 0, nil
 		run, err = alg.Run(in, p, f.args)
 	}

@@ -12,8 +12,10 @@ import (
 
 // Server is the HTTP JSON API over an Engine.
 //
-//	POST /v1/jobs        submit a job; {"wait": true} blocks until done
-//	GET  /v1/jobs/{id}   poll a job
+//	POST /v1/jobs              submit a job; {"wait": true} blocks until done
+//	GET  /v1/jobs/{id}         poll a job
+//	GET  /v1/jobs/{id}/trace   the job's wall-clock round trace (phase
+//	                           timings; readable live while it runs)
 //	GET  /v1/instances   list cached instances
 //	POST /v1/instances   upload a graph (text, binary container, or gzip
 //	                     of either — sniffed; the content id is
@@ -34,6 +36,7 @@ func NewServer(e *Engine) *Server {
 	s := &Server{engine: e, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/jobs", s.submitJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.getJobTrace)
 	s.mux.HandleFunc("GET /v1/instances", s.listInstances)
 	s.mux.HandleFunc("POST /v1/instances", s.uploadInstance)
 	s.mux.HandleFunc("GET /v1/algorithms", s.listAlgorithms)
@@ -90,6 +93,15 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
 	view, ok := s.engine.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) getJobTrace(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.engine.Trace(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return

@@ -1,39 +1,25 @@
 package service
 
 import (
-	"fmt"
 	"io"
-	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/mpc"
+	"repro/internal/obs"
 )
 
-// Metrics collects service counters, a job-latency histogram and a
-// per-job active-machines histogram, rendered as a deterministic plain-text
-// document by WritePlain (GET /metrics). All methods are safe for
-// concurrent use.
+// Metrics is the service's view onto an obs.Registry: service counters, a
+// job-latency histogram, a per-job active-machines histogram, and the
+// process-wide simulator totals (executor pool, transport, recovery,
+// chaos) exposed as gauges. WritePlain (GET /metrics) renders the
+// registry as a deterministic plain-text document whose line order and
+// formats are byte-compatible with the pre-obs bespoke writer — pinned by
+// TestMetricsGoldenDocument. All methods are safe for concurrent use.
 type Metrics struct {
-	mu sync.Mutex
-
-	counters map[string]uint64
-
-	// latencyBuckets[i] counts jobs with latency <= 2^i milliseconds;
-	// latencyOver counts the rest. latencySum/latencyCount feed the mean.
-	latencyBuckets [latencyBucketCount]uint64
-	latencyOver    uint64
-	latencySum     float64 // milliseconds
-	latencyCount   uint64
-
-	// activeBuckets[i] counts completed jobs whose mean active machines per
-	// simulator round was <= 2^i; activeOver counts the rest. Together with
-	// the executor-pool counters this is the operator's view of scheduling
-	// efficiency: how much of each job's cluster actually works per round.
-	activeBuckets [activeBucketCount]uint64
-	activeOver    uint64
-	activeSum     float64
-	activeCount   uint64
+	reg      *obs.Registry
+	counters *obs.CounterSet
+	latency  *obs.Histogram
+	active   *obs.Histogram
 }
 
 // latencyBucketCount covers 1ms .. 2^17ms (~2 minutes) in power-of-two
@@ -44,38 +30,93 @@ const latencyBucketCount = 18
 // power-of-two buckets; larger clusters land in the +Inf bucket.
 const activeBucketCount = 14
 
-// NewMetrics returns an empty metrics set.
-func NewMetrics() *Metrics {
-	return &Metrics{counters: make(map[string]uint64)}
+// totalsFuncs are the process-wide simulator totals the registry renders
+// as gauges. NewMetrics wires the real mpc counters; the golden test
+// injects fixed values so the byte-format pin is independent of whatever
+// other tests in the binary have run.
+type totalsFuncs struct {
+	pool      func() (rounds, chunks uint64)
+	transport func() (batches, bytes uint64)
+	recovery  func() (retries, reconnects, respawns uint64)
+	chaos     func() (delays, dups, drops, tears uint64)
 }
 
-// inc adds delta to the named counter.
-func (m *Metrics) inc(name string, delta uint64) {
-	m.mu.Lock()
-	m.counters[name] += delta
-	m.mu.Unlock()
+// NewMetrics returns a metrics set over the live process-wide totals.
+func NewMetrics() *Metrics {
+	return newMetricsWith(totalsFuncs{
+		pool:      mpc.PoolTotals,
+		transport: mpc.TransportTotals,
+		recovery:  mpc.RecoveryTotals,
+		chaos:     mpc.ChaosTotals,
+	})
 }
+
+// newMetricsWith lays the registry out in the canonical exposition order:
+// the sorted service counters, the two histograms, then the fixed-order
+// process-wide gauges. Registration order is rendering order (obs), so
+// this function is the single definition of the /metrics document shape.
+func newMetricsWith(t totalsFuncs) *Metrics {
+	m := &Metrics{
+		reg:      obs.NewRegistry(),
+		counters: obs.NewCounterSet("mrserve_"),
+		latency:  obs.NewHistogram("mrserve_job_latency_ms", latencyBucketCount),
+		active:   obs.NewHistogram("mrserve_job_active_machines", activeBucketCount),
+	}
+	m.reg.Register(m.counters)
+	m.reg.Register(m.latency)
+	m.reg.Register(m.active)
+	// Executor-pool utilisation is process-wide (every job's cluster shares
+	// the persistent-pool implementation): batches executed by pooled
+	// workers and task chunks claimed, straight from the simulator.
+	m.reg.Register(obs.NewGaugeFunc("mrserve_executor_pool_rounds_total", func() uint64 {
+		rounds, _ := t.pool()
+		return rounds
+	}))
+	m.reg.Register(obs.NewGaugeFunc("mrserve_executor_pool_chunks_total", func() uint64 {
+		_, chunks := t.pool()
+		return chunks
+	}))
+	// Sharded-execution activity is likewise process-wide: column batches
+	// moved and wire bytes written across every transport endpoint (bytes
+	// stay 0 for the in-memory transport).
+	m.reg.Register(obs.NewGaugeFunc("mrserve_transport_batches_total", func() uint64 {
+		batches, _ := t.transport()
+		return batches
+	}))
+	m.reg.Register(obs.NewGaugeFunc("mrserve_transport_bytes_total", func() uint64 {
+		_, bytes := t.transport()
+		return bytes
+	}))
+	// Fault-tolerance activity, also process-wide: dial/send retries,
+	// connection re-establishments with replay, worker respawns (counted by
+	// the mrshard supervisor via mpc.AddWorkerRespawns), and the faults the
+	// chaos harness injected on purpose.
+	m.reg.Register(obs.NewGaugeFunc("mrserve_transport_retries_total", func() uint64 {
+		retries, _, _ := t.recovery()
+		return retries
+	}))
+	m.reg.Register(obs.NewGaugeFunc("mrserve_transport_reconnects_total", func() uint64 {
+		_, reconnects, _ := t.recovery()
+		return reconnects
+	}))
+	m.reg.Register(obs.NewGaugeFunc("mrserve_worker_respawns_total", func() uint64 {
+		_, _, respawns := t.recovery()
+		return respawns
+	}))
+	m.reg.Register(obs.NewGaugeFunc("mrserve_chaos_faults_total", func() uint64 {
+		delays, dups, drops, tears := t.chaos()
+		return delays + dups + drops + tears
+	}))
+	return m
+}
+
+// inc adds delta to the named counter (a zero delta materializes it as an
+// explicit 0 line, which the engine uses to pre-seed incident counters).
+func (m *Metrics) inc(name string, delta uint64) { m.counters.Add(name, delta) }
 
 // observeLatency records one completed-job latency in the histogram.
 func (m *Metrics) observeLatency(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	m.mu.Lock()
-	m.latencySum += ms
-	m.latencyCount++
-	bound := 1.0
-	placed := false
-	for i := 0; i < latencyBucketCount; i++ {
-		if ms <= bound {
-			m.latencyBuckets[i]++
-			placed = true
-			break
-		}
-		bound *= 2
-	}
-	if !placed {
-		m.latencyOver++
-	}
-	m.mu.Unlock()
+	m.latency.Observe(float64(d) / float64(time.Millisecond))
 }
 
 // observeActivity records one completed job's mean active machines per
@@ -84,99 +125,12 @@ func (m *Metrics) observeActivity(run mpc.Metrics) {
 	if run.Rounds == 0 {
 		return
 	}
-	mean := float64(run.ActiveSum) / float64(run.Rounds)
-	m.mu.Lock()
-	m.activeSum += mean
-	m.activeCount++
-	bound := 1.0
-	placed := false
-	for i := 0; i < activeBucketCount; i++ {
-		if mean <= bound {
-			m.activeBuckets[i]++
-			placed = true
-			break
-		}
-		bound *= 2
-	}
-	if !placed {
-		m.activeOver++
-	}
-	m.mu.Unlock()
+	m.active.Observe(float64(run.ActiveSum) / float64(run.Rounds))
 }
 
 // counter reads one counter (testing helper).
-func (m *Metrics) counter(name string) uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.counters[name]
-}
+func (m *Metrics) counter(name string) uint64 { return m.counters.Value(name) }
 
-// WritePlain renders every counter (sorted by name) and the latency
-// histogram in a Prometheus-style plain-text format.
-func (m *Metrics) WritePlain(w io.Writer) error {
-	m.mu.Lock()
-	names := make([]string, 0, len(m.counters))
-	for name := range m.counters {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	lines := make([]string, 0, len(names)+latencyBucketCount+4)
-	for _, name := range names {
-		lines = append(lines, fmt.Sprintf("mrserve_%s %d", name, m.counters[name]))
-	}
-	cum := uint64(0)
-	bound := 1
-	for i := 0; i < latencyBucketCount; i++ {
-		cum += m.latencyBuckets[i]
-		lines = append(lines, fmt.Sprintf("mrserve_job_latency_ms_bucket{le=%q} %d", fmt.Sprint(bound), cum))
-		bound *= 2
-	}
-	lines = append(lines,
-		fmt.Sprintf("mrserve_job_latency_ms_bucket{le=\"+Inf\"} %d", cum+m.latencyOver),
-		fmt.Sprintf("mrserve_job_latency_ms_sum %.3f", m.latencySum),
-		fmt.Sprintf("mrserve_job_latency_ms_count %d", m.latencyCount))
-	cum = 0
-	bound = 1
-	for i := 0; i < activeBucketCount; i++ {
-		cum += m.activeBuckets[i]
-		lines = append(lines, fmt.Sprintf("mrserve_job_active_machines_bucket{le=%q} %d", fmt.Sprint(bound), cum))
-		bound *= 2
-	}
-	lines = append(lines,
-		fmt.Sprintf("mrserve_job_active_machines_bucket{le=\"+Inf\"} %d", cum+m.activeOver),
-		fmt.Sprintf("mrserve_job_active_machines_sum %.3f", m.activeSum),
-		fmt.Sprintf("mrserve_job_active_machines_count %d", m.activeCount))
-	// Executor-pool utilisation is process-wide (every job's cluster shares
-	// the persistent-pool implementation): batches executed by pooled
-	// workers and task chunks claimed, straight from the simulator.
-	poolRounds, poolChunks := mpc.PoolTotals()
-	lines = append(lines,
-		fmt.Sprintf("mrserve_executor_pool_rounds_total %d", poolRounds),
-		fmt.Sprintf("mrserve_executor_pool_chunks_total %d", poolChunks))
-	// Sharded-execution activity is likewise process-wide: column batches
-	// moved and wire bytes written across every transport endpoint (bytes
-	// stay 0 for the in-memory transport).
-	tBatches, tBytes := mpc.TransportTotals()
-	lines = append(lines,
-		fmt.Sprintf("mrserve_transport_batches_total %d", tBatches),
-		fmt.Sprintf("mrserve_transport_bytes_total %d", tBytes))
-	// Fault-tolerance activity, also process-wide: dial/send retries,
-	// connection re-establishments with replay, worker respawns (counted by
-	// the mrshard supervisor via mpc.AddWorkerRespawns), and the faults the
-	// chaos harness injected on purpose.
-	retries, reconnects, respawns := mpc.RecoveryTotals()
-	delays, dups, drops, tears := mpc.ChaosTotals()
-	lines = append(lines,
-		fmt.Sprintf("mrserve_transport_retries_total %d", retries),
-		fmt.Sprintf("mrserve_transport_reconnects_total %d", reconnects),
-		fmt.Sprintf("mrserve_worker_respawns_total %d", respawns),
-		fmt.Sprintf("mrserve_chaos_faults_total %d", delays+dups+drops+tears))
-	m.mu.Unlock()
-
-	for _, line := range lines {
-		if _, err := fmt.Fprintln(w, line); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+// WritePlain renders the registry as the deterministic plain-text
+// /metrics document.
+func (m *Metrics) WritePlain(w io.Writer) error { return m.reg.WriteText(w) }

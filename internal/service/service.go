@@ -36,9 +36,11 @@
 package service
 
 import (
+	"log/slog"
 	"runtime"
 
 	"repro/internal/mpc"
+	"repro/internal/obs"
 )
 
 // Config sizes the engine.
@@ -88,6 +90,16 @@ type Config struct {
 	// job's transport endpoints (soak/testing tool); the zero spec
 	// injects nothing.
 	Chaos mpc.ChaosSpec
+	// TraceRounds caps the per-flight round-trace ring served by
+	// GET /v1/jobs/{id}/trace: each executed flight retains its newest
+	// TraceRounds wall-clock round spans (phase timings — observability
+	// only, never part of the deterministic Result). 0 uses the default
+	// 256; negative disables round tracing. Default: 256.
+	TraceRounds int
+	// Logger receives structured lifecycle events (submissions, flight
+	// executions, fallbacks) tagged with job and flight ids. nil disables
+	// logging.
+	Logger *slog.Logger
 	// DataDir, when set, is the out-of-core instance store: uploaded and
 	// preloaded graphs are spooled there as content-addressed raw binary
 	// containers (<id>.mrg) and served zero-copy through graph.OpenMapped,
@@ -140,5 +152,17 @@ func (c Config) withDefaults() Config {
 	if c.JobHistory <= 0 {
 		c.JobHistory = 4096
 	}
+	if c.TraceRounds == 0 {
+		c.TraceRounds = 256
+	}
 	return c
+}
+
+// logger resolves the configured logger, substituting the nop logger for
+// nil so the engine never needs a nil check at call sites.
+func (c Config) logger() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
+	}
+	return obs.NopLogger()
 }

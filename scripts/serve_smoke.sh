@@ -4,15 +4,18 @@
 # scripts/smoke_job.json over HTTP, polls it to completion, and diffs the
 # deterministic result payload against the committed expectation
 # scripts/smoke_expect.json — the serving determinism contract, checked
-# through the real binary and real HTTP.
+# through the real binary and real HTTP. Also exercises the observability
+# surface: the per-job round trace route, the pprof debug listener, and
+# mrrun's Perfetto trace export.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR=127.0.0.1:18080
+DEBUG_ADDR=127.0.0.1:18081
 BIN=$(mktemp -d)/mrserve
 
 go build -o "$BIN" ./cmd/mrserve
-"$BIN" -addr "$ADDR" -pool 2 &
+"$BIN" -addr "$ADDR" -debug-addr "$DEBUG_ADDR" -pool 2 &
 SRV=$!
 trap 'kill "$SRV" 2>/dev/null || true' EXIT
 
@@ -62,6 +65,29 @@ assert job["result"] == want, "cached result differs from cold result"
 print("cache hit identical")
 EOF
 
+# The per-job trace route must report one wall-clock span per executed
+# round, numbered consecutively — timing observability riding beside (never
+# inside) the deterministic result document.
+curl -sf "$ADDR/v1/jobs/$JOB/trace" >/tmp/smoke_trace.json
+python3 - /tmp/smoke_trace.json /tmp/smoke_job_done.json <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+job = json.load(open(sys.argv[2]))
+rounds = trace["rounds"]
+want = job["result"]["metrics"]["Rounds"]
+assert len(rounds) == want, f"trace has {len(rounds)} spans, metrics say {want} rounds"
+assert [r["round"] for r in rounds] == list(range(1, want + 1)), "rounds not consecutive"
+assert all(r["wall_clock_us"] >= 0 for r in rounds), "negative wall clock"
+print(f"trace route ok ({len(rounds)} round spans)")
+EOF
+
+# The debug listener serves pprof on its own address, never on the API one.
+curl -sf "$DEBUG_ADDR/debug/pprof/" >/dev/null ||
+  { echo "pprof index not served on -debug-addr"; exit 1; }
+curl -s -o /dev/null -w '%{http_code}' "$ADDR/debug/pprof/" | grep -q 404 ||
+  { echo "pprof leaked onto the API address"; exit 1; }
+echo "pprof ok (debug listener only)"
+
 curl -sf "$ADDR/metrics" >/tmp/smoke_metrics.txt
 grep -q "mrserve_jobs_completed_total 2" /tmp/smoke_metrics.txt ||
   { echo "metrics missing completed=2"; cat /tmp/smoke_metrics.txt; exit 1; }
@@ -82,3 +108,17 @@ echo "metrics ok (recovery counters exported)"
 kill -INT "$SRV"
 wait "$SRV" || true
 echo "graceful shutdown ok"
+
+# mrrun's -trace-out must leave a strict-JSON Chrome trace file that
+# Perfetto can load, containing per-round events.
+TRACE=$(mktemp -d)/trace.json
+go run ./cmd/mrrun -alg mis -n 500 -seed 7 -trace-out "$TRACE" >/dev/null
+python3 -m json.tool "$TRACE" >/dev/null ||
+  { echo "mrrun -trace-out wrote invalid JSON"; exit 1; }
+python3 - "$TRACE" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+rounds = [e for e in events if e.get("cat") == "round"]
+assert rounds, "trace has no round events"
+print(f"mrrun trace ok ({len(rounds)} round events)")
+EOF
