@@ -6,7 +6,7 @@
 // Usage:
 //
 //	mrserve [-addr :8080] [-pool P] [-workers W] [-results R] [-instances I]
-//	        [-data DIR] [-preload FILE ...] [-debug-addr :6060]
+//	        [-data DIR] [-ledger DIR] [-preload FILE ...] [-debug-addr :6060]
 //	        [-log-level info] [-trace-rounds N]
 //
 // With -debug-addr, a second listener serves net/http/pprof under
@@ -25,6 +25,15 @@
 // from local disk at start-up under the same content id an upload of the
 // bytes would get; raw .mrg containers open in O(header) time.
 //
+// With -ledger, every completed job is appended to a durable Merkle-
+// chained ledger in DIR and a restarted daemon serves pre-crash results
+// bit-identically without re-executing them. Recovery repairs a torn tail
+// record (kill -9 mid-write) by truncating it exactly once; any other
+// damage degrades the ledger to memory-only operation (the daemon keeps
+// serving) and is pinpointed by POST /v1/ledger/verify. Pair -ledger with
+// -data so jobs on uploaded graphs stay replayable across restarts; audit
+// the chain offline with cmd/mrverify.
+//
 // API:
 //
 //	POST /v1/jobs            {"instance": {...}, "alg": "...", "seed": N, "wait": true}
@@ -33,6 +42,8 @@
 //	GET  /v1/instances   list cached instances
 //	POST /v1/instances   upload a graph (text, binary container, or gzip of either)
 //	GET  /v1/algorithms  the algorithm registry and parameter schemas
+//	GET  /v1/ledger      ledger head and stats (chain link, persisted seq)
+//	POST /v1/ledger/verify  re-verify every checksum and chain link
 //	GET  /metrics        plain-text counters and job-latency histogram
 //
 // Jobs are deterministic: the same (instance spec, alg, args, µ, seed)
@@ -75,6 +86,8 @@ func main() {
 	results := flag.Int("results", 256, "LRU result-store capacity")
 	instances := flag.Int("instances", 64, "instance-cache capacity")
 	dataDir := flag.String("data", "", "directory for spooled binary containers; uploads are served zero-copy from mmap")
+	ledgerDir := flag.String("ledger", "", "directory for the durable job ledger (empty disables); completed jobs survive restarts and are served without re-execution")
+	ledgerSegBytes := flag.Int64("ledger-segment-bytes", 0, "ledger segment rotation threshold in bytes (0 = 8 MiB default)")
 	debugAddr := flag.String("debug-addr", "", "extra listen address for net/http/pprof profiling endpoints (empty disables)")
 	logLevel := flag.String("log-level", "info", "structured log threshold: debug, info, warn, error, or off")
 	traceRounds := flag.Int("trace-rounds", 0, "per-job round-trace retention for GET /v1/jobs/{id}/trace (0 = default 256, negative disables)")
@@ -100,12 +113,14 @@ func main() {
 			DialTimeout:    *dialTimeout,
 			DialRetries:    *dialRetries,
 		},
-		NoFallback:  *noFallback,
-		Results:     *results,
-		Instances:   *instances,
-		DataDir:     *dataDir,
-		TraceRounds: *traceRounds,
-		Logger:      slogger,
+		NoFallback:         *noFallback,
+		Results:            *results,
+		Instances:          *instances,
+		DataDir:            *dataDir,
+		LedgerDir:          *ledgerDir,
+		LedgerSegmentBytes: *ledgerSegBytes,
+		TraceRounds:        *traceRounds,
+		Logger:             slogger,
 	})
 	for _, path := range preload {
 		id, info, err := engine.PreloadFile(path)

@@ -33,14 +33,24 @@
 //   - internal/service  — the concurrent job-serving subsystem (instance
 //     cache keyed by spec hash, single-flight request batcher, bounded
 //     worker pool, LRU result store, HTTP JSON API, metrics);
+//   - internal/ledger   — the durable job ledger: a Merkle-chained,
+//     CRC-framed, fsynced append-only log behind one Store interface
+//     (in-memory and segmented-disk backends), with torn-tail recovery
+//     after kill -9, full-chain verification, and a non-blocking write
+//     batcher that degrades to memory-only on store failure — ledger IO
+//     never fails a job;
 //   - internal/rng      — deterministic splittable randomness.
 //
 // Entry points: cmd/mrbench (regenerate every Figure 1 row), cmd/mrrun (run
 // one algorithm), cmd/mrserve (the job-serving daemon, degrading sharded
-// jobs to bit-identical unsharded execution on transport failure),
+// jobs to bit-identical unsharded execution on transport failure, with
+// -ledger persisting every completed job so a restarted daemon serves
+// pre-crash results bit-identically without re-execution),
 // cmd/mrshard (one job across K cooperating processes over the TCP
 // transport, results byte-identical across the fleet — workers killed
 // mid-job are respawned and recovered by deterministic replay),
+// cmd/mrverify (offline ledger audit: verify the Merkle chain, re-execute
+// ledgered jobs, prove the chained hashes reproduce),
 // examples/ (runnable scenarios), and the
 // root-level benchmarks in bench_test.go (one per Figure 1 row, plus the
 // service throughput and sharded-round pairs). See README.md, DESIGN.md

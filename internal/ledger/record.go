@@ -1,0 +1,141 @@
+// Package ledger is the durable, Merkle-chained job ledger: an append-only
+// log of (job key → result hash, metrics hash, timestamp, chain link)
+// records behind one Store interface, fed by a write batcher that never
+// blocks the appender on IO.
+//
+// Every result in this repo is bit-deterministic (DESIGN.md), which turns a
+// hash chain into an end-to-end integrity check: any ledgered job can be
+// re-executed from its recorded instance spec and its result hash compared
+// against the chain (cmd/mrverify). The chain rule is
+//
+//	link_i = SHA-256(link_{i-1} ‖ seq ‖ time ‖ len(key) ‖ key ‖
+//	                 resultHash ‖ metricsHash ‖ SHA-256(payload))
+//
+// with link_0 = 32 zero bytes, so a single flipped byte anywhere in the
+// history changes every later link and the head no longer matches.
+//
+// Two stores ship: an in-memory store (tests, and the degraded fallback
+// when disk IO fails) and an append-only segmented disk store with a
+// CRC-32C per record, fsync per batch, and atomic rename segment rotation
+// (disk.go). A torn tail record — the signature of a kill -9 mid-write —
+// is truncated on recovery, exactly once; any other checksum failure is
+// corruption and is reported with the offending file pinpointed, never
+// silently served.
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// HashSize is the size of every hash in a record (SHA-256).
+const HashSize = sha256.Size
+
+// Hash is one SHA-256 value: a result hash, metrics hash, or chain link.
+type Hash [HashSize]byte
+
+// String renders the hash in hex.
+func (h Hash) String() string { return fmt.Sprintf("%x", h[:]) }
+
+// HashBytes hashes arbitrary bytes (the canonical result document, the
+// canonical metrics document, a record payload).
+func HashBytes(b []byte) Hash { return sha256.Sum256(b) }
+
+// Record is one chained ledger entry. Records are immutable once appended;
+// the ledger hands out pointers and callers must not mutate them.
+type Record struct {
+	// Seq is the 1-based position in the chain.
+	Seq uint64
+	// Time is the append wall-clock in unix nanoseconds. It participates
+	// in the chain (tamper-evident) but never in result determinism.
+	Time int64
+	// Key is the job key: the canonical (instance, alg, args, µ, seed)
+	// string the service batches and caches on.
+	Key string
+	// ResultHash is SHA-256 of the canonical result document; re-executing
+	// the job must reproduce it bit-for-bit (the mrverify contract).
+	ResultHash Hash
+	// MetricsHash is SHA-256 of the canonical model-metrics document
+	// (rounds, words, space) — the second half of the determinism
+	// invariant, chained separately so a metrics drift is attributable.
+	MetricsHash Hash
+	// Payload is the self-contained replay envelope (instance spec +
+	// result document) that lets a restarted server serve this job without
+	// re-executing it. It is covered by the chain through its hash.
+	Payload []byte
+	// Link is the Merkle chain link for this record (see the chain rule in
+	// the package comment).
+	Link Hash
+}
+
+// chainLink computes the link for a record given the previous link. Pure
+// function of (prev, record header, payload hash): recovery, verification
+// and the offline auditor all recompute it independently.
+func chainLink(prev Hash, r *Record) Hash {
+	h := sha256.New()
+	var u [8]byte
+	h.Write(prev[:])
+	binary.LittleEndian.PutUint64(u[:], r.Seq)
+	h.Write(u[:])
+	binary.LittleEndian.PutUint64(u[:], uint64(r.Time))
+	h.Write(u[:])
+	binary.LittleEndian.PutUint64(u[:], uint64(len(r.Key)))
+	h.Write(u[:])
+	h.Write([]byte(r.Key))
+	h.Write(r.ResultHash[:])
+	h.Write(r.MetricsHash[:])
+	p := HashBytes(r.Payload)
+	h.Write(p[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// ChainError reports a record whose link or sequence number contradicts
+// the chain — tampering or a logic error, never a torn write (torn tails
+// are detected below the chain, by the store's CRC framing).
+type ChainError struct {
+	Seq  uint64 // the offending record's sequence number
+	Want Hash   // recomputed link
+	Got  Hash   // link stored in the record
+	Msg  string
+}
+
+func (e *ChainError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("ledger: chain broken at seq %d: %s", e.Seq, e.Msg)
+	}
+	return fmt.Sprintf("ledger: chain broken at seq %d: recomputed link %s, stored %s",
+		e.Seq, e.Want, e.Got)
+}
+
+// verifyChain folds one record into a running chain verification: checks
+// seq continuity and the stored link against the recomputed one.
+func verifyChain(prevSeq uint64, prevLink Hash, r *Record) (Hash, error) {
+	if r.Seq != prevSeq+1 {
+		return Hash{}, &ChainError{Seq: r.Seq,
+			Msg: fmt.Sprintf("sequence jumped from %d to %d", prevSeq, r.Seq)}
+	}
+	want := chainLink(prevLink, r)
+	if want != r.Link {
+		return Hash{}, &ChainError{Seq: r.Seq, Want: want, Got: r.Link}
+	}
+	return want, nil
+}
+
+// VerifyStep folds one record into an external chain verification: it
+// checks sequence continuity and the stored link against the recomputed
+// one, returning the new running link. The offline auditor (cmd/mrverify)
+// uses it to re-derive the whole chain independently of any Ledger.
+func VerifyStep(prevSeq uint64, prevLink Hash, r *Record) (Hash, error) {
+	return verifyChain(prevSeq, prevLink, r)
+}
+
+// cloneRecord deep-copies a record so the ledger's retained copy is
+// independent of caller-owned payload bytes.
+func cloneRecord(r *Record) *Record {
+	c := *r
+	c.Payload = append([]byte(nil), r.Payload...)
+	return &c
+}

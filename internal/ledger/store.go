@@ -1,0 +1,68 @@
+package ledger
+
+import "sync"
+
+// Store is the pluggable persistence backend behind the ledger. The
+// ledger's write batcher is the only appender, and it is single-threaded;
+// Replay may be called concurrently with Append (the on-demand verify
+// path), so implementations must serialize the two internally.
+type Store interface {
+	// Append durably persists one batch of already-chained records, in
+	// order. Durable means: when Append returns nil, the records survive a
+	// process kill (for the disk store, data is fsynced; the in-memory
+	// store is durable only for the process lifetime, which is its
+	// contract).
+	Append(recs []*Record) error
+	// Replay streams every persisted record in sequence order, reading
+	// the backing storage afresh — so verification observes what is
+	// actually stored now, not a cached view. fn must not retain the
+	// record past the call unless it clones it.
+	Replay(fn func(*Record) error) error
+	// Close releases resources. The ledger flushes before closing.
+	Close() error
+}
+
+// MemStore is the in-memory Store: a slice under a mutex. It backs tests
+// and the degraded fallback mode, where disk IO has failed but the process
+// keeps a verifiable chain for its own lifetime.
+type MemStore struct {
+	mu   sync.Mutex
+	recs []*Record
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Append implements Store.
+func (s *MemStore) Append(recs []*Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range recs {
+		s.recs = append(s.recs, cloneRecord(r))
+	}
+	return nil
+}
+
+// Replay implements Store.
+func (s *MemStore) Replay(fn func(*Record) error) error {
+	s.mu.Lock()
+	snap := make([]*Record, len(s.recs))
+	copy(snap, s.recs)
+	s.mu.Unlock()
+	for _, r := range snap {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+// Len reports the number of stored records (testing helper).
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}

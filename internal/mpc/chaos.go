@@ -107,7 +107,7 @@ func chaosPhase(seed, shard, family uint64, every int) uint64 {
 	if every <= 0 {
 		return 0
 	}
-	return splitmix64(seed ^ shard<<8 ^ family) % uint64(every)
+	return splitmix64(seed^shard<<8^family) % uint64(every)
 }
 
 func chaosDue(op uint64, every int, phase uint64) bool {

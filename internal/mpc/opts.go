@@ -169,6 +169,17 @@ func backoffDelay(attempt int, base, max time.Duration, seed uint64) time.Durati
 	return time.Duration(float64(d) * (0.5 + 0.5*frac))
 }
 
+// BackoffDelay is the exported form of backoffDelay: the deterministic
+// jittered exponential retry schedule the TCP transport uses for dials and
+// reconnects, reused by other subsystems (the durable job ledger retries
+// transient IO errors on the same schedule before declaring itself
+// degraded). attempt is 1-based; the returned delay is the exponential
+// step from base capped at max, scaled by a jitter factor in [0.5, 1.0)
+// that is a pure function of (seed, attempt).
+func BackoffDelay(attempt int, base, max time.Duration, seed uint64) time.Duration {
+	return backoffDelay(attempt, base, max, seed)
+}
+
 // Process-wide recovery counters, exported alongside TransportTotals for
 // the service layer's /metrics.
 var (

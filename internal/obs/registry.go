@@ -135,6 +135,15 @@ func (s *CounterSet) Add(name string, delta uint64) {
 	s.mu.Unlock()
 }
 
+// Set overwrites the named counter, creating it if needed. It lets a
+// CounterSet carry gauge-like values (a 0/1 degradation flag, a record
+// count) inside the same sorted exposition block as its counters.
+func (s *CounterSet) Set(name string, value uint64) {
+	s.mu.Lock()
+	s.v[name] = value
+	s.mu.Unlock()
+}
+
 // Value returns the named counter (0 if never added).
 func (s *CounterSet) Value(name string) uint64 {
 	s.mu.Lock()

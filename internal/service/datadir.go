@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/graph"
+	"repro/internal/ledger"
 )
 
 // The data directory is the daemon's out-of-core instance store: when
@@ -22,8 +23,12 @@ func spoolPath(dir, id string) string { return filepath.Join(dir, id+".mrg") }
 
 // spoolMapped writes g to the data directory as a raw binary container
 // (unless the content-addressed file already exists) and reopens it mapped.
-// The write is atomic — temp file then rename — so concurrent spools of the
-// same id and crashes mid-write never leave a partial container visible.
+// The write is atomic AND durable — temp file, fsync, rename, directory
+// fsync — so neither a concurrent spool of the same id nor a crash at any
+// point can leave a partial or unlinked container behind. Durability
+// matters here because the job ledger references spooled instances by
+// content id across restarts: a torn <id>.mrg would poison every future
+// replay of the jobs recorded against it.
 func spoolMapped(dir, id string, g *graph.Graph) (*graph.Graph, error) {
 	path := spoolPath(dir, id)
 	if _, err := os.Stat(path); err != nil {
@@ -40,12 +45,25 @@ func spoolMapped(dir, id string, g *graph.Graph) (*graph.Graph, error) {
 			os.Remove(tmpName)
 			return nil, err
 		}
+		// The container's bytes must be on stable storage before the
+		// rename publishes the name: rename-then-crash must never expose
+		// an empty or torn file under the content-addressed id.
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+			return nil, err
+		}
 		if err := tmp.Close(); err != nil {
 			os.Remove(tmpName)
 			return nil, err
 		}
 		if err := os.Rename(tmpName, path); err != nil {
 			os.Remove(tmpName)
+			return nil, err
+		}
+		// And the directory entry itself must survive the crash, or the
+		// file exists with no name.
+		if err := ledger.SyncDir(dir); err != nil {
 			return nil, err
 		}
 	}

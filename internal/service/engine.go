@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/ledger"
 	"repro/internal/mpc"
 	"repro/internal/obs"
 )
@@ -62,9 +63,10 @@ const (
 type Source string
 
 const (
-	SourceRun   Source = "run"   // this job's flight executed the algorithm
-	SourceBatch Source = "batch" // coalesced into an identical in-flight job
-	SourceCache Source = "cache" // answered from the LRU result store
+	SourceRun    Source = "run"    // this job's flight executed the algorithm
+	SourceBatch  Source = "batch"  // coalesced into an identical in-flight job
+	SourceCache  Source = "cache"  // answered from the LRU result store
+	SourceLedger Source = "ledger" // recovered from the durable job ledger
 )
 
 // Job is one submitted job's mutable record. Fields are guarded by the
@@ -105,6 +107,7 @@ type Engine struct {
 	log       *slog.Logger
 	instances *instanceCache
 	transport mpc.TransportFactory // resolved once from cfg (nil = in-memory)
+	ledger    *ledger.Ledger       // durable job ledger; nil when disabled
 
 	mu      sync.Mutex
 	closed  bool
@@ -140,6 +143,13 @@ func NewEngine(cfg Config) *Engine {
 	// /metrics before the first incident.
 	m.inc("fallback_unsharded_total", 0)
 	m.inc("jobs_abandoned_total", 0)
+	// flights_executed_total renders as an explicit zero from the start so
+	// a restarted server can prove "everything served from the ledger,
+	// nothing re-executed" straight off /metrics.
+	m.inc("flights_executed_total", 0)
+	// Open (and, after a crash, recover) the durable job ledger before any
+	// job can complete, so the chain never misses a record.
+	e.openLedger()
 	for i := 0; i < cfg.Pool; i++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -216,6 +226,18 @@ func (e *Engine) Submit(req JobRequest) (*Job, error) {
 		e.finishLocked(j, res, nil)
 		e.metrics.inc("jobs_cache_hits_total", 1)
 		e.log.Info("job served from cache", "job", j.ID, "alg", req.Alg, "instance", instID)
+		return j, nil
+	}
+	if res, ok := e.ledgerLookup(key); ok {
+		// The durable chain remembers jobs the volatile LRU has never seen
+		// (a restart) or has evicted. Promote the record into the LRU and
+		// answer without re-executing — the payload's hash was checked
+		// against the chain, and the chain is the determinism contract.
+		j.Source = SourceLedger
+		e.results.put(key, res)
+		e.finishLocked(j, res, nil)
+		e.metrics.inc("ledger_hits_total", 1)
+		e.log.Info("job served from ledger", "job", j.ID, "alg", req.Alg, "instance", instID)
 		return j, nil
 	}
 	f, leader := e.batch.attach(key, j, func() *flight {
@@ -422,6 +444,11 @@ func (e *Engine) execute(f *flight) {
 		e.finishLocked(j, res, err)
 	}
 	e.mu.Unlock()
+	if res != nil {
+		// Ledger the completed job off the engine mutex: Append chains in
+		// memory and returns; the batcher owns the fsync.
+		e.recordLedger(f, res)
+	}
 	if f.cancel != nil {
 		f.cancel()
 	}
@@ -503,7 +530,8 @@ func (e *Engine) pruneHistoryLocked() {
 }
 
 // Close drains the queue — every accepted job still completes — then stops
-// the workers. Subsequent Submits fail.
+// the workers and flushes and closes the ledger, so a graceful shutdown
+// leaves every completed job durably chained.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -515,4 +543,9 @@ func (e *Engine) Close() {
 	e.mu.Unlock()
 	close(e.queue)
 	e.wg.Wait()
+	if e.ledger != nil {
+		if err := e.ledger.Close(); err != nil {
+			e.log.Error("ledger close", "err", err)
+		}
+	}
 }

@@ -21,6 +21,11 @@ import (
 //	                     of either — sniffed; the content id is
 //	                     format-invariant)
 //	GET  /v1/algorithms  list the algorithm registry with param schemas
+//	GET  /v1/ledger      durable job ledger head + stats (chain link,
+//	                     persisted seq, degradation, torn tails)
+//	POST /v1/ledger/verify  re-read the whole chain from storage and
+//	                     verify every checksum and link (200 ok / 500
+//	                     with the damaged file pinpointed)
 //	GET  /metrics        plain-text counters and latency histogram
 type Server struct {
 	engine *Engine
@@ -40,6 +45,8 @@ func NewServer(e *Engine) *Server {
 	s.mux.HandleFunc("GET /v1/instances", s.listInstances)
 	s.mux.HandleFunc("POST /v1/instances", s.uploadInstance)
 	s.mux.HandleFunc("GET /v1/algorithms", s.listAlgorithms)
+	s.mux.HandleFunc("GET /v1/ledger", s.ledgerInfo)
+	s.mux.HandleFunc("POST /v1/ledger/verify", s.ledgerVerify)
 	s.mux.HandleFunc("GET /metrics", s.metrics)
 	return s
 }
@@ -145,6 +152,26 @@ func (s *Server) listAlgorithms(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"algorithms": out})
+}
+
+func (s *Server) ledgerInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.LedgerInfo())
+}
+
+func (s *Server) ledgerVerify(w http.ResponseWriter, r *http.Request) {
+	rep, enabled := s.engine.VerifyLedger()
+	if !enabled {
+		writeError(w, http.StatusNotFound, fmt.Errorf("ledger disabled (start mrserve with -ledger)"))
+		return
+	}
+	status := http.StatusOK
+	if !rep.OK {
+		// Verification failure is an integrity incident, not a bad
+		// request: surface it as a server-side error with the report —
+		// including the damaged file — as the body.
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, rep)
 }
 
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {

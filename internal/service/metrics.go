@@ -114,6 +114,11 @@ func newMetricsWith(t totalsFuncs) *Metrics {
 // explicit 0 line, which the engine uses to pre-seed incident counters).
 func (m *Metrics) inc(name string, delta uint64) { m.counters.Add(name, delta) }
 
+// set overwrites a gauge-valued entry in the counter set (the ledger's
+// record count and 0/1 degradation flag live in the same sorted block as
+// the counters).
+func (m *Metrics) set(name string, value uint64) { m.counters.Set(name, value) }
+
 // observeLatency records one completed-job latency in the histogram.
 func (m *Metrics) observeLatency(d time.Duration) {
 	m.latency.Observe(float64(d) / float64(time.Millisecond))

@@ -31,10 +31,10 @@ func goldenMetrics() *Metrics {
 	m.inc("jobs_coalesced_total", 1)
 	m.inc("flights_executed_total", 3)
 	m.inc("jobs_failed_total", 1)
-	m.observeLatency(700 * time.Microsecond)    // le="1"
-	m.observeLatency(1500 * time.Microsecond)   // le="2"
-	m.observeLatency(250 * time.Millisecond)    // le="256"
-	m.observeLatency(200 * time.Second)         // +Inf (beyond 2^17 ms)
+	m.observeLatency(700 * time.Microsecond)                     // le="1"
+	m.observeLatency(1500 * time.Microsecond)                    // le="2"
+	m.observeLatency(250 * time.Millisecond)                     // le="256"
+	m.observeLatency(200 * time.Second)                          // +Inf (beyond 2^17 ms)
 	m.observeActivity(mpc.Metrics{Rounds: 4, ActiveSum: 40})     // mean 10, le="16"
 	m.observeActivity(mpc.Metrics{Rounds: 2, ActiveSum: 40000})  // mean 20000, +Inf
 	m.observeActivity(mpc.Metrics{Rounds: 10, ActiveSum: 10})    // mean 1, le="1"

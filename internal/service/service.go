@@ -107,6 +107,18 @@ type Config struct {
 	// uploads resurrect from the spool instead of failing. Empty disables
 	// spooling; instances live on the heap.
 	DataDir string
+	// LedgerDir, when set, enables the durable Merkle-chained job ledger
+	// (internal/ledger): every completed job is appended to an append-only
+	// segmented log under this directory, the chain is verified on open
+	// (a torn tail record after a kill -9 is truncated, not fatal), and a
+	// restarted server serves pre-crash results bit-identically from the
+	// recovered chain instead of re-executing them. Ledger IO never blocks
+	// or fails a job: write errors retry with seeded backoff, then degrade
+	// the ledger to memory-only operation. Empty disables the ledger.
+	LedgerDir string
+	// LedgerSegmentBytes rotates the ledger's active segment past this
+	// size; 0 uses ledger.DefaultSegmentBytes.
+	LedgerSegmentBytes int64
 
 	// transportFactory overrides the resolved transport (tests).
 	transportFactory mpc.TransportFactory

@@ -6,16 +6,19 @@
 # scripts/smoke_expect.json — the serving determinism contract, checked
 # through the real binary and real HTTP. Also exercises the observability
 # surface: the per-job round trace route, the pprof debug listener, and
-# mrrun's Perfetto trace export.
+# mrrun's Perfetto trace export. The server runs with a durable job ledger
+# so its metric lines are asserted on the happy path here (the crash path
+# is scripts/ledger_smoke.sh).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR=127.0.0.1:18080
 DEBUG_ADDR=127.0.0.1:18081
-BIN=$(mktemp -d)/mrserve
+WORK=$(mktemp -d)
+BIN=$WORK/mrserve
 
 go build -o "$BIN" ./cmd/mrserve
-"$BIN" -addr "$ADDR" -debug-addr "$DEBUG_ADDR" -pool 2 &
+"$BIN" -addr "$ADDR" -debug-addr "$DEBUG_ADDR" -pool 2 -ledger "$WORK/ledger" &
 SRV=$!
 trap 'kill "$SRV" 2>/dev/null || true' EXIT
 
@@ -103,7 +106,19 @@ for line in \
   grep -q "^$line$" /tmp/smoke_metrics.txt ||
     { echo "metrics missing \"$line\""; cat /tmp/smoke_metrics.txt; exit 1; }
 done
-echo "metrics ok (recovery counters exported)"
+# The durable ledger chained the one executed flight (the cache hit is
+# served from the LRU, not appended again), cleanly: no torn tail, no
+# degradation, no ledger-served jobs on this cold run.
+for line in \
+  "mrserve_ledger_records 1" \
+  "mrserve_ledger_appends_total 1" \
+  "mrserve_ledger_hits_total 0" \
+  "mrserve_ledger_torn_tail_total 0" \
+  "mrserve_ledger_degraded 0"; do
+  grep -q "^$line$" /tmp/smoke_metrics.txt ||
+    { echo "metrics missing \"$line\""; cat /tmp/smoke_metrics.txt; exit 1; }
+done
+echo "metrics ok (recovery and ledger counters exported)"
 
 kill -INT "$SRV"
 wait "$SRV" || true
