@@ -190,7 +190,9 @@ func truncateTail(path string, size int64) error {
 }
 
 // Append implements Store: encode the batch, write, fsync, rotate if the
-// active file is past its budget.
+// active file is past its budget. A failing write or fsync is unwound
+// (the active file truncated back to its pre-batch size) so the ledger's
+// retry re-appends the batch onto a clean tail.
 func (s *DiskStore) Append(recs []*Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -200,38 +202,69 @@ func (s *DiskStore) Append(recs []*Record) error {
 	}
 	s.scratch = buf[:0]
 	if _, err := s.f.Write(buf); err != nil {
-		return err
+		return s.unwindLocked(err)
 	}
 	if err := s.f.Sync(); err != nil {
-		return err
+		return s.unwindLocked(err)
 	}
 	s.size += int64(len(buf))
 	if s.size >= s.opts.segmentBytes() {
-		return s.rotateLocked()
+		s.rotateLocked()
 	}
 	return nil
+}
+
+// unwindLocked makes a failed Append idempotent. The batch's bytes may
+// already sit — partially or fully — in the append-only active file even
+// though Write or Sync returned an error; without an unwind, a retry would
+// re-append the same records and the duplicate sequence numbers (or the
+// garbage half-record mid-file) would read as corruption on the next open.
+// Truncating back to s.size (only advanced after a fully synced batch)
+// restores the pre-batch tail; the file is in O_APPEND mode, so the retry
+// writes land at the restored end. If the truncate itself fails the tail
+// state is unknown and retrying could corrupt the chain, so the error is
+// marked terminal: the ledger degrades instead of retrying.
+func (s *DiskStore) unwindLocked(cause error) error {
+	if err := s.f.Truncate(s.size); err != nil {
+		return fmt.Errorf("ledger: append failed (%v) and the active file could not be truncated back to %d bytes (%v): %w",
+			cause, s.size, err, ErrTerminal)
+	}
+	return cause
 }
 
 // rotateLocked seals the active file under the next segment name and
 // starts a fresh one. The rename is atomic, and the directory is fsynced
 // after, so a crash leaves either the old layout or the new — never a
-// half-rotated ledger.
-func (s *DiskStore) rotateLocked() error {
-	if err := s.f.Close(); err != nil {
-		return err
+// half-rotated ledger. The batch that triggered rotation is already
+// durable, so every failure in here is deliberately non-fatal: the store
+// keeps appending through the file descriptor it already holds and tries
+// to rotate again on a later batch, rather than returning an error the
+// ledger would answer by re-sending a batch that is safely on disk.
+func (s *DiskStore) rotateLocked() {
+	active := filepath.Join(s.dir, activeName)
+	if err := os.Rename(active, filepath.Join(s.dir, segName(s.sealed+1))); err != nil {
+		return
 	}
 	s.sealed++
-	active := filepath.Join(s.dir, activeName)
-	if err := os.Rename(active, filepath.Join(s.dir, segName(s.sealed))); err != nil {
-		s.sealed--
-		return err
-	}
-	f, err := os.OpenFile(active, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := os.OpenFile(active, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return err
+		// No fresh active file could be made: undo the rename so the file
+		// the store keeps appending to is still the active tail (only the
+		// active file may ever hold a torn record), and retry the whole
+		// rotation on a later batch. If even the rename-back fails, keep
+		// appending through the open fd to the sealed name — it is the
+		// highest-numbered segment and there is no active file, so replay
+		// order and sequence continuity still hold.
+		if rerr := os.Rename(filepath.Join(s.dir, segName(s.sealed)), active); rerr == nil {
+			s.sealed--
+		}
+		SyncDir(s.dir)
+		return
 	}
+	old := s.f
 	s.f, s.size = f, 0
-	return SyncDir(s.dir)
+	old.Close()
+	SyncDir(s.dir)
 }
 
 // Replay implements Store: stream every record from disk, strictly — the

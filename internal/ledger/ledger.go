@@ -1,6 +1,7 @@
 package ledger
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -229,11 +230,13 @@ type VerifyReport struct {
 }
 
 // Verify re-reads the entire store from its backing storage, recomputes
-// every checksum and chain link, and cross-checks the stored head against
-// the in-memory chain — so it detects tampering that happened underneath a
-// running process, not just at startup. Safe to call while appends are in
-// flight: the store serializes replay against batch writes, and records
-// past the in-memory links snapshot are ignored.
+// every checksum and chain link, and cross-checks the stored records
+// against the in-memory chain — so it detects tampering that happened
+// underneath a running process, not just at startup. Safe to call while
+// appends are in flight: the store serializes replay against batch writes,
+// and records flushed after the initial links snapshot are chain-verified
+// and then cross-checked against the live chain re-read at the end, never
+// misreported as failures.
 func (l *Ledger) Verify() VerifyReport {
 	l.mu.Lock()
 	links := l.links // append-only; safe to read a snapshot reference
@@ -263,8 +266,20 @@ func (l *Ledger) Verify() VerifyReport {
 		rep.Error = err.Error()
 		return rep
 	}
-	if seq > n {
-		rep.Error = fmt.Sprintf("ledger: store holds seq %d beyond the in-memory chain head %d", seq, n)
+	// The store may legitimately hold records appended (and flushed) after
+	// the snapshot above was taken, so judge the stored head against the
+	// chain as it is NOW: it is tampering only if the store holds history
+	// the in-memory chain has never seen, or a head link that disagrees
+	// with the live chain at that sequence.
+	l.mu.Lock()
+	cur := l.links
+	l.mu.Unlock()
+	if seq > uint64(len(cur)) {
+		rep.Error = fmt.Sprintf("ledger: store holds seq %d beyond the in-memory chain head %d", seq, len(cur))
+		return rep
+	}
+	if seq > 0 && cur[seq-1] != link {
+		rep.Error = (&ChainError{Seq: seq, Want: cur[seq-1], Got: link}).Error()
 		return rep
 	}
 	rep.OK = true
@@ -338,7 +353,10 @@ func (l *Ledger) batcher() {
 	}
 }
 
-// writeBatch pushes one batch into the store with retries.
+// writeBatch pushes one batch into the store with retries. An error
+// wrapping ErrTerminal is never retried: the store could not restore its
+// pre-batch state, so re-sending the batch could duplicate or corrupt
+// already-written records — degrading is the only safe answer.
 func (l *Ledger) writeBatch(batch []*Record) error {
 	retries := l.opts.retries()
 	var err error
@@ -350,7 +368,7 @@ func (l *Ledger) writeBatch(batch []*Record) error {
 		l.mu.Lock()
 		l.ioErrors++
 		l.mu.Unlock()
-		if attempt >= retries {
+		if attempt >= retries || errors.Is(err, ErrTerminal) {
 			return err
 		}
 		l.mu.Lock()

@@ -363,6 +363,146 @@ func TestBatcherDegradesAfterRetryBudget(t *testing.T) {
 	}
 }
 
+// TestAppendUnwoundAfterFailedBatch simulates the aftermath of a Write or
+// Sync failure that left a partial batch in the append-only active file:
+// the unwind must truncate the file back to its pre-batch size so a
+// retried Append lands on a clean tail — no duplicate sequence numbers, no
+// garbage mid-file — and the whole history still recovers and verifies.
+func TestAppendUnwoundAfterFailedBatch(t *testing.T) {
+	dir := t.TempDir()
+	store, _, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := &Record{Seq: 1, Time: 1, Key: "a", Payload: []byte("{}")}
+	r1.Link = chainLink(Hash{}, r1)
+	if err := store.Append([]*Record{r1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A failing batch: some bytes reached the file before the error.
+	store.mu.Lock()
+	if _, err := store.f.Write([]byte("half a batch, then an IO error")); err != nil {
+		store.mu.Unlock()
+		t.Fatal(err)
+	}
+	cause := errors.New("injected write error")
+	if got := store.unwindLocked(cause); got != cause {
+		store.mu.Unlock()
+		t.Fatalf("unwind returned %v, want the injected cause", got)
+	}
+	store.mu.Unlock()
+
+	// The retry appends the next record onto the restored tail.
+	r2 := &Record{Seq: 2, Time: 2, Key: "b", Payload: []byte("{}")}
+	r2.Link = chainLink(r1.Link, r2)
+	if err := store.Append([]*Record{r2}); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+
+	store2, stats, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 2 || stats.TornTail {
+		t.Fatalf("recovery after unwind = %+v, want 2 clean records", stats)
+	}
+	l, err := Open(Options{Store: store2})
+	if err != nil {
+		t.Fatalf("chain broken after unwound retry: %v", err)
+	}
+	l.Close()
+}
+
+// terminalStore always fails Append with an error marked not retryable.
+type terminalStore struct {
+	*MemStore
+	calls int
+}
+
+func (s *terminalStore) Append(recs []*Record) error {
+	s.calls++
+	return fmt.Errorf("injected: %w", ErrTerminal)
+}
+
+// TestTerminalErrorSkipsRetries: an Append failure wrapping ErrTerminal
+// must degrade the ledger immediately — retrying a store that could not
+// restore its invariants risks duplicating already-written records.
+func TestTerminalErrorSkipsRetries(t *testing.T) {
+	ts := &terminalStore{MemStore: NewMemStore()}
+	degraded := make(chan error, 1)
+	l, err := Open(Options{Store: ts, Retries: 8, RetryBase: time.Millisecond,
+		OnDegrade: func(err error) { degraded <- err }, Now: fixedNow()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.Append("k", []byte("{}"), Hash{}, Hash{})
+	select {
+	case err := <-degraded:
+		if !errors.Is(err, ErrTerminal) {
+			t.Fatalf("degrade error = %v, want ErrTerminal", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ledger never degraded on a terminal error")
+	}
+	if ts.calls != 1 {
+		t.Fatalf("terminal error was retried: %d Append calls, want 1", ts.calls)
+	}
+}
+
+// replayHookStore runs a hook before delegating Replay, letting a test
+// interleave appends between Verify's links snapshot and its store replay.
+type replayHookStore struct {
+	Store
+	before func()
+}
+
+func (s *replayHookStore) Replay(fn func(*Record) error) error {
+	if s.before != nil {
+		s.before()
+	}
+	return s.Store.Replay(fn)
+}
+
+// TestVerifyRacingAppends: records appended and flushed after Verify took
+// its in-memory snapshot are legitimate history, not a failure — while a
+// store holding records the live chain has never seen still is.
+func TestVerifyRacingAppends(t *testing.T) {
+	hs := &replayHookStore{Store: NewMemStore()}
+	l, err := Open(Options{Store: hs, Now: fixedNow()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendN(t, l, 3, 0)
+	hs.before = func() {
+		hs.before = nil
+		appendN(t, l, 2, 3) // lands in the store after Verify's snapshot
+	}
+	rep := l.Verify()
+	if !rep.OK || rep.Records != 5 || rep.HeadSeq != 5 {
+		t.Fatalf("verify racing appends = %+v, want OK with 5 records", rep)
+	}
+	if h := l.Head(); rep.HeadLink != h.Link {
+		t.Fatalf("verify head link %s, live head %s", rep.HeadLink, h.Link)
+	}
+
+	// A record beyond the live chain head is still tampering.
+	l.mu.Lock()
+	prevSeq, prevLink := l.lastSeq, l.lastLink
+	l.mu.Unlock()
+	extra := &Record{Seq: prevSeq + 1, Time: 99, Key: "forged", Payload: []byte("{}")}
+	extra.Link = chainLink(prevLink, extra)
+	if err := hs.Store.Append([]*Record{extra}); err != nil {
+		t.Fatal(err)
+	}
+	if rep := l.Verify(); rep.OK || !strings.Contains(rep.Error, "beyond the in-memory chain head") {
+		t.Fatalf("verify accepted store history beyond the live chain: %+v", rep)
+	}
+}
+
 // TestConcurrentAppends hammers Append from many goroutines; the chain
 // must come out gapless and verifiable.
 func TestConcurrentAppends(t *testing.T) {

@@ -1,6 +1,16 @@
 package ledger
 
-import "sync"
+import (
+	"errors"
+	"sync"
+)
+
+// ErrTerminal marks a Store.Append failure that must not be retried: the
+// store could not restore its invariants after the failure, so re-sending
+// the same batch risks duplicating or corrupting bytes already written.
+// Backends wrap it (errors.Is) and the ledger degrades immediately instead
+// of retrying.
+var ErrTerminal = errors.New("ledger: store failure is not retryable")
 
 // Store is the pluggable persistence backend behind the ledger. The
 // ledger's write batcher is the only appender, and it is single-threaded;
@@ -11,7 +21,9 @@ type Store interface {
 	// order. Durable means: when Append returns nil, the records survive a
 	// process kill (for the disk store, data is fsynced; the in-memory
 	// store is durable only for the process lifetime, which is its
-	// contract).
+	// contract). A failing Append must leave the store exactly as it was
+	// before the call — the ledger retries the same batch — or return an
+	// error wrapping ErrTerminal when it cannot.
 	Append(recs []*Record) error
 	// Replay streams every persisted record in sequence order, reading
 	// the backing storage afresh — so verification observes what is

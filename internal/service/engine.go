@@ -108,6 +108,12 @@ type Engine struct {
 	instances *instanceCache
 	transport mpc.TransportFactory // resolved once from cfg (nil = in-memory)
 	ledger    *ledger.Ledger       // durable job ledger; nil when disabled
+	// ledgerRecoveryErr remembers a failed startup recovery (corrupt chain
+	// on disk): the ledger above is then a memory-only substitute and every
+	// verification must keep reporting the damaged on-disk history instead
+	// of the substitute's clean chain. Written once in openLedger, before
+	// any concurrency; read-only after.
+	ledgerRecoveryErr error
 
 	mu      sync.Mutex
 	closed  bool

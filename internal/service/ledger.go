@@ -68,9 +68,12 @@ func (e *Engine) openLedger() {
 	if err != nil {
 		// Unrecoverable history (corruption, chain break): report loudly,
 		// keep serving with an in-process chain so /v1/ledger still works
-		// and the operator can see what happened.
+		// and the operator can see what happened. The error is kept on the
+		// engine so VerifyLedger reports the damaged on-disk history
+		// instead of blessing the substitute store's clean chain.
 		e.log.Error("ledger recovery failed; running memory-only", "dir", e.cfg.LedgerDir, "err", err)
 		m.set("ledger_degraded", 1)
+		e.ledgerRecoveryErr = err
 		opts.Store = ledger.NewMemStore()
 		e.ledger, _ = ledger.Open(opts)
 		return
@@ -160,6 +163,10 @@ type LedgerView struct {
 	// Hits counts jobs served from the recovered chain without
 	// re-execution.
 	Hits uint64 `json:"hits"`
+	// RecoveryError is set when startup recovery of the on-disk history
+	// failed: the ledger in use is a memory-only substitute and the
+	// damaged directory is still on disk, untouched.
+	RecoveryError string `json:"recovery_error,omitempty"`
 }
 
 // LedgerInfo snapshots the ledger for the HTTP layer.
@@ -167,12 +174,16 @@ func (e *Engine) LedgerInfo() LedgerView {
 	if e.ledger == nil {
 		return LedgerView{}
 	}
-	return LedgerView{
+	v := LedgerView{
 		Enabled:   true,
 		Head:      e.ledger.Head(),
 		TornTails: e.metrics.counter("ledger_torn_tail_total"),
 		Hits:      e.metrics.counter("ledger_hits_total"),
 	}
+	if e.ledgerRecoveryErr != nil {
+		v.RecoveryError = e.ledgerRecoveryErr.Error()
+	}
+	return v
 }
 
 // VerifyLedger re-reads the entire chain from its backing store,
@@ -184,6 +195,14 @@ func (e *Engine) VerifyLedger() (ledger.VerifyReport, bool) {
 		return ledger.VerifyReport{}, false
 	}
 	rep := e.ledger.Verify()
+	if e.ledgerRecoveryErr != nil {
+		// Startup recovery failed and the chain in use is a memory-only
+		// substitute; a clean verify of the substitute says nothing about
+		// the damaged history still sitting in the ledger directory, so the
+		// report must carry the original recovery error.
+		rep.OK = false
+		rep.Error = fmt.Sprintf("ledger degraded at startup, verifying a memory-only substitute; on-disk recovery failed with: %v", e.ledgerRecoveryErr)
+	}
 	e.metrics.inc("ledger_verify_total", 1)
 	if !rep.OK {
 		e.metrics.inc("ledger_verify_failed_total", 1)

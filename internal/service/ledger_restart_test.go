@@ -134,6 +134,52 @@ func TestLedgerVerifyPinpointsCorruption(t *testing.T) {
 	}
 }
 
+// TestLedgerRecoveryFailureSurfacedByVerify: when startup recovery fails
+// on a corrupt chain, the engine keeps serving on a memory-only substitute
+// — and verification must keep reporting the damaged on-disk history
+// instead of blessing the substitute's clean (empty) chain.
+func TestLedgerRecoveryFailureSurfacedByVerify(t *testing.T) {
+	ledgerDir := filepath.Join(t.TempDir(), "ledger")
+	e1 := NewEngine(Config{Pool: 1, LedgerDir: ledgerDir})
+	reqs := ledgerReqs()
+	finished(t, e1, mustSubmit(t, e1, reqs[0]))
+	finished(t, e1, mustSubmit(t, e1, reqs[1]))
+	e1.SyncLedger()
+	e1.Close()
+
+	// Mid-file corruption with valid records after it: not a torn tail, so
+	// recovery must refuse the history rather than repair it.
+	active := filepath.Join(ledgerDir, "ledger.active")
+	data, err := os.ReadFile(active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[40] ^= 0xff
+	if err := os.WriteFile(active, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := NewEngine(Config{Pool: 1, LedgerDir: ledgerDir})
+	defer e2.Close()
+	rep, enabled := e2.VerifyLedger()
+	if !enabled {
+		t.Fatal("ledger reported disabled after failed recovery")
+	}
+	if rep.OK {
+		t.Fatal("verify blessed the memory-only substitute over a corrupt on-disk ledger")
+	}
+	if !strings.Contains(rep.Error, "recovery failed") || !strings.Contains(rep.Error, "ledger.active") {
+		t.Fatalf("verify error does not surface the recovery failure: %q", rep.Error)
+	}
+	if v := e2.LedgerInfo(); v.RecoveryError == "" {
+		t.Fatal("LedgerInfo does not surface the recovery error")
+	}
+	// Degraded, not dead: jobs still execute and serve.
+	if v := finished(t, e2, mustSubmit(t, e2, reqs[0])); v.Error != "" {
+		t.Fatalf("job failed in degraded mode: %q", v.Error)
+	}
+}
+
 // crashChildEnv is the marker that turns the test binary into the crash
 // harness's server process.
 const crashChildEnv = "MRSERVE_LEDGER_CRASH_CHILD"
